@@ -1,0 +1,68 @@
+// Sec. 3.2's installation-time microbenchmark: the write/read cost ratio
+// alpha. Measures the contended-write vs streaming-read cost on the real
+// host (google-benchmark timing), prints the calibrated alpha of each
+// virtual topology, and shows the robustness claim: the access-method
+// decision is unchanged for any alpha in [4, 100].
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "numa/bandwidth_probe.h"
+#include "opt/cost_model.h"
+#include "util/thread_util.h"
+
+using namespace dw;
+
+namespace {
+
+void BM_WriteReadRatio(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  double ratio = 0.0;
+  for (auto _ : state) {
+    ratio = numa::MeasureWriteReadCostRatio(threads, 1);
+    benchmark::DoNotOptimize(ratio);
+  }
+  state.counters["alpha"] = ratio;
+}
+
+}  // namespace
+
+BENCHMARK(BM_WriteReadRatio)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  Table host("Host-measured write/read cost ratio (contended RMW vs"
+             " streaming read)");
+  host.SetHeader({"Threads", "alpha"});
+  for (int threads = 1; threads <= NumOnlineCpus(); ++threads) {
+    host.AddRow({std::to_string(threads),
+                 Table::Num(opt::MeasureAlphaOnHost(threads), 2)});
+  }
+  host.Print();
+
+  Table calib("Calibrated alpha per topology (paper Sec. 3.2: 4..12,"
+              " growing with sockets)");
+  calib.SetHeader({"Machine", "Sockets", "alpha"});
+  for (const numa::Topology& t : numa::PaperMachines()) {
+    calib.AddRow({t.name, std::to_string(t.num_nodes),
+                  Table::Num(opt::AlphaForTopology(t), 1)});
+  }
+  calib.Print();
+
+  // Robustness: the choice between row and column access is stable for
+  // alpha anywhere in [4, 100] (paper Sec. 3.2).
+  models::SvmSpec svm;
+  models::LpSpec lp;
+  const data::Dataset rcv1 = bench::BenchRcv1();
+  const data::Dataset amazon = bench::BenchAmazonLp();
+  Table rob("Decision robustness across alpha");
+  rob.SetHeader({"alpha", "SVM (RCV1)", "LP (Amazon)"});
+  for (double alpha : {4.0, 8.0, 12.0, 25.0, 50.0, 100.0}) {
+    rob.AddRow({Table::Num(alpha, 0),
+                ToString(opt::ChooseAccessMethod(rcv1.Stats(), svm, alpha)),
+                ToString(opt::ChooseAccessMethod(amazon.Stats(), lp, alpha))});
+  }
+  rob.Print();
+  return 0;
+}

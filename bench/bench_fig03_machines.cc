@@ -1,0 +1,44 @@
+// Figure 3: the machine table (nodes, cores/node, RAM, clock, LLC) plus
+// STREAM-measured memory bandwidth. Prints the five virtual topologies
+// with their calibrated memory-model constants, then probes the *actual*
+// host with the four STREAM kernels (the paper measured local2 the same
+// way, citing Bergstrom [9]).
+#include "bench/bench_common.h"
+#include "numa/bandwidth_probe.h"
+#include "util/thread_util.h"
+
+int main() {
+  using namespace dw;
+
+  Table machines("Figure 3: machines (virtual topologies + cost-model constants)");
+  machines.SetHeader({"Name", "abbrv", "#Node", "#Cores/Node", "RAM/Node(GB)",
+                      "Clock(GHz)", "LLC(MB)", "alpha", "DRAM GB/s/node",
+                      "QPI GB/s"});
+  for (const numa::Topology& t : numa::PaperMachines()) {
+    machines.AddRow({t.name, t.abbrev, std::to_string(t.num_nodes),
+                     std::to_string(t.cores_per_node),
+                     Table::Num(t.ram_per_node_gb, 0),
+                     Table::Num(t.cpu_ghz, 1), Table::Num(t.llc_mb, 0),
+                     Table::Num(t.alpha, 1),
+                     Table::Num(t.dram_gbps_per_node, 0),
+                     Table::Num(t.qpi_gbps, 1)});
+  }
+  machines.Print();
+
+  const int max_threads = NumOnlineCpus();
+  Table stream("STREAM bandwidth measured on this host (GB/s)");
+  stream.SetHeader({"Threads", "Copy", "Scale", "Add", "Triad"});
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    const numa::BandwidthResult r =
+        numa::MeasureBandwidth(threads, 1 << 22, 3);
+    stream.AddRow({std::to_string(threads), Table::Num(r.copy_gbps, 2),
+                   Table::Num(r.scale_gbps, 2), Table::Num(r.add_gbps, 2),
+                   Table::Num(r.triad_gbps, 2)});
+  }
+  stream.Print();
+
+  std::puts("\nNote: the paper's Fig. 3 reports ~6 GB/s per worker to local"
+            "\nRAM and ~11 GB/s over QPI on local2; the virtual topologies"
+            "\ncarry those constants into the memory cost model.");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 6: the per-epoch cost table of the optimizer -- reads and writes
+// of each access method on each bench dataset, plus the derived decision.
+// This regenerates the analytic table the paper's Sec. 3.2 builds its
+// access-method selection on.
+#include "bench/bench_common.h"
+#include "opt/cost_model.h"
+
+int main() {
+  using namespace dw;
+  using bench::BenchScale;
+  using engine::AccessMethod;
+
+  struct Row {
+    data::Dataset dataset;
+    const models::ModelSpec* spec;
+  };
+  models::SvmSpec svm;
+  models::LpSpec lp;
+  models::QpSpec qp;
+  const std::vector<Row> rows = {
+      {bench::BenchReuters(), &svm}, {bench::BenchRcv1(), &svm},
+      {bench::BenchMusic(), &svm},   {bench::BenchForest(), &svm},
+      {bench::BenchAmazonLp(), &lp}, {bench::BenchGoogleLp(), &lp},
+      {bench::BenchAmazonQp(), &qp}, {bench::BenchGoogleQp(), &qp},
+  };
+
+  const double alpha = opt::AlphaForTopology(numa::Local2());
+  Table t("Figure 6: per-epoch cost model (alpha = " + Table::Num(alpha, 1) +
+          ", local2)");
+  t.SetHeader({"Model", "Dataset", "sum n_i", "sum n_i^2", "d",
+               "row reads", "row writes", "col reads", "col writes",
+               "cost ratio", "chosen"});
+  for (const Row& row : rows) {
+    const matrix::MatrixStats s = row.dataset.Stats();
+    const auto rc = opt::EstimateAccessCost(s, AccessMethod::kRowWise,
+                                            row.spec->RowWriteSparsity(),
+                                            false);
+    const AccessMethod col_m = row.spec->HasCtr() ? AccessMethod::kColToRow
+                                                  : AccessMethod::kColWise;
+    const auto cc = opt::EstimateAccessCost(
+        s, col_m, row.spec->RowWriteSparsity(),
+        row.spec->ColumnStepMaintainsAux());
+    const AccessMethod chosen =
+        opt::ChooseAccessMethod(s, *row.spec, alpha);
+    t.AddRow({row.spec->name(), row.dataset.name,
+              std::to_string(s.sum_ni), std::to_string(s.sum_ni_sq),
+              std::to_string(s.cols), Table::Num(rc.reads, 0),
+              Table::Num(rc.writes, 0), Table::Num(cc.reads, 0),
+              Table::Num(cc.writes, 0),
+              Table::Num(opt::CostRatio(s, alpha), 3),
+              engine::ToString(chosen)});
+  }
+  t.Print();
+  return 0;
+}

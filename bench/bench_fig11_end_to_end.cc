@@ -1,0 +1,119 @@
+// Figure 11: the end-to-end comparison. For each of the five systems
+// (GraphLab-, GraphChi-, MLlib-style, Hogwild!, DimmWitted) and each task
+// (SVM/LR/LS on Reuters/RCV1/Music/Forest; LP/QP on Amazon/Google), the
+// wall-clock seconds to reach 50% and 1% of the optimal loss, with
+// timeouts marked "> T" exactly as in the paper. Absolute numbers reflect
+// this host; the claim being reproduced is the ORDERING (DW <= Hogwild! <
+// MLlib << GraphLab/GraphChi for SGD models; DW < GraphLab/GraphChi <<
+// row-wise systems for LP/QP).
+#include <functional>
+
+#include "bench/bench_common.h"
+
+using namespace dw;
+using baselines::BaselineOptions;
+using engine::RunResult;
+
+namespace {
+
+struct Task {
+  std::string label;
+  data::Dataset dataset;
+  const models::ModelSpec* spec;
+  double step;
+};
+
+using Runner = std::function<RunResult(const data::Dataset&,
+                                       const models::ModelSpec&,
+                                       const BaselineOptions&)>;
+
+}  // namespace
+
+int main() {
+  const double timeout = bench::EnvDouble("DW_BENCH_TIMEOUT", 20.0);
+  const int max_epochs = bench::EnvInt("DW_BENCH_EPOCHS", 60);
+
+  models::SvmSpec svm;
+  models::LogisticSpec lr;
+  models::LeastSquaresSpec ls;
+  models::LpSpec lp;
+  models::QpSpec qp;
+
+  std::vector<Task> tasks;
+  for (const auto* spec :
+       {static_cast<const models::ModelSpec*>(&svm),
+        static_cast<const models::ModelSpec*>(&lr),
+        static_cast<const models::ModelSpec*>(&ls)}) {
+    // Least-squares SGD needs steps below 2/||a_i||^2; text rows carry
+    // ~12-77 nonzeros, so its grid sits an order of magnitude lower.
+    const double text_step = spec->name() == "LS" ? 0.01 : 0.1;
+    tasks.push_back({spec->name() + " Reuters", bench::BenchReuters(), spec,
+                     text_step});
+    tasks.push_back(
+        {spec->name() + " RCV1", bench::BenchRcv1(), spec, text_step});
+    tasks.push_back({spec->name() + " Music",
+                     spec->name() == "LS"
+                         ? bench::BenchMusic()
+                         : data::WithBinaryLabels(bench::BenchMusic()),
+                     spec, spec->name() == "LS" ? 0.005 : 0.02});
+    tasks.push_back({spec->name() + " Forest", bench::BenchForest(), spec,
+                     0.02});
+  }
+  tasks.push_back({"LP Amazon", bench::BenchAmazonLp(), &lp, 0.05});
+  tasks.push_back({"LP Google", bench::BenchGoogleLp(), &lp, 0.05});
+  tasks.push_back({"QP Amazon", bench::BenchAmazonQp(), &qp, 0.3});
+  tasks.push_back({"QP Google", bench::BenchGoogleQp(), &qp, 0.3});
+
+  const std::vector<std::pair<std::string, Runner>> systems = {
+      {"GraphLab", baselines::RunGraphLabStyle},
+      {"GraphChi", baselines::RunGraphChiStyle},
+      {"MLlib", baselines::RunMLlibStyle},
+      {"Hogwild!", baselines::RunHogwild},
+      {"DW", baselines::RunDimmWitted},
+  };
+
+  Table t1("Figure 11: seconds to within 1% of optimal loss (host wall"
+           " clock; '> T' = timeout)");
+  Table t50("Figure 11: seconds to within 50% of optimal loss");
+  t1.SetHeader({"Task", "GraphLab", "GraphChi", "MLlib", "Hogwild!", "DW"});
+  t50.SetHeader({"Task", "GraphLab", "GraphChi", "MLlib", "Hogwild!", "DW"});
+
+  for (const Task& task : tasks) {
+    const double opt_loss = bench::OptimalLoss(
+        task.dataset, *task.spec, 150, task.step);
+    const double tgt1 = bench::Target(opt_loss, 1.0);
+    const double tgt50 = bench::Target(opt_loss, 50.0);
+    std::vector<std::string> row1{task.label}, row50{task.label};
+    for (const auto& [name, runner] : systems) {
+      // Paper protocol: grid-search the step size per system and report
+      // the best configuration.
+      double best1 = std::numeric_limits<double>::infinity();
+      double best50 = std::numeric_limits<double>::infinity();
+      for (double step : {3.0 * task.step, task.step, task.step / 3.0}) {
+        BaselineOptions o;
+        o.topology = numa::Local2();
+        // Wall-clock fidelity on this host: one worker per virtual node
+        // (no CPU oversubscription). The virtual-topology sweeps that
+        // need all 12 workers use simulated time instead (Figs. 8-16).
+        o.workers_per_node = 1;
+        o.max_epochs = max_epochs;
+        o.step_size = step;
+        o.stop_loss = tgt1;
+        o.wall_timeout_sec = timeout;
+        const RunResult rr = runner(task.dataset, *task.spec, o);
+        best1 = std::min(best1, rr.WallSecToLoss(tgt1));
+        best50 = std::min(best50, rr.WallSecToLoss(tgt50));
+      }
+      row1.push_back(Table::TimeOr(best1, timeout));
+      row50.push_back(Table::TimeOr(best50, timeout));
+    }
+    t1.AddRow(row1);
+    t50.AddRow(row50);
+  }
+  t1.Print();
+  t50.Print();
+  std::puts("\nShape check vs paper: DW at least ties the best competitor on"
+            "\nevery task; row-wise systems (Hogwild!/MLlib) lag on LP/QP,"
+            "\ncolumn-wise systems (GraphLab/GraphChi) lag on SVM/LR/LS.");
+  return 0;
+}

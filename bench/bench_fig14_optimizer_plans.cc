@@ -1,0 +1,42 @@
+// Figure 14: the plans DimmWitted's optimizer chooses on local2 for every
+// model/dataset pair, regenerated from the cost model + rules of thumb.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace dw;
+
+  models::SvmSpec svm;
+  models::LogisticSpec lr;
+  models::LeastSquaresSpec ls;
+  models::LpSpec lp;
+  models::QpSpec qp;
+
+  struct Row {
+    const models::ModelSpec* spec;
+    data::Dataset dataset;
+  };
+  const std::vector<Row> rows = {
+      {&svm, bench::BenchReuters()}, {&svm, bench::BenchRcv1()},
+      {&svm, data::WithBinaryLabels(bench::BenchMusic())},
+      {&lr, bench::BenchReuters()},  {&lr, bench::BenchRcv1()},
+      {&ls, bench::BenchMusic()},
+      {&lp, bench::BenchAmazonLp()}, {&lp, bench::BenchGoogleLp()},
+      {&qp, bench::BenchAmazonQp()}, {&qp, bench::BenchGoogleQp()},
+  };
+
+  Table t("Figure 14: plans chosen by the optimizer (local2)");
+  t.SetHeader({"Model", "Dataset", "Access Method", "Model Replication",
+               "Data Replication", "row cost", "col cost"});
+  for (const Row& row : rows) {
+    const opt::PlanChoice c =
+        opt::ChoosePlan(row.dataset, *row.spec, numa::Local2());
+    t.AddRow({row.spec->name(), row.dataset.name, ToString(c.access),
+              ToString(c.model_rep), ToString(c.data_rep),
+              Table::Num(c.row_cost, 0), Table::Num(c.col_cost, 0)});
+  }
+  t.Print();
+  std::puts("\nPaper's Fig. 14: SVM/LR/LS -> Row-wise + PerNode +"
+            "\nFullReplication; LP/QP -> Column + PerMachine +"
+            "\nFullReplication. The table above must match.");
+  return 0;
+}

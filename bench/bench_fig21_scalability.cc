@@ -1,0 +1,45 @@
+// Figure 21 (appendix C.3): scalability on the ClueWeb-like workload --
+// time per epoch at 1%, 10%, 50%, and 100% of the bench-scale dataset.
+// The paper's finding: time per epoch grows linearly with the number of
+// examples (the 100K-feature model stays LLC-resident).
+#include "data/transforms.h"
+
+#include "bench/bench_common.h"
+
+using namespace dw;
+using bench::MakeOptions;
+using engine::AccessMethod;
+using engine::DataReplication;
+using engine::ModelReplication;
+
+int main() {
+  const double base_scale = bench::EnvDouble("DW_BENCH_CLUEWEB_SCALE", 4e-4);
+  const data::Dataset full = data::ClueWeb(base_scale);
+  models::LeastSquaresSpec ls;
+
+  Table t("Figure 21: time per epoch vs scale (ClueWeb-like, LS, rule-of-"
+          "thumb plan, local2)");
+  t.SetHeader({"scale", "rows", "nnz", "sim s/epoch", "wall s/epoch",
+               "sim ratio vs 1%"});
+  double base_sim = 0.0;
+  for (double frac : {0.01, 0.1, 0.5, 1.0}) {
+    const data::Dataset d =
+        frac < 1.0 ? data::SubsampleRows(full, frac, 31) : full;
+    const engine::RunResult rr = bench::RunEngine(
+        d, ls,
+        MakeOptions(numa::Local2(), AccessMethod::kRowWise,
+                    ModelReplication::kPerNode,
+                    DataReplication::kFullReplication, 0.05),
+        3);
+    const double sim = rr.TotalSimSec() / rr.epochs.size();
+    const double wall = rr.TotalWallSec() / rr.epochs.size();
+    if (base_sim == 0.0) base_sim = sim;
+    t.AddRow({Table::Num(frac, 2), std::to_string(d.a.rows()),
+              std::to_string(d.a.nnz()), Table::Num(sim, 6),
+              Table::Num(wall, 4), Table::Num(sim / base_sim, 1)});
+  }
+  t.Print();
+  std::puts("\nShape check vs paper: epoch time grows ~linearly with the"
+            "\nnumber of examples (ratios ~ 1 : 10 : 50 : 100).");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: train an SVM with DimmWitted in ~40 lines.
+//
+//   1. build (or load) a dataset,
+//   2. pick a model specification,
+//   3. let the optimizer choose a plan for your machine,
+//   4. run epochs and watch the loss.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "data/paper_datasets.h"
+#include "engine/engine.h"
+#include "models/glm.h"
+#include "opt/optimizer.h"
+
+int main() {
+  using namespace dw;
+
+  // 1. An RCV1-shaped text classification corpus (see data/paper_datasets.h;
+  //    use matrix::ReadLibsvm to load your own data instead).
+  const data::Dataset dataset = data::Rcv1(/*scale=*/0.003);
+  std::printf("dataset: %s, %u examples, %u features, %lld nonzeros\n",
+              dataset.name.c_str(), dataset.a.rows(), dataset.a.cols(),
+              static_cast<long long>(dataset.a.nnz()));
+
+  // 2. The model: a hinge-loss SVM. (LogisticSpec, LeastSquaresSpec,
+  //    LpSpec, QpSpec are drop-in replacements.)
+  models::SvmSpec svm;
+
+  // 3. Ask the optimizer for a plan on a 2-socket machine.
+  engine::EngineOptions options;
+  options.topology = numa::Local2();
+  options.step_size = 0.1;
+  const opt::PlanChoice plan = opt::ChoosePlan(dataset, svm, options.topology);
+  opt::ApplyChoice(plan, &options);
+  std::printf("plan: %s\n", plan.rationale.c_str());
+
+  // 4. Run.
+  engine::Engine engine(&dataset, &svm, options);
+  const Status st = engine.Init();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Init failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  engine::RunConfig cfg;
+  cfg.max_epochs = 20;
+  const engine::RunResult result = engine.Run(cfg);
+  for (const auto& epoch : result.epochs) {
+    std::printf("epoch %2d  loss %.4f  wall %.1f ms  sim(local2) %.2f ms\n",
+                epoch.epoch, epoch.loss, epoch.wall_sec * 1e3,
+                epoch.sim_sec * 1e3);
+  }
+  std::printf("best loss: %.4f\n", result.BestLoss());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Competitor-system baselines (paper Sec. 4.2, Fig. 11). Each baseline is
+// a faithful reimplementation of the *strategy point* the corresponding
+// system occupies in Fig. 5, with its structural overheads implemented
+// mechanically rather than modeled:
+//
+//   Hogwild!      row-wise, PerMachine model, Sharding; lock-free shared
+//                 writes (executed through the DimmWitted engine, which by
+//                 construction "can simulate Hogwild!" -- paper Sec. 2.1).
+//   GraphLab      column access (f_col or f_ctr), shared graph state,
+//                 dynamic task scheduling: workers pop column tasks from a
+//                 shared queue and take a per-variable lock (its
+//                 consistency model). The queue + locks are the overhead.
+//   GraphChi      GraphLab plus a per-epoch shard (re)load pass over the
+//                 column arrays (its out-of-core parallel sliding window,
+//                 memory-buffered as the paper tuned it).
+//   MLlib         minibatch batch-gradient descent, PerCore gradient
+//                 accumulators aggregated by a single driver thread per
+//                 minibatch (its bulk-synchronous execution model).
+#pragma once
+
+#include "data/dataset.h"
+#include "engine/engine.h"
+#include "engine/metrics.h"
+#include "models/model_spec.h"
+#include "numa/topology.h"
+
+namespace dw::baselines {
+
+/// Common knobs for every baseline runner.
+struct BaselineOptions {
+  numa::Topology topology = numa::Local2();
+  int workers_per_node = -1;
+  int max_epochs = 30;
+  double stop_loss = -std::numeric_limits<double>::infinity();
+  double wall_timeout_sec = std::numeric_limits<double>::infinity();
+  double step_size = 0.1;
+  double step_decay = 0.97;
+  /// Minibatch fraction for the MLlib runner (paper grid: 1%..100%).
+  double batch_fraction = 0.1;
+  uint64_t seed = 13;
+  bool pin_threads = true;
+};
+
+/// Hogwild!: lock-free SGD on one shared model.
+engine::RunResult RunHogwild(const data::Dataset& dataset,
+                             const models::ModelSpec& spec,
+                             const BaselineOptions& options);
+
+/// GraphLab-style dynamic column scheduling with per-variable locks.
+engine::RunResult RunGraphLabStyle(const data::Dataset& dataset,
+                                   const models::ModelSpec& spec,
+                                   const BaselineOptions& options);
+
+/// GraphChi-style: GraphLab plus the per-epoch shard-load pass.
+engine::RunResult RunGraphChiStyle(const data::Dataset& dataset,
+                                   const models::ModelSpec& spec,
+                                   const BaselineOptions& options);
+
+/// MLlib-style bulk-synchronous minibatch gradient descent.
+engine::RunResult RunMLlibStyle(const data::Dataset& dataset,
+                                const models::ModelSpec& spec,
+                                const BaselineOptions& options);
+
+/// DimmWitted with the optimizer-chosen plan (the "DW" column of Fig. 11).
+engine::RunResult RunDimmWitted(const data::Dataset& dataset,
+                                const models::ModelSpec& spec,
+                                const BaselineOptions& options);
+
+}  // namespace dw::baselines

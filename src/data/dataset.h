@@ -1,0 +1,42 @@
+// The in-memory form of an analytics task's input: the immutable data
+// matrix A (paper Sec. 2: "the data for an analytics task is a pair
+// (A, x)"), per-row targets b, and optional per-column costs c (used by the
+// LP/QP graph workloads).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/csr_matrix.h"
+#include "matrix/matrix_stats.h"
+
+namespace dw::data {
+
+/// A named dataset. `a` is the read-only data matrix; `b` has one entry
+/// per row (class label, regression target, or constraint RHS); `c` has
+/// one entry per column for LP objective costs / QP priors (else empty).
+struct Dataset {
+  std::string name;
+  matrix::CsrMatrix a;
+  std::vector<double> b;
+  std::vector<double> c;
+  bool sparse = true;  ///< the "Sparse" column of paper Fig. 10
+
+  /// Shape statistics (computed on demand).
+  matrix::MatrixStats Stats() const { return matrix::ComputeStats(a); }
+
+  /// In-memory size of the sparse representation in bytes.
+  int64_t SparseBytes() const {
+    return a.nnz() *
+               static_cast<int64_t>(sizeof(double) + sizeof(matrix::Index)) +
+           static_cast<int64_t>((a.rows() + 1) * sizeof(int64_t));
+  }
+
+  /// Size a fully dense representation would need (Fig. 10 "Size (Dense)").
+  int64_t DenseBytes() const {
+    return static_cast<int64_t>(a.rows()) * a.cols() *
+           static_cast<int64_t>(sizeof(double));
+  }
+};
+
+}  // namespace dw::data

@@ -1,0 +1,108 @@
+#include "data/graphs.h"
+
+#include <map>
+
+#include "util/logging.h"
+
+namespace dw::data {
+
+using matrix::CsrMatrix;
+using matrix::Index;
+using matrix::Triplet;
+
+PowerLawGraph MakePowerLawGraph(Index num_vertices, int64_t num_edges,
+                                double zipf_s, uint64_t seed) {
+  DW_CHECK_GE(num_vertices, 2u);
+  Rng rng(seed);
+  ZipfSampler zipf(num_vertices, zipf_s);
+  PowerLawGraph g;
+  g.num_vertices = num_vertices;
+  g.edges.reserve(static_cast<size_t>(num_edges));
+  // Permute vertex popularity so "hub" ids are spread over the id space
+  // (consecutive hub ids would artificially improve locality).
+  std::vector<Index> perm(num_vertices);
+  for (Index v = 0; v < num_vertices; ++v) perm[v] = v;
+  rng.Shuffle(perm);
+  while (static_cast<int64_t>(g.edges.size()) < num_edges) {
+    const Index u = perm[zipf.Sample(rng)];
+    const Index v = perm[zipf.Sample(rng)];
+    if (u == v) continue;
+    g.edges.emplace_back(u, v);
+  }
+  return g;
+}
+
+Dataset MakeVertexCoverLp(const PowerLawGraph& graph, uint64_t seed,
+                          const std::string& name) {
+  Rng rng(seed);
+  std::vector<int64_t> row_ptr(graph.edges.size() + 1, 0);
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(graph.edges.size() * 2);
+  values.reserve(graph.edges.size() * 2);
+
+  for (size_t e = 0; e < graph.edges.size(); ++e) {
+    auto [u, v] = graph.edges[e];
+    if (u > v) std::swap(u, v);  // keep column ids sorted within the row
+    col_idx.push_back(u);
+    values.push_back(1.0);
+    col_idx.push_back(v);
+    values.push_back(1.0);
+    row_ptr[e + 1] = static_cast<int64_t>(values.size());
+  }
+  auto m = CsrMatrix::FromCsrArrays(static_cast<Index>(graph.edges.size()),
+                                    graph.num_vertices, std::move(row_ptr),
+                                    std::move(col_idx), std::move(values));
+  DW_CHECK(m.ok()) << m.status().ToString();
+
+  Dataset d;
+  d.name = name;
+  d.a = std::move(m).value();
+  d.b.assign(graph.edges.size(), 1.0);  // x_u + x_v >= 1
+  d.c.resize(graph.num_vertices);
+  for (auto& cv : d.c) cv = 0.5 + rng.Uniform();  // positive vertex costs
+  d.sparse = true;
+  return d;
+}
+
+Dataset MakeLabelPropagationQp(const PowerLawGraph& graph, double lambda,
+                               double seed_fraction, uint64_t seed,
+                               const std::string& name) {
+  Rng rng(seed);
+  const Index n = graph.num_vertices;
+
+  // Accumulate Laplacian triplets: L = D - W (unit edge weights; duplicate
+  // edges accumulate, acting as integer weights).
+  std::vector<Triplet> trips;
+  trips.reserve(graph.edges.size() * 2 + n);
+  std::vector<double> degree(n, 0.0);
+  for (const auto& [u, v] : graph.edges) {
+    trips.push_back({u, v, -1.0});
+    trips.push_back({v, u, -1.0});
+    degree[u] += 1.0;
+    degree[v] += 1.0;
+  }
+  for (Index vtx = 0; vtx < n; ++vtx) {
+    trips.push_back({vtx, vtx, degree[vtx] + lambda});
+  }
+  auto m = CsrMatrix::FromTriplets(n, n, std::move(trips));
+  DW_CHECK(m.ok()) << m.status().ToString();
+
+  // Seed labels on a fraction of vertices; the rest are 0 (unlabeled).
+  std::vector<double> y(n, 0.0);
+  for (Index vtx = 0; vtx < n; ++vtx) {
+    if (rng.Bernoulli(seed_fraction)) y[vtx] = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+  }
+  std::vector<double> b(n);
+  for (Index vtx = 0; vtx < n; ++vtx) b[vtx] = lambda * y[vtx];
+
+  Dataset d;
+  d.name = name;
+  d.a = std::move(m).value();
+  d.b = std::move(b);  // linear term of the QP
+  d.c = std::move(y);  // raw seed labels (kept for inspection/tests)
+  d.sparse = true;
+  return d;
+}
+
+}  // namespace dw::data

@@ -1,0 +1,44 @@
+// Power-law random graphs and the LP/QP matrices built from them. The
+// paper's LP and QP workloads are "a social-network application, i.e.,
+// network analysis" over Amazon's customer graph and the Google+ graph
+// (Fig. 10): LP rows are edge constraints (2 nonzeros per row, as in the
+// vertex-cover LP relaxation of Sridhar et al. [48]); QP rows are the
+// graph-Laplacian rows of a label-propagation objective.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace dw::data {
+
+/// An undirected multigraph sampled Chung-Lu style with Zipf weights
+/// (heavy-tailed degree like real social/co-purchase networks).
+struct PowerLawGraph {
+  matrix::Index num_vertices = 0;
+  std::vector<std::pair<matrix::Index, matrix::Index>> edges;
+};
+
+/// Samples `num_edges` edges over `num_vertices` vertices; endpoint
+/// popularity follows Zipf(s). Self-loops are rejected.
+PowerLawGraph MakePowerLawGraph(matrix::Index num_vertices, int64_t num_edges,
+                                double zipf_s, uint64_t seed);
+
+/// Vertex-cover LP relaxation: minimize sum_v c_v x_v subject to
+/// x_u + x_v >= 1 per edge, 0 <= x <= 1. Matrix rows are edges (nnz = 2),
+/// b = 1 (RHS), c = vertex costs.
+Dataset MakeVertexCoverLp(const PowerLawGraph& graph, uint64_t seed,
+                          const std::string& name);
+
+/// Label-propagation QP: minimize 0.5 x^T (L + lambda I) x - lambda y^T x
+/// over the graph Laplacian L. Matrix rows are vertices holding the row of
+/// Q = L + lambda*I (nnz = degree + 1), b = lambda * y (linear term),
+/// c = seed labels y in [-1, 1].
+Dataset MakeLabelPropagationQp(const PowerLawGraph& graph, double lambda,
+                               double seed_fraction, uint64_t seed,
+                               const std::string& name);
+
+}  // namespace dw::data

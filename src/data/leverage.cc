@@ -1,0 +1,115 @@
+#include "data/leverage.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dw::data {
+
+using matrix::CsrMatrix;
+using matrix::Index;
+
+bool CholeskyFactor(std::vector<double>& a, int n) {
+  DW_CHECK_EQ(static_cast<int>(a.size()), n * n);
+  for (int j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (int k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= 0.0) return false;
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double v = a[i * n + j];
+      for (int k = 0; k < j; ++k) v -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = v / ljj;
+    }
+    for (int k = j + 1; k < n; ++k) a[j * n + k] = 0.0;  // zero upper
+  }
+  return true;
+}
+
+std::vector<double> CholeskySolve(const std::vector<double>& chol, int n,
+                                  std::vector<double> b) {
+  DW_CHECK_EQ(static_cast<int>(b.size()), n);
+  // Forward: L y = b.
+  for (int i = 0; i < n; ++i) {
+    double v = b[i];
+    for (int k = 0; k < i; ++k) v -= chol[i * n + k] * b[k];
+    b[i] = v / chol[i * n + i];
+  }
+  // Backward: L^T x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    double v = b[i];
+    for (int k = i + 1; k < n; ++k) v -= chol[k * n + i] * b[k];
+    b[i] = v / chol[i * n + i];
+  }
+  return b;
+}
+
+StatusOr<std::vector<double>> LeverageScores(const CsrMatrix& a,
+                                             double ridge) {
+  const int d = static_cast<int>(a.cols());
+  if (d > 4096) {
+    return Status::InvalidArgument(
+        "LeverageScores requires small d (dense Gram factorization)");
+  }
+  // Gram = A^T A + ridge I.
+  std::vector<double> gram(static_cast<size_t>(d) * d, 0.0);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto row = a.Row(i);
+    for (size_t p = 0; p < row.nnz; ++p) {
+      for (size_t q = 0; q < row.nnz; ++q) {
+        gram[static_cast<size_t>(row.indices[p]) * d + row.indices[q]] +=
+            row.values[p] * row.values[q];
+      }
+    }
+  }
+  for (int j = 0; j < d; ++j) gram[static_cast<size_t>(j) * d + j] += ridge;
+
+  if (!CholeskyFactor(gram, d)) {
+    return Status::Internal("Gram matrix not positive definite");
+  }
+
+  std::vector<double> scores(a.rows(), 0.0);
+  std::vector<double> rhs(d);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto row = a.Row(i);
+    if (row.nnz == 0) continue;
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    for (size_t k = 0; k < row.nnz; ++k) rhs[row.indices[k]] = row.values[k];
+    const std::vector<double> x = CholeskySolve(gram, d, rhs);
+    double s = 0.0;
+    for (size_t k = 0; k < row.nnz; ++k) s += row.values[k] * x[row.indices[k]];
+    scores[i] = std::max(0.0, s);
+  }
+  return scores;
+}
+
+std::vector<Index> SampleByScore(const std::vector<double>& scores,
+                                 size_t samples_per_epoch, uint64_t seed) {
+  Rng rng(seed);
+  // Cumulative distribution + binary search per draw.
+  std::vector<double> cdf(scores.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    acc += scores[i];
+    cdf[i] = acc;
+  }
+  std::vector<Index> out;
+  out.reserve(samples_per_epoch);
+  if (acc <= 0.0 || scores.empty()) return out;
+  for (size_t s = 0; s < samples_per_epoch; ++s) {
+    const double u = rng.Uniform() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    out.push_back(static_cast<Index>(it - cdf.begin()));
+  }
+  return out;
+}
+
+size_t ImportanceSampleCount(double epsilon, Index d) {
+  DW_CHECK_GT(epsilon, 0.0);
+  const double dd = std::max<double>(2.0, d);
+  return static_cast<size_t>(2.0 / (epsilon * epsilon) * dd * std::log(dd));
+}
+
+}  // namespace dw::data

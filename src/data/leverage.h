@@ -1,0 +1,39 @@
+// Linear leverage scores and importance sampling (paper Sec. C.4).
+// s(i) = a_i^T (A^T A)^{-1} a_i; rows are sampled with probability
+// proportional to s(i) as the Importance data-replication strategy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace dw::data {
+
+/// Dense symmetric positive-definite solver (Cholesky). Exposed for tests;
+/// `a` is row-major n x n and is overwritten with the factor.
+/// Returns false if the matrix is not positive definite.
+bool CholeskyFactor(std::vector<double>& a, int n);
+
+/// Solves L L^T x = b given the factor produced by CholeskyFactor.
+std::vector<double> CholeskySolve(const std::vector<double>& chol, int n,
+                                  std::vector<double> b);
+
+/// Computes leverage scores of all rows. Builds the d x d Gram matrix,
+/// so this requires d small enough for a dense factorization (the paper
+/// applies it to Music with d = 91). A ridge `ridge * I` keeps the Gram
+/// matrix invertible for rank-deficient data.
+StatusOr<std::vector<double>> LeverageScores(const matrix::CsrMatrix& a,
+                                             double ridge = 1e-6);
+
+/// Draws `samples_per_epoch` row ids i.i.d. proportional to `scores`
+/// (with replacement), as the Importance strategy does each epoch.
+std::vector<matrix::Index> SampleByScore(const std::vector<double>& scores,
+                                         size_t samples_per_epoch,
+                                         uint64_t seed);
+
+/// The paper's sample-count rule: m = 2 eps^-2 d log d (Example C.1).
+size_t ImportanceSampleCount(double epsilon, matrix::Index d);
+
+}  // namespace dw::data

@@ -1,0 +1,149 @@
+#include "data/paper_datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/graphs.h"
+#include "data/synthetic.h"
+
+namespace dw::data {
+
+using matrix::Index;
+
+Index ScaledCount(double paper_count, double scale, Index floor) {
+  const double scaled = paper_count * scale;
+  return static_cast<Index>(std::max<double>(scaled, floor));
+}
+
+Dataset Rcv1(double scale, uint64_t seed) {
+  SparseCorpusParams p;
+  p.rows = ScaledCount(781e3, scale, 2000);
+  p.cols = ScaledCount(47e3, scale, 600);
+  p.avg_nnz_per_row = std::min<double>(77.0, p.cols);  // 60M / 781K
+  p.zipf_s = 1.05;
+  p.seed = seed;
+  Dataset d;
+  d.name = "RCV1";
+  d.a = MakeSparseCorpus(p);
+  d.b = PlantClassificationLabels(d.a, std::max<int>(20, p.cols / 20), 0.05,
+                                  seed + 1);
+  d.sparse = true;
+  return d;
+}
+
+Dataset Reuters(double scale, uint64_t seed) {
+  SparseCorpusParams p;
+  // Reuters is underdetermined: d > N (8K rows, 18K cols).
+  p.rows = ScaledCount(8e3, scale, 400);
+  p.cols = ScaledCount(18e3, scale, 900);
+  p.avg_nnz_per_row = std::min<double>(11.6, p.cols);  // 93K / 8K
+  p.zipf_s = 1.1;
+  p.seed = seed;
+  Dataset d;
+  d.name = "Reuters";
+  d.a = MakeSparseCorpus(p);
+  d.b = PlantClassificationLabels(d.a, std::max<int>(20, p.cols / 30), 0.05,
+                                  seed + 1);
+  d.sparse = true;
+  return d;
+}
+
+Dataset Music(double scale, uint64_t seed) {
+  DenseTableParams p;
+  p.rows = ScaledCount(515e3, scale, 1500);
+  p.cols = 91;  // fixed dimensionality of YearPredictionMSD
+  p.feature_correlation = 0.25;
+  p.seed = seed;
+  Dataset d;
+  d.name = "Music";
+  d.a = MakeDenseTable(p);
+  d.b = PlantRegressionTargets(d.a, 0.5, seed + 1);
+  d.sparse = false;
+  return d;
+}
+
+Dataset Forest(double scale, uint64_t seed) {
+  DenseTableParams p;
+  p.rows = ScaledCount(581e3, scale, 1500);
+  p.cols = 54;  // fixed dimensionality of Covertype
+  p.feature_correlation = 0.15;
+  p.seed = seed;
+  Dataset d;
+  d.name = "Forest";
+  d.a = MakeDenseTable(p);
+  d.b = PlantClassificationLabels(d.a, 54, 0.05, seed + 1);
+  d.sparse = false;
+  return d;
+}
+
+namespace {
+
+Dataset GraphLp(double paper_vertices, double paper_edges, double scale,
+                uint64_t seed, const std::string& name) {
+  const Index vertices = ScaledCount(paper_vertices, scale, 500);
+  const int64_t edges =
+      static_cast<int64_t>(ScaledCount(paper_edges, scale, 1200));
+  const PowerLawGraph g = MakePowerLawGraph(vertices, edges, 1.2, seed);
+  return MakeVertexCoverLp(g, seed + 1, name);
+}
+
+Dataset GraphQp(double paper_vertices, double paper_nnz, double scale,
+                uint64_t seed, const std::string& name) {
+  const Index vertices = ScaledCount(paper_vertices, scale, 500);
+  // nnz of Q = 2*edges + vertices  =>  edges = (nnz - vertices)/2.
+  const double paper_edges = (paper_nnz - paper_vertices) / 2.0;
+  const int64_t edges =
+      static_cast<int64_t>(ScaledCount(paper_edges, scale, 1200));
+  const PowerLawGraph g = MakePowerLawGraph(vertices, edges, 1.2, seed);
+  return MakeLabelPropagationQp(g, /*lambda=*/1.0, /*seed_fraction=*/0.2,
+                                seed + 1, name);
+}
+
+}  // namespace
+
+Dataset AmazonLp(double scale, uint64_t seed) {
+  return GraphLp(335e3, 926e3, scale, seed, "Amazon");
+}
+
+Dataset GoogleLp(double scale, uint64_t seed) {
+  return GraphLp(2e6, 2e6, scale, seed, "Google");
+}
+
+Dataset AmazonQp(double scale, uint64_t seed) {
+  return GraphQp(1e6, 7e6, scale, seed, "Amazon");
+}
+
+Dataset GoogleQp(double scale, uint64_t seed) {
+  return GraphQp(2e6, 10e6, scale, seed, "Google");
+}
+
+Dataset ClueWeb(double scale, uint64_t seed) {
+  // 500M rows, 100K URL features, ~8 nnz per row (Kan et al. features),
+  // least-squares targets = PageRank-like scores.
+  SparseCorpusParams p;
+  p.rows = ScaledCount(500e6, scale, 2000);
+  p.cols = ScaledCount(100e3, scale * 100, 800);  // features shrink slower
+  p.avg_nnz_per_row = 8.0;
+  p.zipf_s = 1.1;
+  p.seed = seed;
+  Dataset d;
+  d.name = "ClueWeb";
+  d.a = MakeSparseCorpus(p);
+  d.b = PlantRegressionTargets(d.a, 0.1, seed + 1);
+  // PageRank scores are positive: shift targets.
+  for (double& t : d.b) t = std::abs(t);
+  d.sparse = true;
+  return d;
+}
+
+Dataset WithBinaryLabels(Dataset d) {
+  std::vector<double> sorted = d.b;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  for (double& y : d.b) y = y >= median ? 1.0 : -1.0;
+  return d;
+}
+
+}  // namespace dw::data

@@ -1,0 +1,60 @@
+// Named surrogate datasets reproducing the shape of each corpus in the
+// paper's Figure 10 at a configurable scale. `scale = 1.0` reproduces the
+// published row counts; benches default to small scales so every
+// experiment finishes in CI time. Shapes preserved per dataset:
+//
+//   RCV1    781K x 47K, 60M nnz (sparse, underdetermined text)
+//   Reuters   8K x 18K, 93K nnz (sparse, d > N)
+//   Music   515K x 91           (dense, overdetermined)
+//   Forest  581K x 54           (dense, overdetermined)
+//   Amazon LP  926K x 335K, 2M nnz (edge constraints)
+//   Google LP   2M x 2M, 3M nnz
+//   Amazon QP   1M x 1M, 7M nnz (Laplacian rows)
+//   Google QP   2M x 2M, 10M nnz
+//   MNIST   (7-layer NN; see src/nn)  -- 784-d images, 10 classes
+//   ClueWeb 500M x 100K, 4B nnz (URL features -> PageRank, Sec. C.3)
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace dw::data {
+
+/// Scale-resolved row/col counts with sane floors so tiny scales still
+/// produce meaningful problems.
+matrix::Index ScaledCount(double paper_count, double scale, matrix::Index floor);
+
+/// RCV1-like sparse text classification corpus (labels in {-1, +1}).
+Dataset Rcv1(double scale = 0.01, uint64_t seed = 101);
+
+/// Reuters-like small sparse corpus, underdetermined (d > N).
+Dataset Reuters(double scale = 0.25, uint64_t seed = 102);
+
+/// Music-like dense regression table (continuous targets; callers wanting
+/// classification can threshold b).
+Dataset Music(double scale = 0.02, uint64_t seed = 103);
+
+/// Forest-like dense classification table.
+Dataset Forest(double scale = 0.02, uint64_t seed = 104);
+
+/// Amazon co-purchase vertex-cover LP.
+Dataset AmazonLp(double scale = 0.01, uint64_t seed = 105);
+
+/// Google+ vertex-cover LP.
+Dataset GoogleLp(double scale = 0.005, uint64_t seed = 106);
+
+/// Amazon label-propagation QP.
+Dataset AmazonQp(double scale = 0.01, uint64_t seed = 107);
+
+/// Google+ label-propagation QP.
+Dataset GoogleQp(double scale = 0.005, uint64_t seed = 108);
+
+/// ClueWeb-like URL-feature PageRank regression (Sec. C.3 scalability).
+Dataset ClueWeb(double scale = 1e-5, uint64_t seed = 109);
+
+/// Converts regression targets to {-1,+1} by thresholding at the median
+/// (used to run SVM/LR on Music).
+Dataset WithBinaryLabels(Dataset d);
+
+}  // namespace dw::data

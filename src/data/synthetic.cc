@@ -1,0 +1,125 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+
+namespace dw::data {
+
+using matrix::CsrMatrix;
+using matrix::Index;
+
+CsrMatrix MakeSparseCorpus(const SparseCorpusParams& params) {
+  DW_CHECK_GT(params.rows, 0u);
+  DW_CHECK_GT(params.cols, 0u);
+  Rng rng(params.seed);
+  ZipfSampler zipf(params.cols, params.zipf_s);
+
+  std::vector<int64_t> row_ptr(params.rows + 1, 0);
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  const double expected_nnz =
+      static_cast<double>(params.rows) * params.avg_nnz_per_row;
+  col_idx.reserve(static_cast<size_t>(expected_nnz * 1.1));
+  values.reserve(static_cast<size_t>(expected_nnz * 1.1));
+
+  std::vector<Index> row_cols;
+  for (Index i = 0; i < params.rows; ++i) {
+    // Row length: 1 + Poisson-ish via exponential spacing, mean avg_nnz.
+    const double want =
+        1.0 + rng.Exponential(1.0 / std::max(1.0, params.avg_nnz_per_row - 1));
+    size_t target = static_cast<size_t>(want);
+    target = std::min<size_t>(target, params.cols);
+
+    row_cols.clear();
+    std::set<Index> used;
+    // Zipf draws collide on the head; retry a bounded number of times then
+    // fall back to uniform fill so row length is exact.
+    size_t attempts = 0;
+    while (used.size() < target && attempts < 20 * target) {
+      used.insert(static_cast<Index>(zipf.Sample(rng)));
+      ++attempts;
+    }
+    while (used.size() < target) {
+      used.insert(static_cast<Index>(rng.Below(params.cols)));
+    }
+    row_cols.assign(used.begin(), used.end());
+
+    for (Index c : row_cols) {
+      col_idx.push_back(c);
+      // tf-idf-like positive magnitudes.
+      values.push_back(0.1 + std::abs(rng.Gaussian(0.0, 1.0)));
+    }
+    row_ptr[i + 1] = static_cast<int64_t>(values.size());
+  }
+
+  auto m = CsrMatrix::FromCsrArrays(params.rows, params.cols,
+                                    std::move(row_ptr), std::move(col_idx),
+                                    std::move(values));
+  DW_CHECK(m.ok()) << m.status().ToString();
+  return std::move(m).value();
+}
+
+CsrMatrix MakeDenseTable(const DenseTableParams& params) {
+  DW_CHECK_GT(params.rows, 0u);
+  DW_CHECK_GT(params.cols, 0u);
+  Rng rng(params.seed);
+
+  std::vector<int64_t> row_ptr(params.rows + 1, 0);
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(static_cast<size_t>(params.rows) * params.cols);
+  values.reserve(static_cast<size_t>(params.rows) * params.cols);
+
+  const double rho = params.feature_correlation;
+  for (Index i = 0; i < params.rows; ++i) {
+    const double latent = rng.Gaussian();
+    for (Index j = 0; j < params.cols; ++j) {
+      col_idx.push_back(j);
+      values.push_back(rho * latent + (1.0 - rho) * rng.Gaussian());
+    }
+    row_ptr[i + 1] = static_cast<int64_t>(values.size());
+  }
+  auto m = CsrMatrix::FromCsrArrays(params.rows, params.cols,
+                                    std::move(row_ptr), std::move(col_idx),
+                                    std::move(values));
+  DW_CHECK(m.ok()) << m.status().ToString();
+  return std::move(m).value();
+}
+
+std::vector<double> PlantClassificationLabels(const CsrMatrix& a,
+                                              int truth_nnz,
+                                              double noise_fraction,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w(a.cols(), 0.0);
+  const int k = std::min<int>(truth_nnz, static_cast<int>(a.cols()));
+  for (int t = 0; t < k; ++t) {
+    w[rng.Below(a.cols())] = rng.Gaussian();
+  }
+  std::vector<double> y(a.rows());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double margin = a.Row(i).Dot(w.data());
+    double label = margin >= 0.0 ? 1.0 : -1.0;
+    if (rng.Bernoulli(noise_fraction)) label = -label;
+    y[i] = label;
+  }
+  return y;
+}
+
+std::vector<double> PlantRegressionTargets(const CsrMatrix& a,
+                                           double noise_sigma,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w(a.cols());
+  for (auto& wi : w) wi = rng.Gaussian();
+  std::vector<double> y(a.rows());
+  for (Index i = 0; i < a.rows(); ++i) {
+    y[i] = a.Row(i).Dot(w.data()) + rng.Gaussian(0.0, noise_sigma);
+  }
+  return y;
+}
+
+}  // namespace dw::data

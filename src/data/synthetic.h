@@ -1,0 +1,52 @@
+// Low-level synthetic generators. The paper's corpora are reproduced by
+// shape: text datasets (RCV1, Reuters) are sparse with Zipf-distributed
+// feature popularity; benchmark datasets (Music, Forest) are dense and
+// overdetermined. Labels come from a planted ground-truth model so that
+// every generated task has a meaningful optimum to converge to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace dw::data {
+
+/// Parameters for a sparse, Zipf-feature "text corpus" matrix.
+struct SparseCorpusParams {
+  matrix::Index rows = 1000;
+  matrix::Index cols = 1000;
+  double avg_nnz_per_row = 20.0;  ///< mean row length (geometric-ish spread)
+  double zipf_s = 1.05;           ///< feature-popularity skew
+  uint64_t seed = 1;
+};
+
+/// Generates the matrix only (values ~ |N(0,1)| scaled tf-idf style).
+matrix::CsrMatrix MakeSparseCorpus(const SparseCorpusParams& params);
+
+/// Parameters for a dense feature matrix (stored as CSR with full rows so
+/// all access methods work unchanged; the engine may also densify).
+struct DenseTableParams {
+  matrix::Index rows = 1000;
+  matrix::Index cols = 64;
+  double feature_correlation = 0.2;  ///< shared latent factor strength
+  uint64_t seed = 1;
+};
+
+/// Generates a dense (every entry nonzero) matrix.
+matrix::CsrMatrix MakeDenseTable(const DenseTableParams& params);
+
+/// Plants a k-sparse ground-truth weight vector and returns binary labels
+/// y_i = sign(a_i . w*), with `noise_fraction` of labels flipped.
+std::vector<double> PlantClassificationLabels(const matrix::CsrMatrix& a,
+                                              int truth_nnz,
+                                              double noise_fraction,
+                                              uint64_t seed);
+
+/// Plants a dense ground-truth weight vector and returns regression targets
+/// y_i = a_i . w* + N(0, noise_sigma).
+std::vector<double> PlantRegressionTargets(const matrix::CsrMatrix& a,
+                                           double noise_sigma, uint64_t seed);
+
+}  // namespace dw::data

@@ -1,0 +1,127 @@
+#include "data/transforms.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dw::data {
+
+using matrix::CsrMatrix;
+using matrix::Index;
+
+Dataset SubsampleElements(const Dataset& d, double keep_fraction,
+                          uint64_t seed) {
+  DW_CHECK_GT(keep_fraction, 0.0);
+  DW_CHECK_LE(keep_fraction, 1.0);
+  Rng rng(seed);
+
+  std::vector<int64_t> row_ptr(d.a.rows() + 1, 0);
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+
+  for (Index i = 0; i < d.a.rows(); ++i) {
+    const auto row = d.a.Row(i);
+    size_t kept = 0;
+    for (size_t k = 0; k < row.nnz; ++k) {
+      if (rng.Bernoulli(keep_fraction)) {
+        col_idx.push_back(row.indices[k]);
+        values.push_back(row.values[k]);
+        ++kept;
+      }
+    }
+    if (kept == 0 && row.nnz > 0) {
+      const size_t k = rng.Below(row.nnz);
+      col_idx.push_back(row.indices[k]);
+      values.push_back(row.values[k]);
+    }
+    row_ptr[i + 1] = static_cast<int64_t>(values.size());
+  }
+
+  auto m = CsrMatrix::FromCsrArrays(d.a.rows(), d.a.cols(), std::move(row_ptr),
+                                    std::move(col_idx), std::move(values));
+  DW_CHECK(m.ok()) << m.status().ToString();
+  Dataset out;
+  out.name = d.name + "-sub";
+  out.a = std::move(m).value();
+  out.b = d.b;
+  out.c = d.c;
+  out.sparse = true;
+  return out;
+}
+
+Dataset SubsampleRows(const Dataset& d, double keep_fraction, uint64_t seed) {
+  DW_CHECK_GT(keep_fraction, 0.0);
+  DW_CHECK_LE(keep_fraction, 1.0);
+  Rng rng(seed);
+
+  std::vector<int64_t> row_ptr;
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  std::vector<double> b;
+  row_ptr.push_back(0);
+
+  for (Index i = 0; i < d.a.rows(); ++i) {
+    if (!rng.Bernoulli(keep_fraction)) continue;
+    const auto row = d.a.Row(i);
+    for (size_t k = 0; k < row.nnz; ++k) {
+      col_idx.push_back(row.indices[k]);
+      values.push_back(row.values[k]);
+    }
+    row_ptr.push_back(static_cast<int64_t>(values.size()));
+    if (i < d.b.size()) b.push_back(d.b[i]);
+  }
+  // Guarantee at least one row so downstream code has work to do.
+  if (row_ptr.size() == 1 && d.a.rows() > 0) {
+    const auto row = d.a.Row(0);
+    for (size_t k = 0; k < row.nnz; ++k) {
+      col_idx.push_back(row.indices[k]);
+      values.push_back(row.values[k]);
+    }
+    row_ptr.push_back(static_cast<int64_t>(values.size()));
+    if (!d.b.empty()) b.push_back(d.b[0]);
+  }
+
+  // Row count must be captured before the move below: argument evaluation
+  // order is unspecified, and the by-value parameter would steal row_ptr.
+  const Index kept_rows = static_cast<Index>(row_ptr.size() - 1);
+  auto m = CsrMatrix::FromCsrArrays(kept_rows, d.a.cols(), std::move(row_ptr),
+                                    std::move(col_idx), std::move(values));
+  DW_CHECK(m.ok()) << m.status().ToString();
+  Dataset out;
+  out.name = d.name + "-rows";
+  out.a = std::move(m).value();
+  out.b = std::move(b);
+  out.c = d.c;
+  out.sparse = d.sparse;
+  return out;
+}
+
+Dataset NormalizeRows(const Dataset& d) {
+  std::vector<int64_t> row_ptr = d.a.row_ptr();
+  std::vector<Index> col_idx = d.a.col_idx();
+  std::vector<double> values = d.a.values();
+
+  for (Index i = 0; i < d.a.rows(); ++i) {
+    double sq = 0.0;
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      sq += values[k] * values[k];
+    }
+    if (sq <= 0.0) continue;
+    const double inv = 1.0 / std::sqrt(sq);
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) values[k] *= inv;
+  }
+
+  auto m = CsrMatrix::FromCsrArrays(d.a.rows(), d.a.cols(), std::move(row_ptr),
+                                    std::move(col_idx), std::move(values));
+  DW_CHECK(m.ok()) << m.status().ToString();
+  Dataset out;
+  out.name = d.name;
+  out.a = std::move(m).value();
+  out.b = d.b;
+  out.c = d.c;
+  out.sparse = d.sparse;
+  return out;
+}
+
+}  // namespace dw::data

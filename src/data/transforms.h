@@ -1,0 +1,27 @@
+// Dataset transforms used by the paper's sweeps:
+//  - element subsampling within each row ("we control the number of
+//    non-zero elements per row by subsampling each row on the Music
+//    dataset", Fig. 7(b) and Fig. 16(b));
+//  - row subsampling (Sec. C.3 scalability);
+//  - feature-scaling normalization for stable step sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace dw::data {
+
+/// Keeps each stored element independently with probability
+/// `keep_fraction` (at least one element per non-empty row is kept so no
+/// example vanishes).
+Dataset SubsampleElements(const Dataset& d, double keep_fraction,
+                          uint64_t seed);
+
+/// Keeps a uniformly-sampled `keep_fraction` of the rows (with b).
+Dataset SubsampleRows(const Dataset& d, double keep_fraction, uint64_t seed);
+
+/// Scales every row to unit L2 norm (zero rows untouched); keeps labels.
+Dataset NormalizeRows(const Dataset& d);
+
+}  // namespace dw::data

@@ -1,0 +1,138 @@
+// The DimmWitted engine (paper Sec. 3): given a model specification and a
+// dataset, executes epochs under a chosen point of the
+// (access method x model replication x data replication) tradeoff space,
+// measuring statistical efficiency (loss per epoch) for real and hardware
+// efficiency both for real (host wall clock) and through the topology's
+// calibrated memory model.
+//
+// Threading: one persistent worker thread per virtual core (pinned to a
+// physical CPU through the topology map), one optional asynchronous
+// model-averaging thread (paper Sec. 3.3: "a separate thread averages
+// models, batching many writes together across the cores into one write").
+// Replica updates are lock-free by design; concurrent writes to shared
+// replicas are the Hogwild!-style benign races the paper studies.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "engine/metrics.h"
+#include "engine/options.h"
+#include "engine/plan.h"
+#include "matrix/csc_matrix.h"
+#include "models/model_spec.h"
+#include "numa/memory_model.h"
+#include "numa/numa_allocator.h"
+#include "util/barrier.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dw::engine {
+
+/// Stop conditions for Engine::Run.
+struct RunConfig {
+  int max_epochs = 50;
+  /// Stop as soon as the epoch loss is <= stop_loss (-inf to disable).
+  double stop_loss = -std::numeric_limits<double>::infinity();
+  /// Stop when cumulative *wall* seconds exceed this (paper timeout rows).
+  double wall_timeout_sec = std::numeric_limits<double>::infinity();
+  /// Evaluate loss every `eval_every` epochs (1 = every epoch).
+  int eval_every = 1;
+};
+
+/// The engine. Construct, Init(), then Run() or RunEpoch().
+class Engine {
+ public:
+  /// `dataset` and `spec` must outlive the engine.
+  Engine(const data::Dataset* dataset, const models::ModelSpec* spec,
+         EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Builds the plan, allocates replicas, starts worker threads.
+  Status Init();
+
+  /// Runs one epoch (work + averaging); does not evaluate loss.
+  EpochRecord RunEpochNoEval();
+
+  /// Runs epochs per `config`, evaluating loss and recording the curve.
+  RunResult Run(const RunConfig& config);
+
+  /// The consensus model (average of replicas; the replicas themselves
+  /// are written back so this is also the next epoch's starting point).
+  std::vector<double> ConsensusModel();
+
+  /// Parallel loss of the consensus model over the full dataset.
+  double EvaluateLoss();
+
+  /// Plan introspection (valid after Init).
+  const Plan& plan() const { return plan_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Logical placement ledger (valid after Init): where data and replica
+  /// bytes live, for tests and the placement ablation.
+  const numa::NodeLedger& ledger() const { return allocator_->ledger(); }
+
+  /// Simulation input of the most recent epoch (for PMU-style reports).
+  const numa::SimulationInput& last_epoch_sim() const { return last_sim_; }
+
+ private:
+  struct Replica;
+
+  void WorkerLoop(int worker_id);
+  void RunWorkPhase();                    // one epoch's work on all workers
+  void EpochBoundarySync();               // average + project + aux refresh
+  void AveragerLoop();                    // async averaging thread body
+  void AverageReplicasOnce();             // one averaging round (model part)
+  void ResampleImportanceWork();          // kImportance: new per-epoch work
+  numa::SimulationInput BuildSimInput() const;
+
+  const data::Dataset* dataset_;
+  const models::ModelSpec* spec_;
+  EngineOptions options_;
+  Plan plan_;
+
+  std::unique_ptr<matrix::CscMatrix> csc_;       // built if needed
+  std::unique_ptr<numa::NumaAllocator> allocator_;
+  numa::MemoryModel memory_model_;
+
+  matrix::Index model_dim_ = 0;
+  size_t aux_dim_ = 0;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<double> importance_cdf_;           // kImportance only
+  std::vector<double> consensus_;                // scratch for averaging
+
+  // Worker pool.
+  std::vector<std::thread> workers_;
+  std::unique_ptr<SpinBarrier> start_barrier_;   // workers + main
+  std::unique_ptr<SpinBarrier> end_barrier_;     // workers + main
+  std::atomic<bool> quit_{false};
+  std::atomic<double> current_step_{0.1};
+  std::vector<Rng> worker_rngs_;
+  std::vector<numa::AccessCounters> worker_counters_;
+
+  // Async averager.
+  std::thread averager_;
+  std::atomic<bool> averager_quit_{false};
+  std::atomic<bool> epoch_active_{false};
+  std::atomic<uint64_t> averaging_rounds_{0};
+
+  numa::SimulationInput last_sim_{1};
+  int epoch_counter_ = 0;
+  bool initialized_ = false;
+};
+
+/// Convenience: runs a single-threaded, single-replica reference
+/// configuration for `epochs` epochs and returns the best loss seen.
+/// Benches use this to estimate the "optimal loss" of Sec. 4.1.
+double ReferenceOptimalLoss(const data::Dataset& dataset,
+                            const models::ModelSpec& spec,
+                            AccessMethod access, int epochs,
+                            double step_size = 0.1);
+
+}  // namespace dw::engine

@@ -1,0 +1,73 @@
+// The three tradeoff axes of the paper (Fig. 5) plus engine knobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "numa/topology.h"
+
+namespace dw::engine {
+
+/// Paper Sec. 2.1/3.2: how workers traverse the data.
+enum class AccessMethod {
+  kRowWise,    ///< SGD-style; may write the whole model (MADlib/Spark/Hogwild!)
+  kColWise,    ///< SCD-style; writes one coordinate (GraphLab/Shogun/Thetis)
+  kColToRow,   ///< column iteration that reads full rows S(j) (Gibbs, LP)
+};
+
+/// Paper Sec. 3.3: granularity of the mutable model state.
+enum class ModelReplication {
+  kPerCore,    ///< shared-nothing: one replica per worker (Bismarck/Spark/GL)
+  kPerNode,    ///< one replica per NUMA node -- the paper's novel hybrid
+  kPerMachine, ///< one shared replica, hardware coherence (Hogwild!/Downpour)
+};
+
+/// Paper Sec. 3.4: which rows/columns each worker sees.
+enum class DataReplication {
+  kSharding,        ///< partition items across workers (Hogwild!/Spark/GL)
+  kFullReplication, ///< every node covers the full dataset in its own order
+  kImportance,      ///< leverage-score sampling per epoch (Sec. C.4)
+};
+
+/// Human-readable names (used by benches and Fig. 14-style tables).
+const char* ToString(AccessMethod m);
+const char* ToString(ModelReplication m);
+const char* ToString(DataReplication m);
+
+/// Everything the engine needs to turn a model specification into an
+/// execution plan.
+struct EngineOptions {
+  numa::Topology topology = numa::Local2();
+  /// Workers per virtual node; -1 means one per core of the node.
+  int workers_per_node = -1;
+
+  AccessMethod access = AccessMethod::kRowWise;
+  ModelReplication model_rep = ModelReplication::kPerNode;
+  DataReplication data_rep = DataReplication::kSharding;
+
+  /// Initial SGD step size and multiplicative per-epoch decay.
+  double step_size = 0.1;
+  double step_decay = 0.97;
+
+  /// Async model-averaging period in microseconds (paper Sec. 3.3: one
+  /// thread continuously averages replicas). <= 0 disables the async
+  /// averager; epoch-boundary averaging always happens for multi-replica
+  /// plans. Ignored for specs that maintain auxiliary state.
+  int sync_interval_us = 200;
+
+  /// Paper Sec. C.4: error tolerance for importance sampling; sets the
+  /// per-worker sample count 2 eps^-2 d log d.
+  double importance_epsilon = 0.1;
+
+  /// Appendix A placement ablation: true = collocate data with workers
+  /// ("NUMA" protocol); false = all data on node 0 ("OS" protocol).
+  bool collocate_data = true;
+
+  /// Pin worker threads to physical CPUs (mapped through the topology).
+  bool pin_threads = true;
+
+  /// Master seed for shard assignment and per-worker orderings.
+  uint64_t seed = 42;
+};
+
+}  // namespace dw::engine

@@ -1,0 +1,66 @@
+#include "engine/run_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace dw::engine {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+}  // namespace
+
+Status WriteLossCurveCsv(const std::string& path, const RunResult& result) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  std::fprintf(f.get(),
+               "epoch,loss,wall_sec,sim_sec,cum_wall_sec,cum_sim_sec,"
+               "local_read_bytes,remote_read_bytes,local_write_bytes,"
+               "shared_write_bytes,updates\n");
+  double cum_wall = 0.0, cum_sim = 0.0;
+  for (const EpochRecord& e : result.epochs) {
+    cum_wall += e.wall_sec;
+    cum_sim += e.sim_sec;
+    std::fprintf(f.get(),
+                 "%d,%.17g,%.17g,%.17g,%.17g,%.17g,%" PRIu64 ",%" PRIu64
+                 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+                 e.epoch, e.loss, e.wall_sec, e.sim_sec, cum_wall, cum_sim,
+                 e.traffic.local_read_bytes, e.traffic.remote_read_bytes,
+                 e.traffic.local_write_bytes, e.traffic.shared_write_bytes,
+                 e.traffic.updates);
+  }
+  return Status::OK();
+}
+
+StatusOr<RunResult> ReadLossCurveCsv(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  char line[4096];
+  if (std::fgets(line, sizeof(line), f.get()) == nullptr) {
+    return Status::InvalidArgument("empty file: " + path);
+  }
+  RunResult out;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    EpochRecord e;
+    double cum_wall = 0.0, cum_sim = 0.0;
+    const int got = std::sscanf(
+        line,
+        "%d,%lf,%lf,%lf,%lf,%lf,%" SCNu64 ",%" SCNu64 ",%" SCNu64 ",%" SCNu64
+        ",%" SCNu64,
+        &e.epoch, &e.loss, &e.wall_sec, &e.sim_sec, &cum_wall, &cum_sim,
+        &e.traffic.local_read_bytes, &e.traffic.remote_read_bytes,
+        &e.traffic.local_write_bytes, &e.traffic.shared_write_bytes,
+        &e.traffic.updates);
+    if (got != 11) {
+      return Status::InvalidArgument("malformed row in " + path);
+    }
+    out.epochs.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace dw::engine

@@ -1,0 +1,22 @@
+// Persistence for run results: loss-curve CSV export so users can plot
+// the paper's time-to-loss figures from their own runs.
+#pragma once
+
+#include <string>
+
+#include "engine/metrics.h"
+#include "util/status.h"
+
+namespace dw::engine {
+
+/// Writes one CSV row per epoch:
+///   epoch,loss,wall_sec,sim_sec,cum_wall_sec,cum_sim_sec,
+///   local_read_bytes,remote_read_bytes,local_write_bytes,
+///   shared_write_bytes,updates
+Status WriteLossCurveCsv(const std::string& path, const RunResult& result);
+
+/// Reads a CSV produced by WriteLossCurveCsv back into a RunResult
+/// (loss/wall/sim and traffic columns; derived fields recomputed).
+StatusOr<RunResult> ReadLossCurveCsv(const std::string& path);
+
+}  // namespace dw::engine

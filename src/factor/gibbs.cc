@@ -1,0 +1,178 @@
+#include "factor/gibbs.h"
+
+#include <cmath>
+#include <thread>
+
+#include "models/glm.h"  // Sigmoid
+#include "util/barrier.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_util.h"
+#include "util/timer.h"
+
+namespace dw::factor {
+
+namespace {
+
+// One chain's state: an assignment vector plus per-variable 1-counts.
+struct Chain {
+  std::vector<uint8_t> assignment;
+  std::vector<uint32_t> ones;
+};
+
+// Sweeps a shard of variables once; counts after burn-in.
+void SweepShard(const FactorGraph& g, const std::vector<VarId>& shard,
+                Chain& chain, Rng& rng, bool count) {
+  for (VarId v : shard) {
+    const double logodds = g.ConditionalLogOdds(v, chain.assignment.data());
+    const uint8_t x = rng.Bernoulli(models::Sigmoid(logodds)) ? 1 : 0;
+    chain.assignment[v] = x;
+    if (count) chain.ones[v] += x;
+  }
+}
+
+}  // namespace
+
+GibbsResult RunGibbs(const FactorGraph& graph, const GibbsOptions& options) {
+  const numa::Topology& topo = options.topology;
+  const int wpn = options.strategy == GibbsStrategy::kSequential
+                      ? 1
+                      : (options.workers_per_node > 0 ? options.workers_per_node
+                                                      : topo.cores_per_node);
+  const int nodes =
+      options.strategy == GibbsStrategy::kSequential ? 1 : topo.num_nodes;
+  const int num_workers = nodes * wpn;
+  const int num_chains =
+      options.strategy == GibbsStrategy::kPerNode ? nodes : 1;
+  DW_CHECK_GT(options.sweeps, options.burn_in);
+
+  // Chains (PerMachine/Sequential: one shared; PerNode: one per node).
+  std::vector<Chain> chains(num_chains);
+  uint64_t sm = options.seed;
+  for (int c = 0; c < num_chains; ++c) {
+    chains[c].assignment.assign(graph.num_vars(), 0);
+    chains[c].ones.assign(graph.num_vars(), 0);
+    Rng init(SplitMix64(sm));
+    for (VarId v = 0; v < graph.num_vars(); ++v) {
+      chains[c].assignment[v] = init.Bernoulli(0.5) ? 1 : 0;
+    }
+  }
+
+  // Variable shards. PerMachine: workers partition the variables of the
+  // single chain. PerNode: each node's workers partition the variables of
+  // that node's chain.
+  const int workers_per_chain =
+      options.strategy == GibbsStrategy::kPerNode ? wpn : num_workers;
+  std::vector<std::vector<VarId>> shards(num_workers);
+  std::vector<uint64_t> shard_read_bytes(num_workers, 0);
+  for (int w = 0; w < num_workers; ++w) {
+    const int slot = options.strategy == GibbsStrategy::kPerNode ? w % wpn
+                                                                 : w;
+    for (VarId v = static_cast<VarId>(slot); v < graph.num_vars();
+         v += static_cast<VarId>(workers_per_chain)) {
+      shards[w].push_back(v);
+      shard_read_bytes[w] += graph.SampleReadBytes(v);
+    }
+  }
+
+  std::vector<Rng> rngs;
+  for (int w = 0; w < num_workers; ++w) rngs.emplace_back(SplitMix64(sm));
+
+  SpinBarrier sweep_barrier(num_workers);
+  WallTimer timer;
+  std::vector<std::thread> pool;
+  pool.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    pool.emplace_back([&, w] {
+      const int node = w / wpn;
+      if (options.pin_threads) {
+        const int core = node * topo.cores_per_node +
+                         (w % wpn) % topo.cores_per_node;
+        (void)PinCurrentThreadToCpu(
+            topo.PhysicalCpuOfCore(core, NumOnlineCpus()));
+      }
+      const int chain_idx =
+          options.strategy == GibbsStrategy::kPerNode ? node : 0;
+      Chain& chain = chains[chain_idx];
+      std::vector<VarId> my_shard = shards[w];
+      for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+        rngs[w].Shuffle(my_shard);
+        SweepShard(graph, my_shard, chain, rngs[w],
+                   sweep >= options.burn_in);
+        sweep_barrier.Wait();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  GibbsResult result;
+  result.wall_sec = timer.Seconds();
+  result.samples = static_cast<uint64_t>(options.sweeps) * graph.num_vars() *
+                   (options.strategy == GibbsStrategy::kPerNode ? nodes : 1);
+
+  // Marginals: counted sweeps per chain, averaged across chains.
+  const double counted = options.sweeps - options.burn_in;
+  result.marginals.assign(graph.num_vars(), 0.0);
+  for (const Chain& chain : chains) {
+    for (VarId v = 0; v < graph.num_vars(); ++v) {
+      result.marginals[v] +=
+          static_cast<double>(chain.ones[v]) / counted / num_chains;
+    }
+  }
+
+  // Simulated time on the topology: structure reads are node-local (the
+  // read-only graph is replicated); assignment writes are shared across
+  // sockets only under PerMachine.
+  numa::SimulationInput sim(topo.num_nodes);
+  const bool shared = options.strategy == GibbsStrategy::kPerMachine &&
+                      topo.num_nodes > 1;
+  for (int w = 0; w < num_workers; ++w) {
+    const int node = w / wpn;
+    numa::AccessCounters c;
+    const uint64_t reads =
+        shard_read_bytes[w] * static_cast<uint64_t>(options.sweeps);
+    const uint64_t writes =
+        shards[w].size() * static_cast<uint64_t>(options.sweeps);
+    if (shared) {
+      // Neighbor assignments live on all sockets: pro-rate reads.
+      const double remote_frac =
+          static_cast<double>(topo.num_nodes - 1) / topo.num_nodes;
+      c.remote_read_bytes = static_cast<uint64_t>(reads * remote_frac * 0.2);
+      c.local_read_bytes = reads - c.remote_read_bytes;
+      c.shared_write_bytes = writes;
+    } else {
+      c.local_read_bytes = reads;
+      c.local_write_bytes = writes;
+    }
+    c.flops = reads / 4;
+    c.updates = shards[w].size() * static_cast<uint64_t>(options.sweeps);
+    sim.traffic.Add(node, c);
+    ++sim.active_workers[node];
+  }
+  sim.model_sharing_sockets = shared ? topo.num_nodes : 1;
+  sim.model_bytes = graph.num_vars();
+  result.sim_sec =
+      numa::MemoryModel(topo).SimulateEpoch(sim).total_sec;
+  return result;
+}
+
+std::vector<double> ExactMarginals(const FactorGraph& graph) {
+  const VarId n = graph.num_vars();
+  DW_CHECK_LE(n, 20u) << "exact enumeration is exponential";
+  std::vector<uint8_t> assignment(n, 0);
+  std::vector<double> prob1(n, 0.0);
+  double z = 0.0;
+  const uint32_t total = 1u << n;
+  for (uint32_t mask = 0; mask < total; ++mask) {
+    for (VarId v = 0; v < n; ++v) assignment[v] = (mask >> v) & 1u;
+    const double p = std::exp(graph.TotalEnergy(assignment.data()));
+    z += p;
+    for (VarId v = 0; v < n; ++v) {
+      if (assignment[v]) prob1[v] += p;
+    }
+  }
+  for (VarId v = 0; v < n; ++v) prob1[v] /= z;
+  return prob1;
+}
+
+}  // namespace dw::factor

@@ -1,0 +1,36 @@
+#include "matrix/csc_matrix.h"
+
+namespace dw::matrix {
+
+CscMatrix CscMatrix::FromCsr(const CsrMatrix& csr) {
+  CscMatrix m;
+  m.rows_ = csr.rows();
+  m.cols_ = csr.cols();
+  const int64_t nnz = csr.nnz();
+  m.col_ptr_.assign(csr.cols() + 1, 0);
+  m.row_idx_.resize(nnz);
+  m.values_.resize(nnz);
+
+  // Count entries per column.
+  for (int64_t k = 0; k < nnz; ++k) {
+    ++m.col_ptr_[csr.col_idx()[k] + 1];
+  }
+  for (Index j = 0; j < csr.cols(); ++j) {
+    m.col_ptr_[j + 1] += m.col_ptr_[j];
+  }
+  // Scatter. `cursor` tracks the next free slot per column.
+  std::vector<int64_t> cursor(m.col_ptr_.begin(), m.col_ptr_.end() - 1);
+  for (Index i = 0; i < csr.rows(); ++i) {
+    const int64_t begin = csr.row_ptr()[i];
+    const int64_t end = csr.row_ptr()[i + 1];
+    for (int64_t k = begin; k < end; ++k) {
+      const Index j = csr.col_idx()[k];
+      const int64_t slot = cursor[j]++;
+      m.row_idx_[slot] = i;
+      m.values_[slot] = csr.values()[k];
+    }
+  }
+  return m;
+}
+
+}  // namespace dw::matrix

@@ -1,0 +1,77 @@
+#include "matrix/csr_matrix.h"
+
+#include <algorithm>
+
+namespace dw::matrix {
+
+StatusOr<CsrMatrix> CsrMatrix::FromTriplets(Index rows, Index cols,
+                                            std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      return Status::InvalidArgument("triplet out of bounds");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  for (size_t k = 0; k < triplets.size();) {
+    const Index r = triplets[k].row;
+    const Index c = triplets[k].col;
+    double v = 0.0;
+    while (k < triplets.size() && triplets[k].row == r &&
+           triplets[k].col == c) {
+      v += triplets[k].value;
+      ++k;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    m.row_ptr_[r + 1] = static_cast<int64_t>(m.values_.size());
+  }
+  // Fill gaps for empty rows: row_ptr must be non-decreasing.
+  for (Index r = 0; r < rows; ++r) {
+    m.row_ptr_[r + 1] = std::max(m.row_ptr_[r + 1], m.row_ptr_[r]);
+  }
+  return m;
+}
+
+StatusOr<CsrMatrix> CsrMatrix::FromCsrArrays(Index rows, Index cols,
+                                             std::vector<int64_t> row_ptr,
+                                             std::vector<Index> col_idx,
+                                             std::vector<double> values) {
+  if (row_ptr.size() != static_cast<size_t>(rows) + 1) {
+    return Status::InvalidArgument("row_ptr size must be rows+1");
+  }
+  if (col_idx.size() != values.size()) {
+    return Status::InvalidArgument("col_idx/values size mismatch");
+  }
+  if (row_ptr.front() != 0 ||
+      row_ptr.back() != static_cast<int64_t>(values.size())) {
+    return Status::InvalidArgument("row_ptr endpoints invalid");
+  }
+  for (size_t i = 1; i < row_ptr.size(); ++i) {
+    if (row_ptr[i] < row_ptr[i - 1]) {
+      return Status::InvalidArgument("row_ptr must be non-decreasing");
+    }
+  }
+  for (Index c : col_idx) {
+    if (c >= cols) return Status::InvalidArgument("column index out of range");
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+}  // namespace dw::matrix

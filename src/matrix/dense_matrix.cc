@@ -1,0 +1,15 @@
+#include "matrix/dense_matrix.h"
+
+namespace dw::matrix {
+
+DenseMatrix DenseMatrix::WithLayout(Layout layout) const {
+  DenseMatrix out(rows_, cols_, layout);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index j = 0; j < cols_; ++j) {
+      out.At(i, j) = At(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace dw::matrix

@@ -1,0 +1,150 @@
+#include "matrix/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace dw::matrix {
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x44574d4154313000ULL;  // "DWMAT10\0"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteRaw(std::FILE* f, const T* data, size_t count) {
+  return std::fwrite(data, sizeof(T), count, f) == count;
+}
+
+template <typename T>
+bool ReadRaw(std::FILE* f, T* data, size_t count) {
+  return std::fread(data, sizeof(T), count, f) == count;
+}
+
+}  // namespace
+
+Status WriteLibsvm(const std::string& path, const LabeledData& data) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  for (Index i = 0; i < data.a.rows(); ++i) {
+    const double label = i < data.b.size() ? data.b[i] : 0.0;
+    if (std::fprintf(f.get(), "%.17g", label) < 0) {
+      return Status::Internal("write failed: " + path);
+    }
+    const SparseVectorView row = data.a.Row(i);
+    for (size_t k = 0; k < row.nnz; ++k) {
+      std::fprintf(f.get(), " %u:%.17g", row.indices[k] + 1, row.values[k]);
+    }
+    std::fprintf(f.get(), "\n");
+  }
+  return Status::OK();
+}
+
+StatusOr<LabeledData> ReadLibsvm(const std::string& path,
+                                 Index expected_cols) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+
+  std::vector<Triplet> triplets;
+  std::vector<double> labels;
+  Index max_col = 0;
+
+  char line[1 << 16];
+  Index row = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    char* cursor = line;
+    char* end = nullptr;
+    const double label = std::strtod(cursor, &end);
+    if (end == cursor) continue;  // blank line
+    cursor = end;
+    labels.push_back(label);
+    for (;;) {
+      while (*cursor == ' ' || *cursor == '\t') ++cursor;
+      if (*cursor == '\n' || *cursor == '\0' || *cursor == '\r') break;
+      char* colon = std::strchr(cursor, ':');
+      if (colon == nullptr) break;
+      const long idx = std::strtol(cursor, &end, 10);
+      if (end == cursor || idx < 1) {
+        return Status::InvalidArgument("bad index in " + path);
+      }
+      cursor = colon + 1;
+      const double value = std::strtod(cursor, &end);
+      if (end == cursor) {
+        return Status::InvalidArgument("bad value in " + path);
+      }
+      cursor = end;
+      const Index col = static_cast<Index>(idx - 1);
+      max_col = std::max(max_col, col + 1);
+      triplets.push_back(Triplet{row, col, value});
+    }
+    ++row;
+  }
+
+  const Index cols = expected_cols > 0 ? expected_cols : max_col;
+  if (max_col > cols) {
+    return Status::InvalidArgument("feature index exceeds expected_cols");
+  }
+  auto m = CsrMatrix::FromTriplets(row, cols, std::move(triplets));
+  if (!m.ok()) return m.status();
+  return LabeledData{std::move(m).value(), std::move(labels)};
+}
+
+Status WriteBinary(const std::string& path, const LabeledData& data) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  const uint64_t magic = kBinaryMagic;
+  const uint64_t rows = data.a.rows();
+  const uint64_t cols = data.a.cols();
+  const uint64_t nnz = static_cast<uint64_t>(data.a.nnz());
+  const uint64_t nlabels = data.b.size();
+  bool ok = WriteRaw(f.get(), &magic, 1) && WriteRaw(f.get(), &rows, 1) &&
+            WriteRaw(f.get(), &cols, 1) && WriteRaw(f.get(), &nnz, 1) &&
+            WriteRaw(f.get(), &nlabels, 1) &&
+            WriteRaw(f.get(), data.a.row_ptr().data(),
+                     data.a.row_ptr().size()) &&
+            WriteRaw(f.get(), data.a.col_idx().data(),
+                     data.a.col_idx().size()) &&
+            WriteRaw(f.get(), data.a.values().data(),
+                     data.a.values().size()) &&
+            WriteRaw(f.get(), data.b.data(), data.b.size());
+  if (!ok) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<LabeledData> ReadBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  uint64_t magic = 0, rows = 0, cols = 0, nnz = 0, nlabels = 0;
+  if (!ReadRaw(f.get(), &magic, 1) || magic != kBinaryMagic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (!ReadRaw(f.get(), &rows, 1) || !ReadRaw(f.get(), &cols, 1) ||
+      !ReadRaw(f.get(), &nnz, 1) || !ReadRaw(f.get(), &nlabels, 1)) {
+    return Status::InvalidArgument("truncated header in " + path);
+  }
+  std::vector<int64_t> row_ptr(rows + 1);
+  std::vector<Index> col_idx(nnz);
+  std::vector<double> values(nnz);
+  std::vector<double> labels(nlabels);
+  if (!ReadRaw(f.get(), row_ptr.data(), row_ptr.size()) ||
+      !ReadRaw(f.get(), col_idx.data(), col_idx.size()) ||
+      !ReadRaw(f.get(), values.data(), values.size()) ||
+      !ReadRaw(f.get(), labels.data(), labels.size())) {
+    return Status::InvalidArgument("truncated body in " + path);
+  }
+  auto m = CsrMatrix::FromCsrArrays(static_cast<Index>(rows),
+                                    static_cast<Index>(cols),
+                                    std::move(row_ptr), std::move(col_idx),
+                                    std::move(values));
+  if (!m.ok()) return m.status();
+  return LabeledData{std::move(m).value(), std::move(labels)};
+}
+
+}  // namespace dw::matrix

@@ -1,0 +1,34 @@
+// Matrix (de)serialization: a LIBSVM-style text reader/writer for
+// interoperability and a compact binary format for fast reloads. The
+// examples use these so users can run DimmWitted on their own data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/csr_matrix.h"
+#include "util/status.h"
+
+namespace dw::matrix {
+
+/// A labeled sparse dataset: matrix A plus per-row targets b.
+struct LabeledData {
+  CsrMatrix a;
+  std::vector<double> b;
+};
+
+/// Writes "label idx:val idx:val ..." lines (1-based indexes, LIBSVM
+/// convention).
+Status WriteLibsvm(const std::string& path, const LabeledData& data);
+
+/// Reads a LIBSVM file. `expected_cols` = 0 infers d from the max index.
+StatusOr<LabeledData> ReadLibsvm(const std::string& path,
+                                 Index expected_cols = 0);
+
+/// Writes the compact binary format (magic + dims + CSR arrays + labels).
+Status WriteBinary(const std::string& path, const LabeledData& data);
+
+/// Reads the compact binary format.
+StatusOr<LabeledData> ReadBinary(const std::string& path);
+
+}  // namespace dw::matrix

@@ -1,0 +1,36 @@
+#include "matrix/matrix_stats.h"
+
+#include <algorithm>
+
+namespace dw::matrix {
+
+double MatrixStats::CostRatio(double alpha) const {
+  const double denom =
+      static_cast<double>(sum_ni_sq) + alpha * static_cast<double>(cols);
+  if (denom <= 0.0) return 0.0;
+  return (1.0 + alpha) * static_cast<double>(sum_ni) / denom;
+}
+
+MatrixStats ComputeStats(const CsrMatrix& m) {
+  MatrixStats s;
+  s.rows = m.rows();
+  s.cols = m.cols();
+  s.nnz = m.nnz();
+  s.sum_ni = m.nnz();
+  for (Index i = 0; i < m.rows(); ++i) {
+    const int64_t ni = static_cast<int64_t>(m.RowNnz(i));
+    s.sum_ni_sq += ni * ni;
+    s.max_row_nnz = std::max(s.max_row_nnz, static_cast<double>(ni));
+  }
+  if (m.rows() > 0) {
+    s.avg_row_nnz =
+        static_cast<double>(m.nnz()) / static_cast<double>(m.rows());
+  }
+  if (m.rows() > 0 && m.cols() > 0) {
+    s.sparsity = static_cast<double>(m.nnz()) /
+                 (static_cast<double>(m.rows()) * m.cols());
+  }
+  return s;
+}
+
+}  // namespace dw::matrix

@@ -1,0 +1,32 @@
+// Dataset shape statistics feeding the cost model of paper Fig. 6/7(b):
+// sum_i n_i (row-wise reads), sum_i n_i^2 (column-to-row reads), d*N
+// (dense writes), and the derived row/column cost ratio.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr_matrix.h"
+
+namespace dw::matrix {
+
+/// Shape statistics of a data matrix.
+struct MatrixStats {
+  Index rows = 0;
+  Index cols = 0;
+  int64_t nnz = 0;
+  int64_t sum_ni = 0;        ///< = nnz; reads of one row-wise epoch
+  int64_t sum_ni_sq = 0;     ///< reads of one column-to-row epoch
+  double avg_row_nnz = 0.0;
+  double max_row_nnz = 0.0;
+  double sparsity = 0.0;     ///< nnz / (rows*cols)
+
+  /// The paper's Fig. 7(b) "cost ratio":
+  ///   (1+alpha) * sum_i n_i / (sum_i n_i^2 + alpha * d).
+  /// Values > 1 favor the column-wise method.
+  double CostRatio(double alpha) const;
+};
+
+/// Computes statistics with one scan.
+MatrixStats ComputeStats(const CsrMatrix& m);
+
+}  // namespace dw::matrix

@@ -1,0 +1,62 @@
+// Non-owning sparse vector view plus the kernels shared by every model:
+// dot products and axpy against a dense model vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dw::matrix {
+
+/// Index type for rows/columns. 32-bit: the scaled datasets stay < 2^31.
+using Index = uint32_t;
+
+/// A view over one sparse row/column: parallel (index, value) arrays.
+struct SparseVectorView {
+  const Index* indices = nullptr;
+  const double* values = nullptr;
+  size_t nnz = 0;
+
+  /// Dot product with a dense vector x (x indexed by `indices`).
+  double Dot(const double* x) const {
+    double acc = 0.0;
+    for (size_t k = 0; k < nnz; ++k) acc += values[k] * x[indices[k]];
+    return acc;
+  }
+
+  /// x[indices[k]] += scale * values[k] for all k (sparse update).
+  void Axpy(double scale, double* x) const {
+    for (size_t k = 0; k < nnz; ++k) x[indices[k]] += scale * values[k];
+  }
+
+  /// Squared L2 norm of the stored values.
+  double SquaredNorm() const {
+    double acc = 0.0;
+    for (size_t k = 0; k < nnz; ++k) acc += values[k] * values[k];
+    return acc;
+  }
+};
+
+/// Dense row view with the same interface (used by dense datasets so the
+/// model code is storage-agnostic).
+struct DenseVectorView {
+  const double* values = nullptr;
+  size_t dim = 0;
+
+  double Dot(const double* x) const {
+    double acc = 0.0;
+    for (size_t k = 0; k < dim; ++k) acc += values[k] * x[k];
+    return acc;
+  }
+
+  void Axpy(double scale, double* x) const {
+    for (size_t k = 0; k < dim; ++k) x[k] += scale * values[k];
+  }
+
+  double SquaredNorm() const {
+    double acc = 0.0;
+    for (size_t k = 0; k < dim; ++k) acc += values[k] * values[k];
+    return acc;
+  }
+};
+
+}  // namespace dw::matrix

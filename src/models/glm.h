@@ -1,0 +1,92 @@
+// Generalized linear models: SVM (hinge), logistic regression, and least
+// squares. Row-wise = stochastic gradient descent (the MADlib / MLlib /
+// Hogwild! path); column-wise = stochastic coordinate descent with a
+// maintained margin/residual vector (the GraphLab / Shogun / Thetis path).
+//
+// The SCD auxiliary vector holds, per row i, the current margin
+// m_i = a_i . x (so coordinate updates only read column j and patch the
+// margins of rows in S(j) -- a pure column access).
+#pragma once
+
+#include "models/model_spec.h"
+
+namespace dw::models {
+
+/// Shared machinery for the three GLMs. Each provides BOTH column flavors:
+/// f_col (SCD with maintained margins, Shogun-style) and f_ctr (GraphLab-
+/// style: margins recomputed from the full rows S(j), no auxiliary state
+/// -- the access pattern whose read cost is sum n_i^2 in Fig. 6).
+class GlmSpec : public ModelSpec {
+ public:
+  bool HasCol() const override { return true; }
+  bool HasCtr() const override { return true; }
+
+  size_t AuxDim(const data::Dataset& d) const override { return d.a.rows(); }
+
+  /// aux[i] = a_i . x for all rows.
+  void RefreshAux(const data::Dataset& d, const double* model,
+                  double* aux) const override;
+
+  UpdateSparsity RowWriteSparsity() const override {
+    return UpdateSparsity::kSparse;
+  }
+
+  bool ColumnStepMaintainsAux() const override { return true; }
+};
+
+/// Support vector machine with hinge loss (1/N) sum max(0, 1 - y_i a_i.x).
+class SvmSpec : public GlmSpec {
+ public:
+  std::string name() const override { return "SVM"; }
+  void RowStep(const StepContext& ctx, matrix::Index i, double* model,
+               double* aux) const override;
+  void ColStep(const StepContext& ctx, matrix::Index j, double* model,
+               double* aux) const override;
+  void CtrStep(const StepContext& ctx, matrix::Index j, double* model,
+               double* aux) const override;
+  void RowGradient(const StepContext& ctx, matrix::Index i,
+                   const double* model, double* grad) const override;
+  double RowLoss(const data::Dataset& d, matrix::Index i,
+                 const double* model) const override;
+};
+
+/// Logistic regression, loss (1/N) sum log(1 + exp(-y_i a_i.x)).
+class LogisticSpec : public GlmSpec {
+ public:
+  std::string name() const override { return "LR"; }
+  void RowStep(const StepContext& ctx, matrix::Index i, double* model,
+               double* aux) const override;
+  void ColStep(const StepContext& ctx, matrix::Index j, double* model,
+               double* aux) const override;
+  void CtrStep(const StepContext& ctx, matrix::Index j, double* model,
+               double* aux) const override;
+  void RowGradient(const StepContext& ctx, matrix::Index i,
+                   const double* model, double* grad) const override;
+  double RowLoss(const data::Dataset& d, matrix::Index i,
+                 const double* model) const override;
+};
+
+/// Least squares, loss (1/2N) sum (a_i.x - b_i)^2. The column step is the
+/// exact coordinate minimizer (Gauss-Seidel on the normal equations).
+class LeastSquaresSpec : public GlmSpec {
+ public:
+  std::string name() const override { return "LS"; }
+  void RowStep(const StepContext& ctx, matrix::Index i, double* model,
+               double* aux) const override;
+  void ColStep(const StepContext& ctx, matrix::Index j, double* model,
+               double* aux) const override;
+  void CtrStep(const StepContext& ctx, matrix::Index j, double* model,
+               double* aux) const override;
+  void RowGradient(const StepContext& ctx, matrix::Index i,
+                   const double* model, double* grad) const override;
+  double RowLoss(const data::Dataset& d, matrix::Index i,
+                 const double* model) const override;
+};
+
+/// Numerically-stable log(1 + exp(z)).
+double Log1pExp(double z);
+
+/// Logistic sigmoid 1 / (1 + exp(-z)).
+double Sigmoid(double z);
+
+}  // namespace dw::models

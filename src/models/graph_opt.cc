@@ -1,0 +1,207 @@
+#include "models/graph_opt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dw::models {
+
+using data::Dataset;
+using matrix::Index;
+using matrix::SparseVectorView;
+
+namespace {
+
+double ClipUnit(double v) { return std::clamp(v, 0.0, 1.0); }
+double ClipSigned(double v) { return std::clamp(v, -1.0, 1.0); }
+
+}  // namespace
+
+// ----------------------------------------------------------------- LP ----
+
+void LpSpec::RowStep(const StepContext& ctx, Index i, double* model,
+                     double* /*aux*/) const {
+  const Dataset& d = *ctx.dataset;
+  const SparseVectorView row = d.a.Row(i);  // one edge: endpoints u, v
+  if (row.nnz == 0) return;
+  // Constraint: sum_k a_k x_k >= b_i (here a = 1, b = 1).
+  double lhs = 0.0;
+  for (size_t k = 0; k < row.nnz; ++k) lhs += row.values[k] * model[row.indices[k]];
+  const double violation = d.b[i] - lhs;
+  const double n_rows = static_cast<double>(d.a.rows());
+  for (size_t k = 0; k < row.nnz; ++k) {
+    const Index v = row.indices[k];
+    // Penalty gradient wrt x_v plus this edge's share of the cost term
+    // (c_v spread over the edges incident to v, approximated by the
+    // average degree so the row step stays a pure row access).
+    const double cost_share =
+        d.c.empty() ? 0.0 : d.c[v] * static_cast<double>(d.a.cols()) / n_rows;
+    double g = cost_share;
+    if (violation > 0.0) g -= 2.0 * beta_ * violation * row.values[k];
+    model[v] = ClipUnit(model[v] - ctx.step_size * g);
+  }
+}
+
+void LpSpec::CtrStep(const StepContext& ctx, Index j, double* model,
+                     double* /*aux*/) const {
+  const Dataset& d = *ctx.dataset;
+  const SparseVectorView col = ctx.csc->Col(j);  // edges incident to j
+  if (col.nnz == 0) return;
+  // Column-to-row: read each incident edge's full row to get the rest of
+  // the constraint, then take the exact minimizer of the local objective
+  //   c_j x + beta * sum_e max(0, rhs_e - x)^2  over x in [0, 1],
+  // where rhs_e = b_e - (sum of the other endpoints).
+  // Solved by a few projected Newton steps on the piecewise-quadratic.
+  thread_local std::vector<double> rhs;
+  const size_t cnt = col.nnz;
+  rhs.resize(cnt);
+  for (size_t k = 0; k < cnt; ++k) {
+    const Index e = col.indices[k];
+    const SparseVectorView row = d.a.Row(e);
+    double others = 0.0;
+    double my_coeff = 1.0;
+    for (size_t t = 0; t < row.nnz; ++t) {
+      if (row.indices[t] == j) {
+        my_coeff = row.values[t];
+      } else {
+        others += row.values[t] * model[row.indices[t]];
+      }
+    }
+    rhs[k] = my_coeff != 0.0 ? (d.b[e] - others) / my_coeff : 0.0;
+  }
+  const double cj = d.c.empty() ? 0.0 : d.c[j];
+  // Minimize g(x) = cj*x + beta * sum_k relu(rhs_k - x)^2 by a few
+  // projected Newton steps (g is piecewise quadratic and convex).
+  double x = model[j];
+  for (int it = 0; it < 8; ++it) {
+    double grad = cj;
+    double curv = 1e-9;
+    for (size_t k = 0; k < cnt; ++k) {
+      const double r = rhs[k] - x;
+      if (r > 0.0) {
+        grad -= 2.0 * beta_ * r;
+        curv += 2.0 * beta_;
+      }
+    }
+    const double next = ClipUnit(x - grad / curv);
+    if (std::abs(next - x) < 1e-12) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  model[j] = x;
+}
+
+void LpSpec::RowGradient(const StepContext& ctx, Index i,
+                         const double* model, double* grad) const {
+  const Dataset& d = *ctx.dataset;
+  const SparseVectorView row = d.a.Row(i);
+  if (row.nnz == 0) return;
+  double lhs = 0.0;
+  for (size_t k = 0; k < row.nnz; ++k) {
+    lhs += row.values[k] * model[row.indices[k]];
+  }
+  const double violation = d.b[i] - lhs;
+  const double n_rows = static_cast<double>(d.a.rows());
+  for (size_t k = 0; k < row.nnz; ++k) {
+    const Index v = row.indices[k];
+    const double cost_share =
+        d.c.empty() ? 0.0 : d.c[v] * static_cast<double>(d.a.cols()) / n_rows;
+    double g = cost_share;
+    if (violation > 0.0) g -= 2.0 * beta_ * violation * row.values[k];
+    grad[v] += g;
+  }
+}
+
+double LpSpec::RowLoss(const Dataset& d, Index i, const double* model) const {
+  const SparseVectorView row = d.a.Row(i);
+  double lhs = 0.0;
+  for (size_t k = 0; k < row.nnz; ++k) {
+    lhs += row.values[k] * model[row.indices[k]];
+  }
+  const double violation = d.b[i] - lhs;
+  return violation > 0.0 ? beta_ * violation * violation : 0.0;
+}
+
+double LpSpec::GlobalLossTerm(const Dataset& d, const double* model) const {
+  if (d.c.empty()) return 0.0;
+  double dot = 0.0;
+  for (Index j = 0; j < d.a.cols(); ++j) dot += d.c[j] * model[j];
+  // Normalized like the row losses (which are averaged over rows).
+  return dot / std::max<double>(1.0, d.a.rows());
+}
+
+void LpSpec::Project(double* model, Index dim) const {
+  for (Index j = 0; j < dim; ++j) model[j] = ClipUnit(model[j]);
+}
+
+// ----------------------------------------------------------------- QP ----
+
+void QpSpec::RowStep(const StepContext& ctx, Index i, double* model,
+                     double* /*aux*/) const {
+  const Dataset& d = *ctx.dataset;
+  const SparseVectorView row = d.a.Row(i);  // row i of Q
+  // Diagonally-preconditioned stochastic Jacobi:
+  //   x_i <- x_i - step * (q_i . x - b_i) / Q_ii.
+  // Without the 1/Q_ii scaling, hub vertices (large degree, large Q_ii)
+  // overshoot and the sweep diverges on power-law graphs.
+  double diag = 1.0;
+  for (size_t k = 0; k < row.nnz; ++k) {
+    if (row.indices[k] == i) {
+      diag = row.values[k];
+      break;
+    }
+  }
+  const double r = row.Dot(model) - d.b[i];
+  model[i] = ClipSigned(model[i] - ctx.step_size * r / std::max(diag, 1e-9));
+}
+
+void QpSpec::ColStep(const StepContext& ctx, Index j, double* model,
+                     double* /*aux*/) const {
+  const Dataset& d = *ctx.dataset;
+  // Q is symmetric: column j of A equals row j, so the exact coordinate
+  // minimizer needs only this column plus neighbor model values:
+  //   x_j = clip( (b_j - sum_{k != j} Q_jk x_k) / Q_jj ).
+  const SparseVectorView col = ctx.csc->Col(j);
+  double off = 0.0;
+  double diag = 0.0;
+  for (size_t k = 0; k < col.nnz; ++k) {
+    const Index i = col.indices[k];
+    if (i == j) {
+      diag = col.values[k];
+    } else {
+      off += col.values[k] * model[i];
+    }
+  }
+  if (diag <= 0.0) return;
+  model[j] = ClipSigned((d.b[j] - off) / diag);
+}
+
+void QpSpec::RowGradient(const StepContext& ctx, Index i,
+                         const double* model, double* grad) const {
+  const Dataset& d = *ctx.dataset;
+  const SparseVectorView row = d.a.Row(i);
+  double diag = 1.0;
+  for (size_t k = 0; k < row.nnz; ++k) {
+    if (row.indices[k] == i) {
+      diag = row.values[k];
+      break;
+    }
+  }
+  grad[i] += (row.Dot(model) - d.b[i]) / std::max(diag, 1e-9);
+}
+
+double QpSpec::RowLoss(const Dataset& d, Index i, const double* model) const {
+  // 0.5 x^T Q x - b^T x decomposes as sum_i x_i (0.5 q_i.x - b_i).
+  const SparseVectorView row = d.a.Row(i);
+  const double qx = row.Dot(model);
+  return model[i] * (0.5 * qx - d.b[i]);
+}
+
+void QpSpec::Project(double* model, Index dim) const {
+  for (Index j = 0; j < dim; ++j) model[j] = ClipSigned(model[j]);
+}
+
+}  // namespace dw::models

@@ -1,0 +1,69 @@
+// The graph-optimization models of the paper's network-analysis workloads:
+//
+//  LP -- the vertex-cover linear-program relaxation solved via the
+//  smoothed-penalty coordinate scheme of Sridhar et al. [48]:
+//      minimize  c^T x + beta * sum_e max(0, 1 - x_u - x_v)^2,  x in [0,1].
+//  Rows of A are edges (two nonzeros each). The column step is
+//  column-to-row (f_ctr): updating vertex j requires reading every
+//  incident edge row to find the opposite endpoint -- the same access
+//  pattern GraphLab uses. The row step is projected SGD over edges.
+//
+//  QP -- label propagation over the graph Laplacian:
+//      minimize 0.5 x^T Q x - b^T x,  Q = L + lambda I,  x in [-1, 1].
+//  Rows of A are the rows of Q. The column step is the exact box-
+//  constrained coordinate minimizer (Gauss-Seidel); the row step is a
+//  stochastic Jacobi update. Since Q is symmetric, column j equals row j
+//  and f_col reads no auxiliary state -- neighbor values come from the
+//  model itself.
+#pragma once
+
+#include "models/model_spec.h"
+
+namespace dw::models {
+
+/// Vertex-cover LP relaxation (paper's "LP" task).
+class LpSpec : public ModelSpec {
+ public:
+  /// `beta` is the penalty weight on violated edge constraints.
+  explicit LpSpec(double beta = 5.0) : beta_(beta) {}
+
+  std::string name() const override { return "LP"; }
+  bool HasCol() const override { return false; }
+  bool HasCtr() const override { return true; }
+
+  void RowStep(const StepContext& ctx, matrix::Index i, double* model,
+               double* aux) const override;
+  void CtrStep(const StepContext& ctx, matrix::Index j, double* model,
+               double* aux) const override;
+  void RowGradient(const StepContext& ctx, matrix::Index i,
+                   const double* model, double* grad) const override;
+  double RowLoss(const data::Dataset& d, matrix::Index i,
+                 const double* model) const override;
+  double GlobalLossTerm(const data::Dataset& d,
+                        const double* model) const override;
+  void Project(double* model, matrix::Index dim) const override;
+
+  double beta() const { return beta_; }
+
+ private:
+  double beta_;
+};
+
+/// Label-propagation QP (paper's "QP" task).
+class QpSpec : public ModelSpec {
+ public:
+  std::string name() const override { return "QP"; }
+  bool HasCol() const override { return true; }
+
+  void RowStep(const StepContext& ctx, matrix::Index i, double* model,
+               double* aux) const override;
+  void ColStep(const StepContext& ctx, matrix::Index j, double* model,
+               double* aux) const override;
+  void RowGradient(const StepContext& ctx, matrix::Index i,
+                   const double* model, double* grad) const override;
+  double RowLoss(const data::Dataset& d, matrix::Index i,
+                 const double* model) const override;
+  void Project(double* model, matrix::Index dim) const override;
+};
+
+}  // namespace dw::models

@@ -1,0 +1,30 @@
+#include "models/parallel_sum.h"
+
+namespace dw::models {
+
+void ParallelSumSpec::RowStep(const StepContext& ctx, matrix::Index i,
+                              double* model, double* /*aux*/) const {
+  const matrix::SparseVectorView row = ctx.dataset->a.Row(i);
+  double acc = 0.0;
+  for (size_t k = 0; k < row.nnz; ++k) acc += row.values[k];
+  model[0] += acc;
+}
+
+void ParallelSumSpec::RowGradient(const StepContext& ctx, matrix::Index i,
+                                  const double* /*model*/,
+                                  double* grad) const {
+  // A gradient step of size 1 adds the row total (sum = -"loss").
+  const matrix::SparseVectorView row = ctx.dataset->a.Row(i);
+  for (size_t k = 0; k < row.nnz; ++k) grad[0] -= row.values[k];
+}
+
+double ParallelSumSpec::RowLoss(const data::Dataset& d, matrix::Index i,
+                                const double* model) const {
+  (void)d;
+  (void)i;
+  // Not an optimization task; report the negative running sum so "lower is
+  // better" stays true for the engine's bookkeeping.
+  return -model[0];
+}
+
+}  // namespace dw::models

@@ -1,0 +1,36 @@
+// The "extremely simple task" of paper Sec. 4.2's throughput comparison
+// (Fig. 13): a parallel sum implemented exactly like the statistical
+// models (a trivial update function), whose replication strategy decides
+// whether workers invalidate each other's caches.
+#pragma once
+
+#include "models/model_spec.h"
+
+namespace dw::models {
+
+/// Model with a single cell that accumulates the sum of all row values.
+/// Replicas are *summed*, not averaged, when combined; the engine handles
+/// this through the kSum combine mode declared here.
+class ParallelSumSpec : public ModelSpec {
+ public:
+  std::string name() const override { return "ParallelSum"; }
+
+  matrix::Index ModelDim(const data::Dataset&) const override { return 1; }
+
+  void RowStep(const StepContext& ctx, matrix::Index i, double* model,
+               double* aux) const override;
+
+  void RowGradient(const StepContext& ctx, matrix::Index i,
+                   const double* model, double* grad) const override;
+
+  /// Sum is a dense single-cell write every step: the worst case for a
+  /// machine-shared replica.
+  UpdateSparsity RowWriteSparsity() const override {
+    return UpdateSparsity::kDense;
+  }
+
+  double RowLoss(const data::Dataset& d, matrix::Index i,
+                 const double* model) const override;
+};
+
+}  // namespace dw::models

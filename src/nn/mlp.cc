@@ -1,0 +1,186 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dw::nn {
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
+  DW_CHECK_GE(config_.layer_sizes.size(), 2u);
+  const int layers = num_layers();
+  weight_offset_.resize(layers - 1);
+  bias_offset_.resize(layers - 1);
+  size_t off = 0;
+  for (int l = 0; l + 1 < layers; ++l) {
+    weight_offset_[l] = off;
+    off += static_cast<size_t>(config_.layer_sizes[l]) *
+           config_.layer_sizes[l + 1];
+    bias_offset_[l] = off;
+    off += config_.layer_sizes[l + 1];
+  }
+  num_params_ = off;
+  neurons_per_example_ = 0;
+  for (int width : config_.layer_sizes) neurons_per_example_ += width;
+}
+
+void Mlp::InitParams(double* params, uint64_t seed) const {
+  Rng rng(seed);
+  for (int l = 0; l + 1 < num_layers(); ++l) {
+    const int fan_in = config_.layer_sizes[l];
+    const int fan_out = config_.layer_sizes[l + 1];
+    const double scale = std::sqrt(2.0 / (fan_in + fan_out));
+    double* w = params + weight_offset_[l];
+    for (int k = 0; k < fan_in * fan_out; ++k) {
+      w[k] = rng.Gaussian(0.0, scale);
+    }
+    double* b = params + bias_offset_[l];
+    for (int k = 0; k < fan_out; ++k) b[k] = 0.0;
+  }
+}
+
+MlpScratch Mlp::MakeScratch() const {
+  MlpScratch s;
+  s.act.resize(num_layers());
+  s.delta.resize(num_layers());
+  for (int l = 0; l < num_layers(); ++l) {
+    s.act[l].assign(config_.layer_sizes[l], 0.0);
+    s.delta[l].assign(config_.layer_sizes[l], 0.0);
+  }
+  return s;
+}
+
+double Mlp::Forward(const double* params, const double* input, int label,
+                    MlpScratch* scratch) const {
+  const int layers = num_layers();
+  std::copy(input, input + config_.layer_sizes[0], scratch->act[0].begin());
+  for (int l = 0; l + 1 < layers; ++l) {
+    const int in = config_.layer_sizes[l];
+    const int out = config_.layer_sizes[l + 1];
+    const double* w = params + weight_offset_[l];
+    const double* b = params + bias_offset_[l];
+    const double* x = scratch->act[l].data();
+    double* y = scratch->act[l + 1].data();
+    for (int j = 0; j < out; ++j) {
+      double acc = b[j];
+      const double* wj = w + static_cast<size_t>(j) * in;
+      for (int i = 0; i < in; ++i) acc += wj[i] * x[i];
+      // ReLU on hidden layers, identity (logits) on the last.
+      y[j] = (l + 2 < layers) ? std::max(0.0, acc) : acc;
+    }
+  }
+  // Softmax cross-entropy on the logits.
+  const int out = config_.layer_sizes[layers - 1];
+  DW_CHECK_LT(label, out);
+  double* logits = scratch->act[layers - 1].data();
+  double maxv = logits[0];
+  for (int j = 1; j < out; ++j) maxv = std::max(maxv, logits[j]);
+  double z = 0.0;
+  for (int j = 0; j < out; ++j) z += std::exp(logits[j] - maxv);
+  return -(logits[label] - maxv - std::log(z));
+}
+
+void Mlp::TrainExample(double* params, const double* input, int label,
+                       double learning_rate, MlpScratch* scratch) const {
+  (void)Forward(params, input, label, scratch);
+  const int layers = num_layers();
+  const int out = config_.layer_sizes[layers - 1];
+
+  // Output delta: softmax - onehot.
+  {
+    double* logits = scratch->act[layers - 1].data();
+    double maxv = logits[0];
+    for (int j = 1; j < out; ++j) maxv = std::max(maxv, logits[j]);
+    double z = 0.0;
+    for (int j = 0; j < out; ++j) z += std::exp(logits[j] - maxv);
+    double* d = scratch->delta[layers - 1].data();
+    for (int j = 0; j < out; ++j) {
+      d[j] = std::exp(logits[j] - maxv) / z - (j == label ? 1.0 : 0.0);
+    }
+  }
+
+  // Backward + in-place SGD (Hogwild-friendly plain writes).
+  for (int l = layers - 2; l >= 0; --l) {
+    const int in = config_.layer_sizes[l];
+    const int on = config_.layer_sizes[l + 1];
+    double* w = params + weight_offset_[l];
+    double* b = params + bias_offset_[l];
+    const double* x = scratch->act[l].data();
+    const double* dout = scratch->delta[l + 1].data();
+    double* din = scratch->delta[l].data();
+    if (l > 0) std::fill(din, din + in, 0.0);
+    for (int j = 0; j < on; ++j) {
+      const double dj = dout[j];
+      if (dj == 0.0) continue;
+      double* wj = w + static_cast<size_t>(j) * in;
+      if (l > 0) {
+        for (int i = 0; i < in; ++i) {
+          din[i] += wj[i] * dj;
+          wj[i] -= learning_rate * dj * x[i];
+        }
+      } else {
+        for (int i = 0; i < in; ++i) wj[i] -= learning_rate * dj * x[i];
+      }
+      b[j] -= learning_rate * dj;
+    }
+    if (l > 0) {
+      // ReLU derivative.
+      for (int i = 0; i < in; ++i) {
+        if (x[i] <= 0.0) din[i] = 0.0;
+      }
+    }
+  }
+}
+
+double Mlp::MeanLoss(const double* params, const std::vector<double>& inputs,
+                     const std::vector<int>& labels, int input_dim,
+                     MlpScratch* scratch) const {
+  const size_t n = labels.size();
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t e = 0; e < n; ++e) {
+    acc += Forward(params, inputs.data() + e * input_dim,
+                   labels[e], scratch);
+  }
+  return acc / static_cast<double>(n);
+}
+
+DigitData MakeMnistLike(int n, uint64_t seed) {
+  Rng rng(seed);
+  DigitData d;
+  d.images.reserve(static_cast<size_t>(n) * d.input_dim);
+  d.labels.reserve(n);
+
+  // Ten class templates: blurred random strokes, fixed per class.
+  std::vector<std::vector<double>> templates(10,
+                                             std::vector<double>(784, 0.0));
+  for (int c = 0; c < 10; ++c) {
+    Rng troll(seed * 131 + c);
+    // A few random "strokes" (line segments on the 28x28 grid).
+    for (int s = 0; s < 6; ++s) {
+      int r = static_cast<int>(troll.Below(28));
+      int col = static_cast<int>(troll.Below(28));
+      const int dr = static_cast<int>(troll.Below(3)) - 1;
+      const int dc = static_cast<int>(troll.Below(3)) - 1;
+      for (int t = 0; t < 10; ++t) {
+        if (r >= 0 && r < 28 && col >= 0 && col < 28) {
+          templates[c][r * 28 + col] = 1.0;
+        }
+        r += dr;
+        col += dc;
+      }
+    }
+  }
+  for (int e = 0; e < n; ++e) {
+    const int label = static_cast<int>(rng.Below(10));
+    d.labels.push_back(label);
+    for (int p = 0; p < 784; ++p) {
+      const double v = templates[label][p] + rng.Gaussian(0.0, 0.15);
+      d.images.push_back(std::clamp(v, 0.0, 1.0));
+    }
+  }
+  return d;
+}
+
+}  // namespace dw::nn

@@ -1,0 +1,168 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+#include <thread>
+
+#include "util/aligned.h"
+#include "util/barrier.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_util.h"
+#include "util/timer.h"
+
+namespace dw::nn {
+
+NnTrainResult TrainParallel(const Mlp& mlp, const DigitData& data,
+                            const NnTrainOptions& options) {
+  const numa::Topology& topo = options.topology;
+  const int wpn = options.workers_per_node > 0 ? options.workers_per_node
+                                               : topo.cores_per_node;
+  const int nodes = topo.num_nodes;
+  const int num_workers = wpn * nodes;
+  const int n = data.num_examples();
+  DW_CHECK_GT(n, 0);
+
+  const bool per_node = options.strategy == NnStrategy::kDimmWitted;
+  const int num_replicas = per_node ? nodes : 1;
+
+  // Parameter replicas (cache-line aligned; Hogwild-style plain writes).
+  std::vector<AlignedArray<double>> replicas;
+  replicas.reserve(num_replicas);
+  for (int r = 0; r < num_replicas; ++r) {
+    replicas.emplace_back(mlp.num_params());
+    mlp.InitParams(replicas[r].data(), options.seed);
+  }
+
+  // Work assignment. Classic/Sharding: each worker owns n/num_workers
+  // examples. DimmWitted/FullReplication: each node sweeps all examples,
+  // split among its workers.
+  std::vector<std::vector<int>> work(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    if (per_node) {
+      const int slot = w % wpn;
+      for (int e = slot; e < n; e += wpn) work[w].push_back(e);
+    } else {
+      for (int e = w; e < n; e += num_workers) work[w].push_back(e);
+    }
+  }
+
+  std::vector<Rng> rngs;
+  uint64_t sm = options.seed + 17;
+  for (int w = 0; w < num_workers; ++w) rngs.emplace_back(SplitMix64(sm));
+
+  // Eval subset.
+  const int eval_n = options.eval_examples > 0
+                         ? std::min(options.eval_examples, n)
+                         : n;
+  std::vector<double> eval_inputs(
+      data.images.begin(),
+      data.images.begin() + static_cast<size_t>(eval_n) * data.input_dim);
+  std::vector<int> eval_labels(data.labels.begin(),
+                               data.labels.begin() + eval_n);
+
+  NnTrainResult result;
+  SpinBarrier epoch_start(num_workers + 1);
+  SpinBarrier epoch_end(num_workers + 1);
+  std::atomic<bool> quit{false};
+  std::atomic<double> lr{options.learning_rate};
+
+  std::vector<std::thread> pool;
+  pool.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    pool.emplace_back([&, w] {
+      const int node = w / wpn;
+      if (options.pin_threads) {
+        const int core =
+            node * topo.cores_per_node + (w % wpn) % topo.cores_per_node;
+        (void)PinCurrentThreadToCpu(
+            topo.PhysicalCpuOfCore(core, NumOnlineCpus()));
+      }
+      MlpScratch scratch = mlp.MakeScratch();
+      double* params = per_node ? replicas[node].data() : replicas[0].data();
+      for (;;) {
+        epoch_start.Wait();
+        if (quit.load(std::memory_order_acquire)) break;
+        rngs[w].Shuffle(work[w]);
+        const double step = lr.load(std::memory_order_relaxed);
+        for (int e : work[w]) {
+          mlp.TrainExample(params,
+                           data.images.data() +
+                               static_cast<size_t>(e) * data.input_dim,
+                           data.labels[e], step, &scratch);
+        }
+        epoch_end.Wait();
+      }
+    });
+  }
+
+  MlpScratch eval_scratch = mlp.MakeScratch();
+  WallTimer total_timer;
+  double work_sec = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    lr.store(options.learning_rate * std::pow(options.lr_decay, epoch));
+    WallTimer epoch_timer;
+    epoch_start.Wait();
+    epoch_end.Wait();
+    work_sec += epoch_timer.Seconds();
+
+    // Epoch-boundary averaging for PerNode replicas.
+    if (per_node && num_replicas > 1) {
+      for (size_t k = 0; k < mlp.num_params(); ++k) {
+        double acc = 0.0;
+        for (int r = 0; r < num_replicas; ++r) acc += replicas[r][k];
+        const double avg = acc / num_replicas;
+        for (int r = 0; r < num_replicas; ++r) replicas[r][k] = avg;
+      }
+    }
+    result.loss_per_epoch.push_back(
+        mlp.MeanLoss(replicas[0].data(), eval_inputs, eval_labels,
+                     data.input_dim, &eval_scratch));
+  }
+  quit.store(true);
+  epoch_start.Wait();
+  for (auto& t : pool) t.join();
+
+  result.wall_sec = work_sec;
+  const uint64_t per_epoch_examples =
+      per_node ? static_cast<uint64_t>(n) * nodes : static_cast<uint64_t>(n);
+  result.examples_processed =
+      per_epoch_examples * static_cast<uint64_t>(options.epochs);
+  result.neurons_processed =
+      result.examples_processed * mlp.neurons_per_example();
+
+  // Simulated time: every example touches all parameters (dense update).
+  numa::SimulationInput sim(nodes);
+  const uint64_t param_bytes = mlp.num_params() * sizeof(double);
+  for (int w = 0; w < num_workers; ++w) {
+    const int node = w / wpn;
+    numa::AccessCounters c;
+    const uint64_t ex = static_cast<uint64_t>(work[w].size()) *
+                        static_cast<uint64_t>(options.epochs);
+    const uint64_t input_bytes =
+        ex * static_cast<uint64_t>(data.input_dim) * sizeof(double);
+    c.local_read_bytes = input_bytes;
+    const uint64_t model_traffic = ex * param_bytes;
+    if (per_node || nodes == 1) {
+      c.model_read_bytes = model_traffic;
+      c.local_write_bytes = model_traffic;
+    } else {
+      // Shared buffer: reads cross sockets pro rata; writes are shared.
+      const double remote_frac = static_cast<double>(nodes - 1) / nodes;
+      c.remote_read_bytes =
+          static_cast<uint64_t>(model_traffic * remote_frac * 0.25);
+      c.model_read_bytes = model_traffic - c.remote_read_bytes;
+      c.shared_write_bytes = model_traffic;
+    }
+    c.flops = 2 * model_traffic / sizeof(double);
+    c.updates = ex;
+    sim.traffic.Add(node, c);
+    ++sim.active_workers[node];
+  }
+  sim.model_sharing_sockets = (per_node || nodes == 1) ? 1 : nodes;
+  sim.model_bytes = param_bytes;
+  result.sim_sec = numa::MemoryModel(topo).SimulateEpoch(sim).total_sec;
+  (void)total_timer;
+  return result;
+}
+
+}  // namespace dw::nn

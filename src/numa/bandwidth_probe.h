@@ -1,0 +1,30 @@
+// STREAM-style bandwidth probe (paper Fig. 3 measures machines with
+// STREAM [9]). Measures *real* host bandwidth; used to report the host row
+// in bench_fig03_machines and to sanity-check the cost-model constants.
+#pragma once
+
+#include <cstddef>
+
+namespace dw::numa {
+
+/// Result of one probe run.
+struct BandwidthResult {
+  double copy_gbps = 0.0;   ///< b[i] = a[i]
+  double scale_gbps = 0.0;  ///< b[i] = q*a[i]
+  double add_gbps = 0.0;    ///< c[i] = a[i]+b[i]
+  double triad_gbps = 0.0;  ///< c[i] = a[i]+q*b[i]
+};
+
+/// Runs the four STREAM kernels with `threads` workers over arrays of
+/// `array_doubles` doubles each, repeated `iters` times; returns the best
+/// observed bandwidth (STREAM convention).
+BandwidthResult MeasureBandwidth(int threads, size_t array_doubles = 1 << 22,
+                                 int iters = 3);
+
+/// Measures the ratio of contended-write cost to streaming-read cost on the
+/// host: `threads` workers hammer a single shared cacheline (writes) vs.
+/// privately scan an array (reads). This is the empirical basis for the
+/// paper's alpha parameter on real hardware.
+double MeasureWriteReadCostRatio(int threads, int iters = 3);
+
+}  // namespace dw::numa

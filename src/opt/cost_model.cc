@@ -1,0 +1,74 @@
+#include "opt/cost_model.h"
+
+#include <algorithm>
+
+#include "numa/bandwidth_probe.h"
+
+namespace dw::opt {
+
+using engine::AccessMethod;
+using matrix::MatrixStats;
+
+AccessCost EstimateAccessCost(const MatrixStats& stats, AccessMethod method,
+                              models::UpdateSparsity row_write_sparsity,
+                              bool col_maintains_aux) {
+  AccessCost c;
+  c.method = method;
+  switch (method) {
+    case AccessMethod::kRowWise:
+      c.reads = static_cast<double>(stats.sum_ni);
+      c.writes = row_write_sparsity == models::UpdateSparsity::kDense
+                     ? static_cast<double>(stats.cols) * stats.rows
+                     : static_cast<double>(stats.sum_ni);
+      break;
+    case AccessMethod::kColWise:
+      c.reads = static_cast<double>(stats.sum_ni) *
+                (col_maintains_aux ? 2.0 : 1.0);
+      c.writes = static_cast<double>(stats.cols) +
+                 (col_maintains_aux ? static_cast<double>(stats.sum_ni) : 0.0);
+      break;
+    case AccessMethod::kColToRow:
+      c.reads = static_cast<double>(stats.sum_ni_sq);
+      c.writes = static_cast<double>(stats.cols);
+      break;
+  }
+  return c;
+}
+
+double CostRatio(const MatrixStats& stats, double alpha) {
+  return stats.CostRatio(alpha);
+}
+
+AccessMethod ChooseAccessMethod(const MatrixStats& stats,
+                                const models::ModelSpec& spec, double alpha) {
+  double best_cost = 0.0;
+  AccessMethod best = AccessMethod::kRowWise;
+  bool have = false;
+  auto consider = [&](AccessMethod m) {
+    const AccessCost c = EstimateAccessCost(
+        stats, m, spec.RowWriteSparsity(), spec.ColumnStepMaintainsAux());
+    if (!have || c.Total(alpha) < best_cost) {
+      best_cost = c.Total(alpha);
+      best = m;
+      have = true;
+    }
+  };
+  if (spec.HasRow()) consider(AccessMethod::kRowWise);
+  if (spec.HasCol()) consider(AccessMethod::kColWise);
+  if (spec.HasCtr()) consider(AccessMethod::kColToRow);
+  return best;
+}
+
+double AlphaForTopology(const numa::Topology& topo) {
+  if (topo.alpha > 0.0) return topo.alpha;
+  // Paper Sec. 3.2: ~4 on 2 sockets, ~12 on 8; linear in socket count.
+  const double sockets = std::max(1, topo.num_nodes);
+  return std::clamp(4.0 + (sockets - 2.0) * (8.0 / 6.0), 1.0, 16.0);
+}
+
+double MeasureAlphaOnHost(int threads) {
+  const double ratio = numa::MeasureWriteReadCostRatio(threads);
+  return std::clamp(ratio, 1.0, 100.0);
+}
+
+}  // namespace dw::opt

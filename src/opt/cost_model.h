@@ -1,0 +1,54 @@
+// The cost-based optimizer's per-epoch I/O model (paper Sec. 3.2, Fig. 6):
+//
+//                 reads          writes (dense)   writes (sparse)
+//   row-wise      sum_i n_i      d * N            sum_i n_i
+//   column-wise   sum_i n_i      d                d
+//   column-to-row sum_i n_i^2    d                d
+//
+// Costs combine linearly with the write/read cost factor alpha, which is
+// estimated at installation time by a microbenchmark (alpha in [4, 12],
+// growing with the number of sockets).
+#pragma once
+
+#include "engine/options.h"
+#include "matrix/matrix_stats.h"
+#include "models/model_spec.h"
+
+namespace dw::opt {
+
+/// Per-epoch read/write unit counts for one access method.
+struct AccessCost {
+  engine::AccessMethod method = engine::AccessMethod::kRowWise;
+  double reads = 0.0;   ///< elements read per epoch
+  double writes = 0.0;  ///< elements written per epoch
+  /// Combined cost: reads + alpha * writes.
+  double Total(double alpha) const { return reads + alpha * writes; }
+};
+
+/// Fills the Fig. 6 table row for the given method. `col_maintains_aux`
+/// charges the column method for the margin/residual vector that GLM SCD
+/// maintains: each column step additionally reads and writes the aux
+/// entries of S(j), adding sum n_i to both sides.
+AccessCost EstimateAccessCost(const matrix::MatrixStats& stats,
+                              engine::AccessMethod method,
+                              models::UpdateSparsity row_write_sparsity,
+                              bool col_maintains_aux = false);
+
+/// The Fig. 7(b) x-axis: cost(row) / cost(column-to-row) =
+/// (1 + alpha) sum n_i / (sum n_i^2 + alpha d). > 1 favors columns.
+double CostRatio(const matrix::MatrixStats& stats, double alpha);
+
+/// Chooses the cheapest access method among those the spec implements.
+engine::AccessMethod ChooseAccessMethod(const matrix::MatrixStats& stats,
+                                        const models::ModelSpec& spec,
+                                        double alpha);
+
+/// Estimates alpha for a topology (paper values: ~4 at 2 sockets growing
+/// to ~12 at 8; interpolated linearly in the socket count).
+double AlphaForTopology(const numa::Topology& topo);
+
+/// Measures alpha on the actual host via the write/read microbenchmark
+/// (the "simple benchmark dataset" of Sec. 3.2), clamped to [1, 100].
+double MeasureAlphaOnHost(int threads);
+
+}  // namespace dw::opt

@@ -1,0 +1,64 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+
+namespace dw::opt {
+
+using engine::AccessMethod;
+using engine::DataReplication;
+using engine::ModelReplication;
+
+PlanChoice ChoosePlan(const data::Dataset& dataset,
+                      const models::ModelSpec& spec,
+                      const numa::Topology& topo) {
+  PlanChoice choice;
+  choice.alpha_used = AlphaForTopology(topo);
+  const matrix::MatrixStats stats = dataset.Stats();
+
+  // Access method from the Fig. 6 cost model.
+  choice.access = ChooseAccessMethod(stats, spec, choice.alpha_used);
+  choice.row_cost =
+      EstimateAccessCost(stats, AccessMethod::kRowWise,
+                         spec.RowWriteSparsity())
+          .Total(choice.alpha_used);
+  const AccessMethod col_method =
+      spec.HasCtr() ? AccessMethod::kColToRow : AccessMethod::kColWise;
+  if (spec.HasCol() || spec.HasCtr()) {
+    choice.col_cost =
+        EstimateAccessCost(stats, col_method, spec.RowWriteSparsity(),
+                           spec.ColumnStepMaintainsAux())
+            .Total(choice.alpha_used);
+  }
+
+  // Model replication rule of thumb (Sec. 3.3): SGD (row-wise, dense-ish
+  // updates) wants PerNode; SCD (column access, single-coordinate writes)
+  // wants PerMachine.
+  choice.model_rep = choice.access == AccessMethod::kRowWise
+                         ? ModelReplication::kPerNode
+                         : ModelReplication::kPerMachine;
+
+  // Data replication (Sec. 3.4): FullReplication if a copy per node fits
+  // comfortably in the node's RAM budget.
+  const double copy_gb =
+      static_cast<double>(dataset.SparseBytes()) / (1024.0 * 1024.0 * 1024.0);
+  const bool fits = copy_gb <= 0.5 * topo.ram_per_node_gb;
+  choice.data_rep =
+      fits ? DataReplication::kFullReplication : DataReplication::kSharding;
+
+  choice.rationale =
+      std::string(ToString(choice.access)) + " (cost " +
+      std::to_string(static_cast<long long>(choice.row_cost)) + " row vs " +
+      std::to_string(static_cast<long long>(choice.col_cost)) + " col), " +
+      ToString(choice.model_rep) + " (rule of thumb), " +
+      ToString(choice.data_rep) +
+      (fits ? " (copy fits per-node RAM)" : " (dataset too large)");
+  return choice;
+}
+
+void ApplyChoice(const PlanChoice& choice, engine::EngineOptions* options) {
+  options->access = choice.access;
+  options->model_rep = choice.model_rep;
+  options->data_rep = choice.data_rep;
+}
+
+}  // namespace dw::opt

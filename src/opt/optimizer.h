@@ -1,0 +1,40 @@
+// The plan optimizer: combines the Fig. 6 cost model with the paper's
+// replication rules of thumb to pick a point in the tradeoff space
+// (reproducing the Fig. 14 plan table):
+//   - access method: cheapest per the cost model;
+//   - model replication: PerNode for SGD-style (row-wise) plans,
+//     PerMachine for SCD-style (column) plans (Sec. 3.3 rule of thumb);
+//   - data replication: FullReplication whenever the replicas fit in the
+//     per-node RAM budget ("if there is available memory, FullReplication
+//     seems preferable", Sec. 3.4), else Sharding.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+#include "engine/options.h"
+#include "models/model_spec.h"
+#include "opt/cost_model.h"
+
+namespace dw::opt {
+
+/// The optimizer's decision plus its reasoning (for Fig. 14-style output).
+struct PlanChoice {
+  engine::AccessMethod access = engine::AccessMethod::kRowWise;
+  engine::ModelReplication model_rep = engine::ModelReplication::kPerNode;
+  engine::DataReplication data_rep = engine::DataReplication::kSharding;
+  double alpha_used = 4.0;
+  double row_cost = 0.0;   ///< cost-model totals (elements)
+  double col_cost = 0.0;   ///< for whichever column method the spec has
+  std::string rationale;
+};
+
+/// Chooses a plan for (dataset, spec) on `topo`.
+PlanChoice ChoosePlan(const data::Dataset& dataset,
+                      const models::ModelSpec& spec,
+                      const numa::Topology& topo);
+
+/// Applies a PlanChoice onto EngineOptions (keeps other knobs untouched).
+void ApplyChoice(const PlanChoice& choice, engine::EngineOptions* options);
+
+}  // namespace dw::opt

@@ -1,0 +1,90 @@
+// Minimal leveled logger plus CHECK macros. Logging goes to stderr; the
+// level can be raised at runtime so benchmarks stay quiet by default.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dw {
+
+/// Severity levels in increasing order of importance.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level that is actually emitted (default: kWarning,
+/// so library users are not spammed unless they opt in).
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum emitted level.
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink that writes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  /// Accumulates message text.
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process in its destructor (used by DW_CHECK).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  /// Accumulates message text.
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dw
+
+#define DW_LOG(level)                                                     \
+  if (::dw::LogLevel::k##level < ::dw::GetLogLevel()) {                   \
+  } else                                                                  \
+    ::dw::internal::LogMessage(::dw::LogLevel::k##level, __FILE__,        \
+                               __LINE__)                                  \
+        .stream()
+
+/// Aborts with a diagnostic if `cond` does not hold. Enabled in all builds:
+/// invariant violations in a storage engine must never be silent.
+#define DW_CHECK(cond)                                              \
+  if (cond) {                                                       \
+  } else                                                            \
+    ::dw::internal::FatalLogMessage(__FILE__, __LINE__).stream()    \
+        << "Check failed: " #cond " "
+
+#define DW_CHECK_OP(op, a, b) DW_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define DW_CHECK_EQ(a, b) DW_CHECK_OP(==, a, b)
+#define DW_CHECK_NE(a, b) DW_CHECK_OP(!=, a, b)
+#define DW_CHECK_LT(a, b) DW_CHECK_OP(<, a, b)
+#define DW_CHECK_LE(a, b) DW_CHECK_OP(<=, a, b)
+#define DW_CHECK_GT(a, b) DW_CHECK_OP(>, a, b)
+#define DW_CHECK_GE(a, b) DW_CHECK_OP(>=, a, b)
+
+/// Propagates a non-OK Status from the current function.
+#define DW_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::dw::Status _dw_status = (expr);             \
+    if (!_dw_status.ok()) return _dw_status;      \
+  } while (0)

@@ -1,0 +1,46 @@
+#include "util/rng.h"
+
+namespace dw {
+
+namespace {
+
+// Generalized harmonic-ish helper used by the rejection sampler:
+// integral form of sum 1/k^s.
+double H(double x, double s) {
+  if (s == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+}
+
+double HInv(double x, double s) {
+  if (s == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s), 1.0 / (1.0 - s));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  DW_CHECK_GT(n, 0u);
+  DW_CHECK_GT(s, 0.0);
+  h_x1_ = H(1.5, s) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5, s);
+  inv_s_ = 1.0 / (1.0 - s);
+  (void)inv_s_;
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  // Rejection-inversion sampling (Hormann & Derflinger). Expected < 1.1
+  // iterations per draw for s in (0.5, 2].
+  for (;;) {
+    const double u = h_x1_ + rng.Uniform() * (h_n_ - h_x1_);
+    const double x = HInv(u, s_);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (u >= H(kd + 0.5, s_) - std::pow(kd, -s_)) {
+      return k - 1;  // zero-based
+    }
+  }
+}
+
+}  // namespace dw

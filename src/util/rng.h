@@ -1,0 +1,143 @@
+// Fast deterministic random number generation. Every stochastic component
+// in DimmWitted takes an explicit seed so experiments are reproducible; the
+// engine derives per-worker streams with SplitMix64 so workers never share
+// generator state (no false sharing, no locks).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dw {
+
+/// Stateless mixer used to derive independent seeds from a master seed.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator: fast, high quality, 2^256 period. One instance
+/// per worker thread; never shared.
+class Rng {
+ public:
+  /// Seeds the generator; two Rng(seed) instances produce identical streams.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Reseed(seed); }
+
+  /// Re-initializes the stream from `seed`.
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  /// Next raw 64-bit draw.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double Uniform() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Below(uint64_t n) {
+    DW_CHECK_GT(n, 0u);
+    // Lemire's nearly-divisionless bounded sampling.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = -n % n;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (cached second draw).
+  double Gaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = Uniform();
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586 * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Exponential with rate lambda.
+  double Exponential(double lambda) {
+    double u = 0.0;
+    while (u == 0.0) u = Uniform();
+    return -std::log(u) / lambda;
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4] = {};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+/// Draws from a Zipf(s) distribution over {0, ..., n-1} using rejection
+/// sampling (Jain & Chlamtac style inverse method). Used by the synthetic
+/// text-corpus generators to reproduce power-law feature popularity.
+class ZipfSampler {
+ public:
+  /// n: support size; s: exponent (s > 0; s around 1 for text corpora).
+  ZipfSampler(uint64_t n, double s);
+
+  /// Next index in [0, n), smaller indexes more probable.
+  uint64_t Sample(Rng& rng) const;
+
+  /// Support size.
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  double h_x1_;       // H(1.5) - 1
+  double h_n_;        // H(n + 0.5)
+  double inv_s_;      // 1/(1 - s) when s != 1
+};
+
+}  // namespace dw

@@ -1,0 +1,33 @@
+// Small numeric summaries used by benchmarks and the cost-model calibration.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace dw {
+
+/// Summary statistics of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes count/mean/stddev/min/max/median of `xs` (empty -> all zeros).
+Summary Summarize(std::vector<double> xs);
+
+/// Population mean of `xs`, 0 if empty.
+double Mean(const std::vector<double>& xs);
+
+/// Relative error |a - b| / max(|b|, eps).
+inline double RelativeError(double a, double b, double eps = 1e-12) {
+  const double denom = std::max(std::abs(b), eps);
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace dw

@@ -1,0 +1,105 @@
+// RocksDB-style status object used for error handling on all public APIs.
+// DimmWitted does not throw exceptions on hot paths; fallible operations
+// return a Status (or StatusOr<T>) instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace dw {
+
+/// Result of a fallible operation. Cheap to copy for the OK case.
+class Status {
+ public:
+  /// Machine-readable error category.
+  enum class Code : uint8_t {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kOutOfRange = 3,
+    kFailedPrecondition = 4,
+    kUnimplemented = 5,
+    kInternal = 6,
+    kResourceExhausted = 7,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an error carrying Code::kInvalidArgument.
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  /// Returns an error carrying Code::kNotFound.
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  /// Returns an error carrying Code::kOutOfRange.
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  /// Returns an error carrying Code::kFailedPrecondition.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns an error carrying Code::kUnimplemented.
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+  /// Returns an error carrying Code::kInternal.
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  /// Returns an error carrying Code::kResourceExhausted.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+  /// Error category; Code::kOk iff ok().
+  Code code() const { return code_; }
+  /// Human-readable error detail; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// absl::StatusOr but dependency-free.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit to allow `return value;`).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Constructs from an error status; `s.ok()` must be false.
+  StatusOr(Status s) : status_(std::move(s)) {}
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+  /// The status; OK iff a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires ok().
+  const T& value() const& { return value_; }
+  /// The held value. Requires ok().
+  T& value() & { return value_; }
+  /// Moves the held value out. Requires ok().
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace dw

@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dw {
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+    return out;
+  };
+
+  std::string sep = "+";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out;
+  if (!title_.empty()) out += "\n== " + title_ + " ==\n";
+  out += sep;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += sep;
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string Table::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::TimeOr(double seconds, double timeout_s, int digits) {
+  if (seconds >= timeout_s) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "> %.1f", timeout_s);
+    return buf;
+  }
+  return Num(seconds, digits);
+}
+
+}  // namespace dw

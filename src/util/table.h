@@ -1,0 +1,43 @@
+// Console table printer. Every bench binary prints the paper's tables and
+// figure series through this so the output is uniform and diffable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dw {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+
+  /// Appends a data row (cells already formatted).
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Prints the table to stdout.
+  void Print() const { std::fputs(ToString().c_str(), stdout); }
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string Num(double v, int digits = 3);
+
+  /// Formats a value as the paper formats timeouts: "> limit" markers.
+  static std::string TimeOr(double seconds, double timeout_s, int digits = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dw

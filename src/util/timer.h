@@ -1,0 +1,35 @@
+// Wall-clock timing utilities used by the engine's per-epoch metrics and by
+// every benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dw {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  int64_t Micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dw

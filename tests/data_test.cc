@@ -1,0 +1,313 @@
+// Tests for src/data: generator shapes match the paper's Figure 10
+// surrogates, transforms preserve invariants, leverage scores behave.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "data/graphs.h"
+#include "matrix/csc_matrix.h"
+#include "data/leverage.h"
+#include "data/paper_datasets.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+
+namespace dw::data {
+namespace {
+
+using matrix::Index;
+
+TEST(SyntheticTest, SparseCorpusShape) {
+  SparseCorpusParams p;
+  p.rows = 500;
+  p.cols = 300;
+  p.avg_nnz_per_row = 12.0;
+  p.seed = 7;
+  const auto m = MakeSparseCorpus(p);
+  EXPECT_EQ(m.rows(), 500u);
+  EXPECT_EQ(m.cols(), 300u);
+  const auto stats = matrix::ComputeStats(m);
+  EXPECT_NEAR(stats.avg_row_nnz, 12.0, 4.0);
+  // Every row non-empty; column ids strictly increasing within a row.
+  for (Index i = 0; i < m.rows(); ++i) {
+    ASSERT_GE(m.RowNnz(i), 1u);
+    const auto row = m.Row(i);
+    for (size_t k = 1; k < row.nnz; ++k) {
+      EXPECT_LT(row.indices[k - 1], row.indices[k]);
+    }
+  }
+}
+
+TEST(SyntheticTest, SparseCorpusIsDeterministicBySeed) {
+  SparseCorpusParams p;
+  p.rows = 100;
+  p.cols = 80;
+  p.seed = 5;
+  const auto a = MakeSparseCorpus(p);
+  const auto b = MakeSparseCorpus(p);
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(SyntheticTest, ZipfSkewMakesHeadColumnsPopular) {
+  SparseCorpusParams p;
+  p.rows = 2000;
+  p.cols = 500;
+  p.avg_nnz_per_row = 10.0;
+  p.zipf_s = 1.2;
+  const auto m = MakeSparseCorpus(p);
+  const auto csc = matrix::CscMatrix::FromCsr(m);
+  // Column 0 (most popular under Zipf) should beat the median column.
+  std::vector<size_t> col_nnz(m.cols());
+  for (Index j = 0; j < m.cols(); ++j) col_nnz[j] = csc.ColNnz(j);
+  std::vector<size_t> sorted = col_nnz;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(col_nnz[0], sorted[sorted.size() / 2] * 3);
+}
+
+TEST(SyntheticTest, DenseTableIsFullyDense) {
+  DenseTableParams p;
+  p.rows = 100;
+  p.cols = 24;
+  const auto m = MakeDenseTable(p);
+  EXPECT_EQ(m.nnz(), 100 * 24);
+  for (Index i = 0; i < m.rows(); ++i) EXPECT_EQ(m.RowNnz(i), 24u);
+}
+
+TEST(SyntheticTest, ClassificationLabelsAreSigns) {
+  const auto m = MakeDenseTable({.rows = 200, .cols = 16, .seed = 3});
+  const auto y = PlantClassificationLabels(m, 16, 0.0, 4);
+  ASSERT_EQ(y.size(), 200u);
+  int pos = 0;
+  for (double v : y) {
+    EXPECT_TRUE(v == 1.0 || v == -1.0);
+    pos += v > 0;
+  }
+  // A planted linear separator should give a non-degenerate split.
+  EXPECT_GT(pos, 10);
+  EXPECT_LT(pos, 190);
+}
+
+TEST(SyntheticTest, RegressionTargetsCorrelateWithPlantedModel) {
+  const auto m = MakeDenseTable({.rows = 400, .cols = 8, .seed = 9});
+  const auto y0 = PlantRegressionTargets(m, 0.0, 10);
+  const auto y1 = PlantRegressionTargets(m, 0.0, 10);
+  EXPECT_EQ(y0, y1);  // deterministic
+  // Nonzero variance.
+  double mean = std::accumulate(y0.begin(), y0.end(), 0.0) / y0.size();
+  double var = 0.0;
+  for (double v : y0) var += (v - mean) * (v - mean);
+  EXPECT_GT(var, 1.0);
+}
+
+TEST(GraphTest, PowerLawGraphShape) {
+  const auto g = MakePowerLawGraph(1000, 5000, 1.2, 11);
+  EXPECT_EQ(g.num_vertices, 1000u);
+  EXPECT_EQ(g.edges.size(), 5000u);
+  for (const auto& [u, v] : g.edges) {
+    EXPECT_NE(u, v);
+    EXPECT_LT(u, 1000u);
+    EXPECT_LT(v, 1000u);
+  }
+}
+
+TEST(GraphTest, DegreeDistributionIsHeavyTailed) {
+  const auto g = MakePowerLawGraph(2000, 20000, 1.3, 13);
+  std::vector<int> degree(2000, 0);
+  for (const auto& [u, v] : g.edges) {
+    ++degree[u];
+    ++degree[v];
+  }
+  std::sort(degree.begin(), degree.end(), std::greater<>());
+  // Top vertex dominates the median vertex.
+  EXPECT_GT(degree[0], degree[1000] * 5);
+}
+
+TEST(GraphTest, VertexCoverLpShape) {
+  const auto g = MakePowerLawGraph(300, 1500, 1.2, 17);
+  const Dataset d = MakeVertexCoverLp(g, 18, "test-lp");
+  EXPECT_EQ(d.a.rows(), 1500u);   // rows are edges
+  EXPECT_EQ(d.a.cols(), 300u);    // cols are vertices
+  EXPECT_EQ(d.a.nnz(), 3000);     // two endpoints per edge
+  ASSERT_EQ(d.b.size(), 1500u);
+  for (double rhs : d.b) EXPECT_DOUBLE_EQ(rhs, 1.0);
+  ASSERT_EQ(d.c.size(), 300u);
+  for (double cost : d.c) EXPECT_GT(cost, 0.0);
+  for (Index e = 0; e < d.a.rows(); ++e) EXPECT_EQ(d.a.RowNnz(e), 2u);
+}
+
+TEST(GraphTest, LabelPropagationQpIsLaplacianPlusRidge) {
+  const auto g = MakePowerLawGraph(200, 800, 1.2, 21);
+  const double lambda = 1.0;
+  const Dataset d = MakeLabelPropagationQp(g, lambda, 0.3, 22, "test-qp");
+  EXPECT_EQ(d.a.rows(), 200u);
+  EXPECT_EQ(d.a.cols(), 200u);
+  // Row sums of a Laplacian are zero; ours adds lambda on the diagonal.
+  for (Index i = 0; i < d.a.rows(); ++i) {
+    const auto row = d.a.Row(i);
+    double sum = 0.0;
+    double diag = 0.0;
+    for (size_t k = 0; k < row.nnz; ++k) {
+      sum += row.values[k];
+      if (row.indices[k] == i) diag = row.values[k];
+    }
+    EXPECT_NEAR(sum, lambda, 1e-9);
+    EXPECT_GE(diag, lambda);  // degree + lambda
+  }
+  // b = lambda * y with y in {-1, 0, 1}.
+  for (Index i = 0; i < d.a.rows(); ++i) {
+    EXPECT_NEAR(d.b[i], lambda * d.c[i], 1e-12);
+    EXPECT_TRUE(d.c[i] == 0.0 || d.c[i] == 1.0 || d.c[i] == -1.0);
+  }
+}
+
+TEST(PaperDatasetsTest, ShapesFollowFigure10) {
+  const Dataset rcv1 = Rcv1(0.003);
+  EXPECT_GT(rcv1.a.rows(), rcv1.a.cols());  // underdetermined? no: N > d
+  EXPECT_TRUE(rcv1.sparse);
+  EXPECT_EQ(rcv1.b.size(), rcv1.a.rows());
+
+  const Dataset reuters = Reuters(0.25);
+  EXPECT_GT(reuters.a.cols(), reuters.a.rows());  // d > N
+
+  const Dataset music = Music(0.003);
+  EXPECT_EQ(music.a.cols(), 91u);
+  EXPECT_FALSE(music.sparse);
+  EXPECT_EQ(music.a.nnz(),
+            static_cast<int64_t>(music.a.rows()) * 91);
+
+  const Dataset forest = Forest(0.003);
+  EXPECT_EQ(forest.a.cols(), 54u);
+  for (double y : forest.b) EXPECT_TRUE(y == 1.0 || y == -1.0);
+
+  const Dataset lp = AmazonLp(0.003);
+  for (Index e = 0; e < lp.a.rows(); ++e) EXPECT_EQ(lp.a.RowNnz(e), 2u);
+
+  const Dataset qp = AmazonQp(0.003);
+  EXPECT_EQ(qp.a.rows(), qp.a.cols());
+}
+
+TEST(PaperDatasetsTest, ScaledCountHasFloor) {
+  EXPECT_EQ(ScaledCount(1e6, 1e-9, 500), 500u);
+  EXPECT_EQ(ScaledCount(1e6, 0.01, 500), 10000u);
+}
+
+TEST(PaperDatasetsTest, WithBinaryLabelsSplitsAtMedian) {
+  Dataset music = Music(0.003);
+  const Dataset bin = WithBinaryLabels(std::move(music));
+  int pos = 0;
+  for (double y : bin.b) {
+    EXPECT_TRUE(y == 1.0 || y == -1.0);
+    pos += y > 0;
+  }
+  const double frac = static_cast<double>(pos) / bin.b.size();
+  EXPECT_NEAR(frac, 0.5, 0.1);
+}
+
+TEST(TransformsTest, SubsampleElementsReducesNnz) {
+  const Dataset d = Rcv1(0.002);
+  const Dataset sub = SubsampleElements(d, 0.3, 5);
+  EXPECT_EQ(sub.a.rows(), d.a.rows());
+  EXPECT_EQ(sub.a.cols(), d.a.cols());
+  EXPECT_LT(sub.a.nnz(), d.a.nnz());
+  EXPECT_NEAR(static_cast<double>(sub.a.nnz()) / d.a.nnz(), 0.3, 0.1);
+  // No row lost all of its elements.
+  for (Index i = 0; i < sub.a.rows(); ++i) {
+    if (d.a.RowNnz(i) > 0) EXPECT_GE(sub.a.RowNnz(i), 1u);
+  }
+}
+
+TEST(TransformsTest, SubsampleRowsKeepsLabelsAligned) {
+  const Dataset d = Music(0.003);
+  const Dataset sub = SubsampleRows(d, 0.5, 6);
+  EXPECT_LT(sub.a.rows(), d.a.rows());
+  EXPECT_EQ(sub.b.size(), sub.a.rows());
+  EXPECT_EQ(sub.a.cols(), d.a.cols());
+  EXPECT_NEAR(static_cast<double>(sub.a.rows()) / d.a.rows(), 0.5, 0.1);
+}
+
+TEST(TransformsTest, NormalizeRowsGivesUnitNorms) {
+  const Dataset d = Rcv1(0.002);
+  const Dataset norm = NormalizeRows(d);
+  for (Index i = 0; i < norm.a.rows(); ++i) {
+    const double sq = norm.a.Row(i).SquaredNorm();
+    if (d.a.RowNnz(i) > 0) EXPECT_NEAR(sq, 1.0, 1e-9);
+  }
+}
+
+TEST(CholeskyTest, FactorsAndSolves) {
+  // SPD matrix [[4,2],[2,3]].
+  std::vector<double> a{4, 2, 2, 3};
+  ASSERT_TRUE(CholeskyFactor(a, 2));
+  // Solve A x = [8, 7] -> x = [1.25, 1.5].
+  const auto x = CholeskySolve(a, 2, {8, 7});
+  EXPECT_NEAR(x[0], 1.25, 1e-9);
+  EXPECT_NEAR(x[1], 1.5, 1e-9);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  std::vector<double> a{1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor(a, 2));
+}
+
+TEST(LeverageTest, UniformRowsGetUniformScores) {
+  // Identity-ish design: each row is a distinct basis vector; all scores
+  // must be equal.
+  std::vector<matrix::Triplet> trips;
+  for (Index i = 0; i < 8; ++i) trips.push_back({i, i % 4, 1.0});
+  auto m = matrix::CsrMatrix::FromTriplets(8, 4, trips);
+  ASSERT_TRUE(m.ok());
+  auto scores = LeverageScores(m.value());
+  ASSERT_TRUE(scores.ok());
+  for (double s : scores.value()) {
+    EXPECT_NEAR(s, scores.value()[0], 1e-9);
+  }
+}
+
+TEST(LeverageTest, OutlierRowGetsHighScore) {
+  // 50 near-identical rows plus one orthogonal outlier: the outlier's
+  // direction is rare, so its leverage must dominate.
+  std::vector<matrix::Triplet> trips;
+  for (Index i = 0; i < 50; ++i) trips.push_back({i, 0, 1.0});
+  trips.push_back({50, 1, 1.0});
+  auto m = matrix::CsrMatrix::FromTriplets(51, 2, trips);
+  ASSERT_TRUE(m.ok());
+  auto scores = LeverageScores(m.value(), 1e-9);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores.value()[50], scores.value()[0] * 10);
+}
+
+TEST(LeverageTest, SampleByScoreFavorsHighScores) {
+  std::vector<double> scores{0.01, 0.01, 10.0, 0.01};
+  const auto sample = SampleByScore(scores, 2000, 31);
+  ASSERT_EQ(sample.size(), 2000u);
+  int hits = 0;
+  for (Index i : sample) hits += (i == 2);
+  EXPECT_GT(hits, 1800);
+}
+
+TEST(LeverageTest, SampleCountRule) {
+  // m = 2 eps^-2 d log d.
+  const size_t m = ImportanceSampleCount(0.1, 91);
+  EXPECT_NEAR(static_cast<double>(m), 2.0 * 100 * 91 * std::log(91.0),
+              2.0 * 100 * 91 * 0.01);
+}
+
+TEST(LeverageTest, RejectsHugeD) {
+  auto m = matrix::CsrMatrix::FromTriplets(2, 10000, {{0, 9999, 1.0}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(LeverageScores(m.value()).ok());
+}
+
+TEST(DatasetTest, ByteAccounting) {
+  const Dataset d = Reuters(0.25);
+  EXPECT_EQ(d.SparseBytes(),
+            d.a.nnz() * 12 + static_cast<int64_t>(d.a.rows() + 1) * 8);
+  EXPECT_EQ(d.DenseBytes(),
+            static_cast<int64_t>(d.a.rows()) * d.a.cols() * 8);
+  // Fig. 10's point: sparse text is far smaller than dense.
+  EXPECT_LT(d.SparseBytes() * 10, d.DenseBytes());
+}
+
+}  // namespace
+}  // namespace dw::data

@@ -1,0 +1,227 @@
+// Edge-case and failure-injection tests across modules: degenerate
+// datasets, single-worker topologies, extreme options, and API misuse
+// that must fail cleanly rather than crash.
+#include <gtest/gtest.h>
+
+#include "data/paper_datasets.h"
+#include "data/synthetic.h"
+#include "engine/engine.h"
+#include "factor/gibbs.h"
+#include "models/glm.h"
+#include "models/graph_opt.h"
+#include "nn/mlp.h"
+#include "opt/optimizer.h"
+
+namespace dw {
+namespace {
+
+using data::Dataset;
+using engine::AccessMethod;
+using engine::DataReplication;
+using engine::EngineOptions;
+using engine::ModelReplication;
+
+Dataset OneRowDataset() {
+  Dataset d;
+  auto m = matrix::CsrMatrix::FromTriplets(1, 2, {{0, 0, 1.0}, {0, 1, 2.0}});
+  d.a = std::move(m).value();
+  d.b = {1.0};
+  d.name = "one-row";
+  return d;
+}
+
+TEST(EdgeCaseTest, EmptyDatasetIsRejected) {
+  Dataset d;
+  auto m = matrix::CsrMatrix::FromTriplets(0, 0, {});
+  // Zero-dimension matrices cannot even be built into a plan.
+  models::SvmSpec svm;
+  EngineOptions o;
+  o.topology = numa::HostTopology();
+  const auto plan = engine::BuildPlan(d, svm, o, nullptr);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(EdgeCaseTest, SingleRowDatasetTrains) {
+  const Dataset d = OneRowDataset();
+  models::SvmSpec svm;
+  EngineOptions o;
+  o.topology = numa::Local2();
+  o.topology.cores_per_node = 2;  // more workers than rows
+  engine::Engine eng(&d, &svm, o);
+  ASSERT_TRUE(eng.Init().ok());
+  engine::RunConfig cfg;
+  cfg.max_epochs = 3;
+  const auto rr = eng.Run(cfg);
+  EXPECT_EQ(rr.epochs.size(), 3u);
+  EXPECT_LT(rr.BestLoss(), 1.0);  // the single example gets separated
+}
+
+TEST(EdgeCaseTest, SingleWorkerTopologyMatchesSequential) {
+  // One node, one core: PerCore == PerNode == PerMachine exactly.
+  Dataset d;
+  d.a = data::MakeDenseTable({.rows = 120, .cols = 8, .seed = 2});
+  d.b = data::PlantClassificationLabels(d.a, 8, 0.0, 3);
+  models::SvmSpec svm;
+  double losses[3];
+  int k = 0;
+  for (auto mrep : {ModelReplication::kPerCore, ModelReplication::kPerNode,
+                    ModelReplication::kPerMachine}) {
+    EngineOptions o;
+    o.topology.num_nodes = 1;
+    o.topology.cores_per_node = 1;
+    o.model_rep = mrep;
+    o.seed = 7;
+    o.pin_threads = false;
+    engine::Engine eng(&d, &svm, o);
+    ASSERT_TRUE(eng.Init().ok());
+    engine::RunConfig cfg;
+    cfg.max_epochs = 5;
+    losses[k++] = eng.Run(cfg).epochs.back().loss;
+  }
+  EXPECT_DOUBLE_EQ(losses[0], losses[1]);
+  EXPECT_DOUBLE_EQ(losses[1], losses[2]);
+}
+
+TEST(EdgeCaseTest, ZeroColumnEntriesAreSkippedByColumnSteps) {
+  // A column with no entries must be a no-op for every column method.
+  Dataset d;
+  auto m = matrix::CsrMatrix::FromTriplets(2, 3, {{0, 0, 1.0}, {1, 0, 2.0}});
+  d.a = std::move(m).value();
+  d.b = {1.0, -1.0};
+  const matrix::CscMatrix csc = matrix::CscMatrix::FromCsr(d.a);
+  models::LeastSquaresSpec ls;
+  std::vector<double> model(3, 0.5);
+  std::vector<double> aux(ls.AuxDim(d));
+  ls.RefreshAux(d, model.data(), aux.data());
+  models::StepContext ctx{&d, &csc, 0.1};
+  ls.ColStep(ctx, 1, model.data(), aux.data());   // empty column
+  ls.CtrStep(ctx, 2, model.data(), nullptr);      // empty column
+  EXPECT_DOUBLE_EQ(model[1], 0.5);
+  EXPECT_DOUBLE_EQ(model[2], 0.5);
+}
+
+TEST(EdgeCaseTest, WorkersNeverExceedDomain) {
+  // 48 virtual workers over a 10-row dataset: sharding must not crash and
+  // every row is still covered exactly once.
+  Dataset d;
+  d.a = data::MakeDenseTable({.rows = 10, .cols = 4, .seed = 5});
+  d.b = data::PlantClassificationLabels(d.a, 4, 0.0, 6);
+  models::SvmSpec svm;
+  EngineOptions o;
+  o.topology = numa::Local8();  // 64 workers
+  const auto plan = engine::BuildPlan(d, svm, o, nullptr);
+  ASSERT_TRUE(plan.ok());
+  int covered = 0;
+  for (const auto& w : plan.value().workers) {
+    covered += static_cast<int>(w.work.size());
+  }
+  EXPECT_EQ(covered, 10);
+}
+
+TEST(EdgeCaseTest, OptimizerHandlesDenseAndSparseExtremes) {
+  // Fully dense single-column data and hyper-sparse data both get plans.
+  models::LeastSquaresSpec ls;
+  Dataset dense;
+  dense.a = data::MakeDenseTable({.rows = 50, .cols = 1, .seed = 9});
+  dense.b = data::PlantRegressionTargets(dense.a, 0.1, 10);
+  const auto p1 = opt::ChoosePlan(dense, ls, numa::Local2());
+  EXPECT_FALSE(p1.rationale.empty());
+
+  Dataset sparse;
+  auto m = matrix::CsrMatrix::FromTriplets(
+      100, 100000, {{0, 99999, 1.0}, {99, 0, 1.0}});
+  sparse.a = std::move(m).value();
+  sparse.b.assign(100, 0.0);
+  const auto p2 = opt::ChoosePlan(sparse, ls, numa::Local2());
+  EXPECT_FALSE(p2.rationale.empty());
+}
+
+TEST(EdgeCaseTest, GibbsHandlesIsolatedVariables) {
+  // A graph where one variable touches no factor: its marginal is 0.5.
+  auto g = factor::FactorGraph::Build(
+      3, {{factor::FactorKind::kUnary, 2.0, {0}},
+          {factor::FactorKind::kIsing, 1.0, {0, 1}}});
+  ASSERT_TRUE(g.ok());
+  factor::GibbsOptions o;
+  o.strategy = factor::GibbsStrategy::kSequential;
+  o.sweeps = 3000;
+  o.burn_in = 200;
+  const auto r = factor::RunGibbs(g.value(), o);
+  EXPECT_NEAR(r.marginals[2], 0.5, 0.05);  // variable 2 is isolated
+}
+
+TEST(EdgeCaseTest, MlpRejectsNothingButHandlesTinyNets) {
+  nn::MlpConfig cfg;
+  cfg.layer_sizes = {2, 2};  // minimal: input -> logits
+  const nn::Mlp mlp(cfg);
+  EXPECT_EQ(mlp.num_params(), 2u * 2 + 2);
+  std::vector<double> params(mlp.num_params());
+  mlp.InitParams(params.data(), 3);
+  nn::MlpScratch scratch = mlp.MakeScratch();
+  const double x[2] = {1.0, -1.0};
+  const double loss = mlp.Forward(params.data(), x, 1, &scratch);
+  EXPECT_TRUE(std::isfinite(loss));
+  mlp.TrainExample(params.data(), x, 1, 0.1, &scratch);
+  EXPECT_LT(mlp.Forward(params.data(), x, 1, &scratch), loss);
+}
+
+TEST(EdgeCaseTest, StepSizeZeroLeavesModelUntouched) {
+  const Dataset d = OneRowDataset();
+  models::LeastSquaresSpec ls;
+  models::StepContext ctx{&d, nullptr, 0.0};
+  std::vector<double> model(2, 0.25);
+  ls.RowStep(ctx, 0, model.data(), nullptr);
+  EXPECT_DOUBLE_EQ(model[0], 0.25);
+  EXPECT_DOUBLE_EQ(model[1], 0.25);
+}
+
+TEST(EdgeCaseTest, ImportanceRequiresSmallModelDimension) {
+  // Leverage scores need a dense Gram factorization; a huge d must fail
+  // with a clean status, not crash.
+  Dataset sparse;
+  auto m = matrix::CsrMatrix::FromTriplets(10, 50000, {{0, 49999, 1.0}});
+  sparse.a = std::move(m).value();
+  sparse.b.assign(10, 1.0);
+  models::LeastSquaresSpec ls;
+  EngineOptions o;
+  o.topology = numa::Local2();
+  o.topology.cores_per_node = 1;
+  o.data_rep = DataReplication::kImportance;
+  engine::Engine eng(&sparse, &ls, o);
+  EXPECT_FALSE(eng.Init().ok());
+}
+
+TEST(EdgeCaseTest, EngineInitTwiceFails) {
+  const Dataset d = OneRowDataset();
+  models::SvmSpec svm;
+  EngineOptions o;
+  o.topology.num_nodes = 1;
+  o.topology.cores_per_node = 1;
+  engine::Engine eng(&d, &svm, o);
+  ASSERT_TRUE(eng.Init().ok());
+  EXPECT_FALSE(eng.Init().ok());
+}
+
+TEST(EdgeCaseTest, HugeStepSizeStaysFiniteForBoundedModels) {
+  // LP/QP clip into their boxes, so even absurd steps stay finite.
+  const Dataset d = data::AmazonLp(0.001, 3);
+  models::LpSpec lp;
+  EngineOptions o;
+  o.topology = numa::Local2();
+  o.topology.cores_per_node = 1;
+  o.access = AccessMethod::kRowWise;
+  o.step_size = 1e6;
+  engine::Engine eng(&d, &lp, o);
+  ASSERT_TRUE(eng.Init().ok());
+  engine::RunConfig cfg;
+  cfg.max_epochs = 2;
+  const auto rr = eng.Run(cfg);
+  EXPECT_TRUE(std::isfinite(rr.epochs.back().loss));
+  for (double v : eng.ConsensusModel()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dw

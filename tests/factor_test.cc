@@ -1,0 +1,173 @@
+// Tests for the factor-graph + Gibbs substrate. The strongest checks
+// compare sampled marginals against exact enumeration on small graphs,
+// for the sequential chain, the Hogwild! (PerMachine) sampler, and the
+// PerNode multi-chain sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "factor/factor_graph.h"
+#include "factor/gibbs.h"
+
+namespace dw::factor {
+namespace {
+
+TEST(FactorGraphTest, BuildValidates) {
+  EXPECT_FALSE(FactorGraph::Build(2, {{FactorKind::kUnary, 1.0, {}}}).ok());
+  EXPECT_FALSE(FactorGraph::Build(2, {{FactorKind::kUnary, 1.0, {5}}}).ok());
+  EXPECT_FALSE(
+      FactorGraph::Build(2, {{FactorKind::kUnary, 1.0, {0, 1}}}).ok());
+  EXPECT_FALSE(FactorGraph::Build(2, {{FactorKind::kIsing, 1.0, {0}}}).ok());
+  EXPECT_TRUE(FactorGraph::Build(2, {{FactorKind::kIsing, 1.0, {0, 1}}}).ok());
+}
+
+TEST(FactorGraphTest, BipartiteIndexesAreInverse) {
+  const FactorGraph g = MakeChainIsing(5, 0.7, 0.2);
+  // 5 unary + 4 pairwise factors.
+  EXPECT_EQ(g.num_factors(), 9u);
+  EXPECT_EQ(g.num_edges(), 5 + 8);
+  // Middle variable sees: its unary + two pairwise.
+  size_t nf = 0;
+  (void)g.VarFactors(2, &nf);
+  EXPECT_EQ(nf, 3u);
+  // Every factor->var edge appears in var->factor.
+  for (FactorId f = 0; f < g.num_factors(); ++f) {
+    size_t nv = 0;
+    const VarId* vars = g.FactorVars(f, &nv);
+    for (size_t k = 0; k < nv; ++k) {
+      size_t cnt = 0;
+      const FactorId* fs = g.VarFactors(vars[k], &cnt);
+      bool found = false;
+      for (size_t t = 0; t < cnt; ++t) found |= fs[t] == f;
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(FactorGraphTest, EnergiesMatchDefinitions) {
+  auto g = FactorGraph::Build(
+      3, {{FactorKind::kUnary, 2.0, {0}},
+          {FactorKind::kIsing, 1.5, {0, 1}},
+          {FactorKind::kAnd, 0.5, {0, 1, 2}}});
+  ASSERT_TRUE(g.ok());
+  const FactorGraph& graph = g.value();
+  uint8_t a[3] = {1, 1, 0};
+  EXPECT_DOUBLE_EQ(graph.FactorEnergy(0, a), 2.0);   // x0 = 1
+  EXPECT_DOUBLE_EQ(graph.FactorEnergy(1, a), 1.5);   // x0 == x1
+  EXPECT_DOUBLE_EQ(graph.FactorEnergy(2, a), 0.0);   // AND fails (x2=0)
+  a[2] = 1;
+  EXPECT_DOUBLE_EQ(graph.FactorEnergy(2, a), 0.5);
+  a[1] = 0;
+  EXPECT_DOUBLE_EQ(graph.FactorEnergy(1, a), 0.0);   // x0 != x1
+  EXPECT_DOUBLE_EQ(graph.TotalEnergy(a), 2.0);
+}
+
+TEST(FactorGraphTest, ConditionalLogOddsOfIsolatedUnary) {
+  auto g = FactorGraph::Build(1, {{FactorKind::kUnary, 1.3, {0}}});
+  ASSERT_TRUE(g.ok());
+  uint8_t a[1] = {0};
+  EXPECT_NEAR(g.value().ConditionalLogOdds(0, a), 1.3, 1e-12);
+  EXPECT_EQ(a[0], 0);  // assignment restored
+}
+
+TEST(FactorGraphTest, SampleReadBytesGrowsWithDegree) {
+  const FactorGraph g = MakeChainIsing(6, 0.5, 0.1);
+  // Endpoint variables touch 2 factors; middle ones touch 3.
+  EXPECT_LT(g.SampleReadBytes(0), g.SampleReadBytes(3));
+}
+
+TEST(ExactMarginalsTest, SingleVariableMatchesSigmoid) {
+  auto g = FactorGraph::Build(1, {{FactorKind::kUnary, 0.8, {0}}});
+  ASSERT_TRUE(g.ok());
+  const auto m = ExactMarginals(g.value());
+  EXPECT_NEAR(m[0], 1.0 / (1.0 + std::exp(-0.8)), 1e-12);
+}
+
+TEST(GibbsTest, SequentialMatchesExactOnChain) {
+  const FactorGraph g = MakeChainIsing(8, 0.8, 0.3);
+  const auto exact = ExactMarginals(g);
+  GibbsOptions o;
+  o.strategy = GibbsStrategy::kSequential;
+  o.sweeps = 4000;
+  o.burn_in = 400;
+  o.seed = 5;
+  const GibbsResult r = RunGibbs(g, o);
+  ASSERT_EQ(r.marginals.size(), 8u);
+  for (VarId v = 0; v < 8; ++v) {
+    EXPECT_NEAR(r.marginals[v], exact[v], 0.05) << "var " << v;
+  }
+}
+
+TEST(GibbsTest, HogwildMatchesExactOnGrid) {
+  const FactorGraph g = MakeGridIsing(4, 4, 0.4, 0.2, 9);
+  const auto exact = ExactMarginals(g);
+  GibbsOptions o;
+  o.strategy = GibbsStrategy::kPerMachine;
+  o.topology = numa::Local2();
+  o.topology.cores_per_node = 2;
+  o.sweeps = 4000;
+  o.burn_in = 400;
+  o.seed = 6;
+  const GibbsResult r = RunGibbs(g, o);
+  for (VarId v = 0; v < g.num_vars(); ++v) {
+    EXPECT_NEAR(r.marginals[v], exact[v], 0.06) << "var " << v;
+  }
+}
+
+TEST(GibbsTest, PerNodeChainsMatchExactOnChain) {
+  const FactorGraph g = MakeChainIsing(8, 0.6, -0.2);
+  const auto exact = ExactMarginals(g);
+  GibbsOptions o;
+  o.strategy = GibbsStrategy::kPerNode;
+  o.topology = numa::Local2();
+  o.topology.cores_per_node = 2;
+  o.sweeps = 2500;
+  o.burn_in = 300;
+  o.seed = 7;
+  const GibbsResult r = RunGibbs(g, o);
+  for (VarId v = 0; v < 8; ++v) {
+    EXPECT_NEAR(r.marginals[v], exact[v], 0.05) << "var " << v;
+  }
+}
+
+TEST(GibbsTest, PerNodeProducesMoreSamplesPerSweep) {
+  const FactorGraph g = MakeGridIsing(8, 8, 0.3, 0.1, 3);
+  GibbsOptions o;
+  o.topology = numa::Local2();
+  o.topology.cores_per_node = 2;
+  o.sweeps = 10;
+  o.burn_in = 2;
+  o.strategy = GibbsStrategy::kPerMachine;
+  const GibbsResult shared = RunGibbs(g, o);
+  o.strategy = GibbsStrategy::kPerNode;
+  const GibbsResult chains = RunGibbs(g, o);
+  // PerNode runs one full chain per node: double the samples on local2.
+  EXPECT_EQ(chains.samples, 2 * shared.samples);
+}
+
+TEST(GibbsTest, SimulatedThroughputFavorsPerNode) {
+  // Fig. 17(b): the PerNode strategy achieves higher sample throughput
+  // than PerMachine under the NUMA cost model (paper reports ~4x).
+  const FactorGraph g = MakePaleoLike(1e-4, 11);
+  GibbsOptions o;
+  o.topology = numa::Local4();
+  o.sweeps = 3;
+  o.burn_in = 1;
+  o.strategy = GibbsStrategy::kPerMachine;
+  const GibbsResult shared = RunGibbs(g, o);
+  o.strategy = GibbsStrategy::kPerNode;
+  const GibbsResult chains = RunGibbs(g, o);
+  EXPECT_GT(chains.SimSamplesPerSec(), shared.SimSamplesPerSec());
+}
+
+TEST(PaleoLikeTest, ShapeRoughlyMatchesFigure10Ratios) {
+  const FactorGraph g = MakePaleoLike(1e-4, 13);
+  // factors/vars ~ 69/30, edges/factors ~ 108/69.
+  const double fv = static_cast<double>(g.num_factors()) / g.num_vars();
+  const double ef = static_cast<double>(g.num_edges()) / g.num_factors();
+  EXPECT_NEAR(fv, 69.0 / 30.0, 0.6);
+  EXPECT_NEAR(ef, 108.0 / 69.0, 0.3);
+}
+
+}  // namespace
+}  // namespace dw::factor

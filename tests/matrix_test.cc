@@ -1,0 +1,254 @@
+// Unit + property tests for src/matrix: CSR/CSC equivalence, dense layouts,
+// stats, and I/O round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "matrix/csc_matrix.h"
+#include "matrix/csr_matrix.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/io.h"
+#include "matrix/matrix_stats.h"
+#include "util/rng.h"
+
+namespace dw::matrix {
+namespace {
+
+CsrMatrix SmallMatrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  auto m = CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {2, 0, 3.0}, {2, 1, 4.0}});
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+CsrMatrix RandomMatrix(Index rows, Index cols, double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> trips;
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) {
+      if (rng.Bernoulli(density)) {
+        trips.push_back({i, j, rng.Gaussian()});
+      }
+    }
+  }
+  auto m = CsrMatrix::FromTriplets(rows, cols, std::move(trips));
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(CsrTest, BuildsFromTriplets) {
+  const CsrMatrix m = SmallMatrix();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(m.RowNnz(0), 2u);
+  EXPECT_EQ(m.RowNnz(1), 0u);
+  EXPECT_EQ(m.RowNnz(2), 2u);
+}
+
+TEST(CsrTest, RowViewDotAndAxpy) {
+  const CsrMatrix m = SmallMatrix();
+  const double x[3] = {1.0, 10.0, 100.0};
+  EXPECT_DOUBLE_EQ(m.Row(0).Dot(x), 1.0 + 200.0);
+  EXPECT_DOUBLE_EQ(m.Row(2).Dot(x), 3.0 + 40.0);
+
+  double y[3] = {0, 0, 0};
+  m.Row(2).Axpy(2.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 8.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(CsrTest, DuplicateTripletsAreSummed) {
+  auto m = CsrMatrix::FromTriplets(1, 2, {{0, 1, 1.5}, {0, 1, 2.5}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.value().Row(0).values[0], 4.0);
+}
+
+TEST(CsrTest, RejectsOutOfBoundsTriplets) {
+  EXPECT_FALSE(CsrMatrix::FromTriplets(2, 2, {{2, 0, 1.0}}).ok());
+  EXPECT_FALSE(CsrMatrix::FromTriplets(2, 2, {{0, 5, 1.0}}).ok());
+}
+
+TEST(CsrTest, FromCsrArraysValidates) {
+  // Valid.
+  EXPECT_TRUE(
+      CsrMatrix::FromCsrArrays(2, 2, {0, 1, 2}, {0, 1}, {1.0, 2.0}).ok());
+  // row_ptr wrong size.
+  EXPECT_FALSE(CsrMatrix::FromCsrArrays(2, 2, {0, 2}, {0, 1}, {1.0, 2.0}).ok());
+  // decreasing row_ptr.
+  EXPECT_FALSE(
+      CsrMatrix::FromCsrArrays(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}).ok());
+  // col out of range.
+  EXPECT_FALSE(
+      CsrMatrix::FromCsrArrays(2, 2, {0, 1, 2}, {0, 9}, {1.0, 2.0}).ok());
+  // endpoint mismatch.
+  EXPECT_FALSE(
+      CsrMatrix::FromCsrArrays(2, 2, {1, 1, 2}, {0, 1}, {1.0, 2.0}).ok());
+}
+
+TEST(CscTest, TransposeOfSmallMatrix) {
+  const CsrMatrix csr = SmallMatrix();
+  const CscMatrix csc = CscMatrix::FromCsr(csr);
+  EXPECT_EQ(csc.rows(), 3u);
+  EXPECT_EQ(csc.cols(), 3u);
+  EXPECT_EQ(csc.nnz(), 4);
+  // Column 0 holds rows {0, 2} with values {1, 3}.
+  const SparseVectorView c0 = csc.Col(0);
+  ASSERT_EQ(c0.nnz, 2u);
+  EXPECT_EQ(c0.indices[0], 0u);
+  EXPECT_EQ(c0.indices[1], 2u);
+  EXPECT_DOUBLE_EQ(c0.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(c0.values[1], 3.0);
+  // Column 1 holds row {2} with value {4}.
+  EXPECT_EQ(csc.ColNnz(1), 1u);
+  EXPECT_EQ(csc.Col(1).indices[0], 2u);
+}
+
+// Property: CSR->CSC preserves every entry, for random matrices.
+class CscRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CscRoundTrip, EntriesPreserved) {
+  const CsrMatrix csr = RandomMatrix(23, 17, 0.2, GetParam());
+  const CscMatrix csc = CscMatrix::FromCsr(csr);
+  ASSERT_EQ(csc.nnz(), csr.nnz());
+  // Reconstruct a dense image from both and compare.
+  DenseMatrix from_csr(23, 17, Layout::kRowMajor);
+  for (Index i = 0; i < csr.rows(); ++i) {
+    const auto row = csr.Row(i);
+    for (size_t k = 0; k < row.nnz; ++k) {
+      from_csr.At(i, row.indices[k]) = row.values[k];
+    }
+  }
+  DenseMatrix from_csc(23, 17, Layout::kRowMajor);
+  for (Index j = 0; j < csc.cols(); ++j) {
+    const auto col = csc.Col(j);
+    for (size_t k = 0; k < col.nnz; ++k) {
+      from_csc.At(col.indices[k], j) = col.values[k];
+    }
+  }
+  for (Index i = 0; i < 23; ++i) {
+    for (Index j = 0; j < 17; ++j) {
+      EXPECT_DOUBLE_EQ(from_csr.At(i, j), from_csc.At(i, j));
+    }
+  }
+  // Row ids within each CSC column are sorted (counting-sort guarantee).
+  for (Index j = 0; j < csc.cols(); ++j) {
+    const auto col = csc.Col(j);
+    for (size_t k = 1; k < col.nnz; ++k) {
+      EXPECT_LT(col.indices[k - 1], col.indices[k]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CscRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99));
+
+TEST(DenseTest, LayoutsAgreeElementwise) {
+  DenseMatrix rm(4, 3, Layout::kRowMajor);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 3; ++j) rm.At(i, j) = i * 10.0 + j;
+  }
+  const DenseMatrix cm = rm.WithLayout(Layout::kColMajor);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(cm.At(i, j), rm.At(i, j));
+  }
+  // Contiguous views match the logical slices.
+  const DenseVectorView row1 = rm.Row(1);
+  EXPECT_DOUBLE_EQ(row1.values[2], 12.0);
+  const DenseVectorView col2 = cm.Col(2);
+  EXPECT_DOUBLE_EQ(col2.values[3], 32.0);
+}
+
+TEST(StatsTest, ComputesShapeNumbers) {
+  const CsrMatrix m = SmallMatrix();
+  const MatrixStats s = ComputeStats(m);
+  EXPECT_EQ(s.nnz, 4);
+  EXPECT_EQ(s.sum_ni, 4);
+  EXPECT_EQ(s.sum_ni_sq, 4 + 0 + 4);
+  EXPECT_NEAR(s.avg_row_nnz, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.sparsity, 4.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.max_row_nnz, 2.0);
+}
+
+TEST(StatsTest, CostRatioMatchesFormula) {
+  const MatrixStats s = ComputeStats(SmallMatrix());
+  const double alpha = 10.0;
+  const double expected = (1.0 + alpha) * 4.0 / (8.0 + alpha * 3.0);
+  EXPECT_NEAR(s.CostRatio(alpha), expected, 1e-12);
+}
+
+TEST(StatsTest, DenserRowsRaiseColumnCost) {
+  // Long rows blow up sum n_i^2 relative to sum n_i, lowering the ratio
+  // (favoring row-wise) -- exactly the Fig. 7(b) x-axis.
+  const CsrMatrix sparse_rows = RandomMatrix(50, 40, 0.05, 1);
+  const CsrMatrix dense_rows = RandomMatrix(50, 40, 0.8, 1);
+  EXPECT_GT(ComputeStats(sparse_rows).CostRatio(10.0),
+            ComputeStats(dense_rows).CostRatio(10.0));
+}
+
+TEST(IoTest, LibsvmRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dw_io_test.libsvm";
+  LabeledData data{SmallMatrix(), {1.0, -1.0, 1.0}};
+  ASSERT_TRUE(WriteLibsvm(path, data).ok());
+  auto rt = ReadLibsvm(path, 3);
+  ASSERT_TRUE(rt.ok());
+  const LabeledData& got = rt.value();
+  EXPECT_EQ(got.a.rows(), 3u);
+  EXPECT_EQ(got.a.cols(), 3u);
+  EXPECT_EQ(got.a.nnz(), 4);
+  EXPECT_EQ(got.b, data.b);
+  EXPECT_DOUBLE_EQ(got.a.Row(2).values[1], 4.0);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, BinaryRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dw_io_test.bin";
+  LabeledData data{RandomMatrix(31, 19, 0.3, 77), {}};
+  data.b.resize(31);
+  for (size_t i = 0; i < data.b.size(); ++i) data.b[i] = i * 0.5;
+  ASSERT_TRUE(WriteBinary(path, data).ok());
+  auto rt = ReadBinary(path);
+  ASSERT_TRUE(rt.ok());
+  const LabeledData& got = rt.value();
+  EXPECT_EQ(got.a.rows(), data.a.rows());
+  EXPECT_EQ(got.a.nnz(), data.a.nnz());
+  EXPECT_EQ(got.b, data.b);
+  EXPECT_EQ(got.a.row_ptr(), data.a.row_ptr());
+  EXPECT_EQ(got.a.col_idx(), data.a.col_idx());
+  EXPECT_EQ(got.a.values(), data.a.values());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadLibsvm("/nonexistent/file.libsvm").ok());
+  EXPECT_FALSE(ReadBinary("/nonexistent/file.bin").ok());
+}
+
+TEST(IoTest, BinaryRejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/dw_io_bad.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint64_t junk = 0xdeadbeef;
+  std::fwrite(&junk, sizeof(junk), 1, f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ScanBytesTest, CountsValuePlusIndexBytes) {
+  const CsrMatrix m = SmallMatrix();
+  EXPECT_EQ(m.ScanBytes(), 4 * (8 + 4));
+  const CscMatrix c = CscMatrix::FromCsr(m);
+  EXPECT_EQ(c.ScanBytes(), 4 * (8 + 4));
+  DenseMatrix d(3, 3, Layout::kRowMajor);
+  EXPECT_EQ(d.ScanBytes(), 9 * 8);
+}
+
+}  // namespace
+}  // namespace dw::matrix

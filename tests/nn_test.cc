@@ -1,0 +1,173 @@
+// Tests for the MLP substrate: parameter geometry, gradient checking of
+// back-propagation against numerical differentiation, training progress,
+// and the two Fig. 17(b) strategies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
+
+namespace dw::nn {
+namespace {
+
+MlpConfig TinyConfig(uint64_t seed = 1) {
+  MlpConfig c;
+  c.layer_sizes = {6, 5, 4, 3};
+  c.seed = seed;
+  return c;
+}
+
+TEST(MlpTest, ParameterCountMatchesGeometry) {
+  const Mlp mlp(TinyConfig());
+  // (6*5 + 5) + (5*4 + 4) + (4*3 + 3) = 35 + 24 + 15.
+  EXPECT_EQ(mlp.num_params(), 74u);
+  EXPECT_EQ(mlp.neurons_per_example(), 6u + 5 + 4 + 3);
+  EXPECT_EQ(mlp.num_layers(), 4);
+}
+
+TEST(MlpTest, DefaultGeometryIsThePaperSevenLayerNet) {
+  const Mlp mlp((MlpConfig()));
+  EXPECT_EQ(mlp.num_layers(), 7);
+  // ~0.8M parameters (Sec. 5.2: "0.8 million parameters").
+  EXPECT_GT(mlp.num_params(), 700'000u);
+  EXPECT_LT(mlp.num_params(), 900'000u);
+}
+
+TEST(MlpTest, ForwardLossIsFiniteAndPositive) {
+  const Mlp mlp(TinyConfig());
+  std::vector<double> params(mlp.num_params());
+  mlp.InitParams(params.data(), 3);
+  MlpScratch scratch = mlp.MakeScratch();
+  const double input[6] = {0.2, 0.4, 0.1, 0.9, 0.5, 0.3};
+  const double loss = mlp.Forward(params.data(), input, 1, &scratch);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);
+}
+
+TEST(MlpTest, BackpropMatchesNumericalGradient) {
+  const Mlp mlp(TinyConfig());
+  std::vector<double> params(mlp.num_params());
+  mlp.InitParams(params.data(), 5);
+  MlpScratch scratch = mlp.MakeScratch();
+  Rng rng(7);
+  std::vector<double> input(6);
+  for (auto& x : input) x = rng.Uniform();
+  const int label = 2;
+
+  // Analytic gradient from one TrainExample with a tiny step.
+  const double step = 1e-7;
+  std::vector<double> moved = params;
+  mlp.TrainExample(moved.data(), input.data(), label, step, &scratch);
+
+  // Spot-check 30 random parameters against central differences.
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t k = rng.Below(mlp.num_params());
+    const double analytic = -(moved[k] - params[k]) / step;
+    const double h = 1e-6;
+    std::vector<double> probe = params;
+    probe[k] = params[k] + h;
+    const double up = mlp.Forward(probe.data(), input.data(), label, &scratch);
+    probe[k] = params[k] - h;
+    const double dn = mlp.Forward(probe.data(), input.data(), label, &scratch);
+    const double numeric = (up - dn) / (2 * h);
+    EXPECT_NEAR(analytic, numeric, 5e-4) << "param " << k;
+  }
+}
+
+TEST(MlpTest, SgdLearnsSeparableToyProblem) {
+  const Mlp mlp(TinyConfig());
+  std::vector<double> params(mlp.num_params());
+  mlp.InitParams(params.data(), 11);
+  MlpScratch scratch = mlp.MakeScratch();
+
+  // Three clusters in 6-d, labels 0..2.
+  Rng rng(13);
+  std::vector<double> inputs;
+  std::vector<int> labels;
+  for (int e = 0; e < 300; ++e) {
+    const int c = static_cast<int>(rng.Below(3));
+    labels.push_back(c);
+    for (int k = 0; k < 6; ++k) {
+      inputs.push_back((k % 3 == c ? 1.0 : 0.0) + rng.Gaussian(0.0, 0.1));
+    }
+  }
+  const double before =
+      mlp.MeanLoss(params.data(), inputs, labels, 6, &scratch);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    for (int e = 0; e < 300; ++e) {
+      mlp.TrainExample(params.data(), inputs.data() + e * 6, labels[e], 0.05,
+                       &scratch);
+    }
+  }
+  const double after = mlp.MeanLoss(params.data(), inputs, labels, 6, &scratch);
+  EXPECT_LT(after, before * 0.3);
+}
+
+TEST(DigitDataTest, GeneratorShape) {
+  const DigitData d = MakeMnistLike(50, 3);
+  EXPECT_EQ(d.num_examples(), 50);
+  EXPECT_EQ(d.images.size(), 50u * 784);
+  for (double v : d.images) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  for (int label : d.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST(TrainerTest, BothStrategiesLearn) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {784, 32, 10};
+  const Mlp mlp(cfg);
+  const DigitData data = MakeMnistLike(400, 21);
+
+  NnTrainOptions o;
+  o.topology = numa::Local2();
+  o.topology.cores_per_node = 2;
+  o.epochs = 4;
+  o.learning_rate = 0.05;
+
+  o.strategy = NnStrategy::kClassic;
+  const NnTrainResult classic = TrainParallel(mlp, data, o);
+  ASSERT_EQ(classic.loss_per_epoch.size(), 4u);
+  EXPECT_LT(classic.loss_per_epoch.back(), classic.loss_per_epoch.front());
+
+  o.strategy = NnStrategy::kDimmWitted;
+  const NnTrainResult dw = TrainParallel(mlp, data, o);
+  EXPECT_LT(dw.loss_per_epoch.back(), dw.loss_per_epoch.front());
+
+  // FullReplication processes nodes x examples per epoch.
+  EXPECT_EQ(dw.examples_processed, 2 * classic.examples_processed);
+  EXPECT_EQ(dw.neurons_processed,
+            dw.examples_processed * mlp.neurons_per_example());
+}
+
+TEST(TrainerTest, SimulatedThroughputFavorsDimmWitted) {
+  // Fig. 17(b): PerNode + FullReplication beats the classic
+  // PerMachine + Sharding choice in variables/second under the NUMA model
+  // (the paper reports over an order of magnitude).
+  MlpConfig cfg;
+  cfg.layer_sizes = {784, 64, 32, 10};
+  const Mlp mlp(cfg);
+  const DigitData data = MakeMnistLike(64, 33);
+
+  NnTrainOptions o;
+  o.topology = numa::Local4();
+  o.workers_per_node = 2;
+  o.epochs = 1;
+  o.eval_examples = 16;
+
+  o.strategy = NnStrategy::kClassic;
+  const NnTrainResult classic = TrainParallel(mlp, data, o);
+  o.strategy = NnStrategy::kDimmWitted;
+  const NnTrainResult dw = TrainParallel(mlp, data, o);
+
+  EXPECT_GT(dw.SimNeuronsPerSec(), classic.SimNeuronsPerSec());
+}
+
+}  // namespace
+}  // namespace dw::nn

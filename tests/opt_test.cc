@@ -1,0 +1,194 @@
+// Tests for the cost model and optimizer: Fig. 6 formulas, the Fig. 7(b)
+// cost ratio, robustness of the access-method decision over alpha in
+// [4, 100] (paper Sec. 3.2), and the Fig. 14 plan table.
+#include <gtest/gtest.h>
+
+#include "data/paper_datasets.h"
+#include "models/glm.h"
+#include "models/graph_opt.h"
+#include "opt/cost_model.h"
+#include "opt/optimizer.h"
+
+namespace dw::opt {
+namespace {
+
+using engine::AccessMethod;
+using engine::DataReplication;
+using engine::ModelReplication;
+
+matrix::MatrixStats StatsOf(const data::Dataset& d) { return d.Stats(); }
+
+TEST(CostModelTest, Figure6Formulas) {
+  // Hand-checkable matrix: 3 rows with n_i = {2, 0, 2}, d = 3.
+  auto m = matrix::CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {2, 0, 3.0}, {2, 1, 4.0}});
+  ASSERT_TRUE(m.ok());
+  const auto stats = matrix::ComputeStats(m.value());
+
+  const AccessCost row_sparse = EstimateAccessCost(
+      stats, AccessMethod::kRowWise, models::UpdateSparsity::kSparse);
+  EXPECT_DOUBLE_EQ(row_sparse.reads, 4.0);      // sum n_i
+  EXPECT_DOUBLE_EQ(row_sparse.writes, 4.0);     // sparse: sum n_i
+
+  const AccessCost row_dense = EstimateAccessCost(
+      stats, AccessMethod::kRowWise, models::UpdateSparsity::kDense);
+  EXPECT_DOUBLE_EQ(row_dense.writes, 9.0);      // dense: d*N
+
+  const AccessCost col = EstimateAccessCost(
+      stats, AccessMethod::kColWise, models::UpdateSparsity::kSparse);
+  EXPECT_DOUBLE_EQ(col.reads, 4.0);             // sum n_i
+  EXPECT_DOUBLE_EQ(col.writes, 3.0);            // d
+
+  const AccessCost ctr = EstimateAccessCost(
+      stats, AccessMethod::kColToRow, models::UpdateSparsity::kSparse);
+  EXPECT_DOUBLE_EQ(ctr.reads, 8.0);             // sum n_i^2
+  EXPECT_DOUBLE_EQ(ctr.writes, 3.0);            // d
+
+  EXPECT_DOUBLE_EQ(row_sparse.Total(10.0), 4.0 + 40.0);
+}
+
+TEST(CostModelTest, CostRatioMatchesPaperFormula) {
+  const data::Dataset d = data::Rcv1(0.002);
+  const auto stats = StatsOf(d);
+  const double alpha = 10.0;
+  const double expected = (1.0 + alpha) * stats.sum_ni /
+                          (stats.sum_ni_sq + alpha * stats.cols);
+  EXPECT_NEAR(CostRatio(stats, alpha), expected, 1e-12);
+}
+
+TEST(CostModelTest, TextCorporaFavorRowWise) {
+  // RCV1-like text: rows carry ~77 nonzeros, so sum n_i^2 >> sum n_i and
+  // the row-wise method must win for SVM/LR/LS (paper Fig. 14).
+  const data::Dataset d = data::Rcv1(0.002);
+  models::SvmSpec svm;
+  for (double alpha : {4.0, 10.0, 40.0, 100.0}) {
+    EXPECT_EQ(ChooseAccessMethod(StatsOf(d), svm, alpha),
+              AccessMethod::kRowWise)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(CostModelTest, EdgeConstraintGraphsFavorColumns) {
+  // LP rows have exactly 2 nonzeros: sum n_i^2 = 2 sum n_i, and writes
+  // dominate, so the column method must win for all plausible alpha
+  // (the Sec. 3.2 robustness claim: any alpha in [4, 100] gives the same
+  // decision).
+  const data::Dataset d = data::AmazonLp(0.002);
+  models::LpSpec lp;
+  for (double alpha : {4.0, 10.0, 40.0, 100.0}) {
+    EXPECT_EQ(ChooseAccessMethod(StatsOf(d), lp, alpha),
+              AccessMethod::kColToRow)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(CostModelTest, AlphaGrowsWithSocketCount) {
+  EXPECT_LT(AlphaForTopology(numa::Local2()),
+            AlphaForTopology(numa::Local4()));
+  EXPECT_LT(AlphaForTopology(numa::Local4()),
+            AlphaForTopology(numa::Local8()));
+}
+
+TEST(CostModelTest, HostAlphaMeasurementIsSane) {
+  const double alpha = MeasureAlphaOnHost(2);
+  EXPECT_GE(alpha, 1.0);
+  EXPECT_LE(alpha, 100.0);
+}
+
+TEST(OptimizerTest, Figure14PlanTableSvmFamily) {
+  // SVM/LR/LS on text + dense benchmarks: Row-wise, PerNode,
+  // FullReplication (everything fits local2's 32 GB/node at bench scale).
+  const numa::Topology topo = numa::Local2();
+  models::SvmSpec svm;
+  models::LogisticSpec lr;
+  models::LeastSquaresSpec ls;
+  for (const models::ModelSpec* spec :
+       {static_cast<const models::ModelSpec*>(&svm),
+        static_cast<const models::ModelSpec*>(&lr),
+        static_cast<const models::ModelSpec*>(&ls)}) {
+    for (const data::Dataset& d :
+         {data::Reuters(0.1), data::Rcv1(0.002), data::Music(0.002)}) {
+      const PlanChoice c = ChoosePlan(d, *spec, topo);
+      EXPECT_EQ(c.access, AccessMethod::kRowWise)
+          << spec->name() << "/" << d.name;
+      EXPECT_EQ(c.model_rep, ModelReplication::kPerNode)
+          << spec->name() << "/" << d.name;
+      EXPECT_EQ(c.data_rep, DataReplication::kFullReplication)
+          << spec->name() << "/" << d.name;
+    }
+  }
+}
+
+TEST(OptimizerTest, Figure14PlanTableLpQp) {
+  // LP/QP on graphs: Column(-to-row), PerMachine, FullReplication.
+  const numa::Topology topo = numa::Local2();
+  models::LpSpec lp;
+  models::QpSpec qp;
+  {
+    const PlanChoice c = ChoosePlan(data::AmazonLp(0.002), lp, topo);
+    EXPECT_EQ(c.access, AccessMethod::kColToRow);
+    EXPECT_EQ(c.model_rep, ModelReplication::kPerMachine);
+    EXPECT_EQ(c.data_rep, DataReplication::kFullReplication);
+  }
+  {
+    const PlanChoice c = ChoosePlan(data::GoogleQp(0.002), qp, topo);
+    EXPECT_EQ(c.access, AccessMethod::kColWise);
+    EXPECT_EQ(c.model_rep, ModelReplication::kPerMachine);
+    EXPECT_EQ(c.data_rep, DataReplication::kFullReplication);
+  }
+}
+
+TEST(OptimizerTest, HugeDatasetFallsBackToSharding) {
+  // A topology with almost no RAM forces Sharding.
+  numa::Topology tiny = numa::Local2();
+  tiny.ram_per_node_gb = 1e-6;
+  const PlanChoice c = ChoosePlan(data::Rcv1(0.002), models::SvmSpec(), tiny);
+  EXPECT_EQ(c.data_rep, DataReplication::kSharding);
+}
+
+TEST(OptimizerTest, ApplyChoiceCopiesFields) {
+  PlanChoice c;
+  c.access = AccessMethod::kColWise;
+  c.model_rep = ModelReplication::kPerMachine;
+  c.data_rep = DataReplication::kSharding;
+  engine::EngineOptions opts;
+  ApplyChoice(c, &opts);
+  EXPECT_EQ(opts.access, AccessMethod::kColWise);
+  EXPECT_EQ(opts.model_rep, ModelReplication::kPerMachine);
+  EXPECT_EQ(opts.data_rep, DataReplication::kSharding);
+}
+
+TEST(OptimizerTest, RationaleMentionsDecision) {
+  const PlanChoice c =
+      ChoosePlan(data::Reuters(0.1), models::SvmSpec(), numa::Local2());
+  EXPECT_NE(c.rationale.find("Row-wise"), std::string::npos);
+  EXPECT_NE(c.rationale.find("PerNode"), std::string::npos);
+}
+
+// Property: the optimizer picks the lower-cost method for whatever the
+// dataset shape is (consistency of ChooseAccessMethod with the tables).
+class CostConsistency : public ::testing::TestWithParam<double> {};
+
+TEST_P(CostConsistency, ChosenMethodHasMinimalCost) {
+  const double alpha = GetParam();
+  const data::Dataset d = data::Reuters(0.1);
+  models::SvmSpec svm;
+  const auto stats = StatsOf(d);
+  const AccessMethod chosen = ChooseAccessMethod(stats, svm, alpha);
+  auto cost = [&](AccessMethod m) {
+    return EstimateAccessCost(stats, m, svm.RowWriteSparsity(),
+                              svm.ColumnStepMaintainsAux())
+        .Total(alpha);
+  };
+  const double chosen_cost = cost(chosen);
+  for (AccessMethod m : {AccessMethod::kRowWise, AccessMethod::kColWise,
+                         AccessMethod::kColToRow}) {
+    EXPECT_LE(chosen_cost, cost(m)) << "alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, CostConsistency,
+                         ::testing::Values(1.0, 4.0, 8.0, 12.0, 50.0, 100.0));
+
+}  // namespace
+}  // namespace dw::opt

@@ -1,0 +1,293 @@
+// Unit tests for src/util: Status, logging, RNG, stats, table, barrier.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/aligned.h"
+#include "util/barrier.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/thread_util.h"
+#include "util/timer.h"
+
+namespace dw {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dims");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dims");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dims");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), Status::Code::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            Status::Code::kResourceExhausted);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Status::Code::kNotFound);
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BelowIsBoundedAndCoversSupport) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(99);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfTest, ProducesSkewedFrequencies) {
+  Rng rng(3);
+  ZipfSampler zipf(1000, 1.1);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  // Head must dominate the tail by a wide margin.
+  EXPECT_GT(counts[0], counts[100] * 5);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(ZipfTest, StaysInSupport) {
+  Rng rng(4);
+  ZipfSampler zipf(17, 0.8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 17u);
+}
+
+TEST(SplitMixTest, ProducesDistinctStreams) {
+  uint64_t state = 42;
+  const uint64_t a = SplitMix64(state);
+  const uint64_t b = SplitMix64(state);
+  EXPECT_NE(a, b);
+}
+
+TEST(StatsTest, SummarizeBasics) {
+  Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(StatsTest, EmptySummaryIsZero) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, RelativeError) {
+  EXPECT_NEAR(RelativeError(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(RelativeError(0.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(AlignedTest, ArrayIsCacheLineAligned) {
+  AlignedArray<double> a(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % kCacheLineBytes, 0u);
+  EXPECT_EQ(a.size(), 100u);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], 0.0);
+}
+
+TEST(AlignedTest, MoveTransfersOwnership) {
+  AlignedArray<int> a(10);
+  a[3] = 7;
+  AlignedArray<int> b = std::move(a);
+  EXPECT_EQ(b[3], 7);
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(AlignedTest, PaddedOccupiesFullLine) {
+  EXPECT_EQ(sizeof(Padded<int>) % kCacheLineBytes, 0u);
+  EXPECT_GE(sizeof(Padded<int>), kCacheLineBytes);
+}
+
+TEST(BarrierTest, ReleasesAllParties) {
+  constexpr int kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      before.fetch_add(1);
+      barrier.Wait();
+      after.fetch_add(1);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(before.load(), kThreads);
+  EXPECT_EQ(after.load(), kThreads);
+}
+
+TEST(BarrierTest, ReusableAcrossGenerations) {
+  constexpr int kThreads = 3;
+  constexpr int kRounds = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> pool;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        counter.fetch_add(1);
+        barrier.Wait();
+        // After the barrier every thread must observe a full round.
+        if (counter.load() < kThreads * (r + 1)) ok.store(false);
+        barrier.Wait();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock mu;
+  int64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::lock_guard<SpinLock> g(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(counter, int64_t{kThreads} * kIters);
+}
+
+TEST(TableTest, RendersAlignedCells) {
+  Table t("demo");
+  t.SetHeader({"a", "long-header"});
+  t.AddRow({"1", "2"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsDigits) {
+  EXPECT_EQ(Table::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Num(10.0, 0), "10");
+}
+
+TEST(TableTest, TimeOrMarksTimeouts) {
+  EXPECT_EQ(Table::TimeOr(500.0, 300.0), "> 300.0");
+  EXPECT_EQ(Table::TimeOr(1.5, 300.0), "1.50");
+}
+
+TEST(ThreadUtilTest, PinAndUnpin) {
+  EXPECT_GT(NumOnlineCpus(), 0);
+  EXPECT_TRUE(PinCurrentThreadToCpu(0).ok());
+  // Pinning to a virtual core beyond the host wraps around.
+  EXPECT_TRUE(PinCurrentThreadToCpu(1000).ok());
+  EXPECT_TRUE(UnpinCurrentThread().ok());
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.Seconds(), 0.009);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 0.009);
+}
+
+TEST(LoggingTest, LevelGate) {
+  const LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  DW_LOG(Info) << "suppressed";
+  SetLogLevel(old);
+}
+
+TEST(RoundUpTest, Rounds) {
+  EXPECT_EQ(RoundUp(1, 64), 64u);
+  EXPECT_EQ(RoundUp(64, 64), 64u);
+  EXPECT_EQ(RoundUp(65, 64), 128u);
+}
+
+}  // namespace
+}  // namespace dw
