@@ -1,0 +1,211 @@
+// Serving throughput vs. thread count x replication strategy -- the
+// serving analogue of Fig. 8. Training showed PerNode replication trades a
+// little statistical efficiency for hardware efficiency; serving has no
+// statistical side at all (reads only), so PerNode should dominate
+// PerMachine outright once readers span sockets. Measured rows/sec comes
+// from the host wall clock; memory-model rows/sec applies the calibrated
+// topology model to the logically-counted serving traffic (remote model
+// reads cross the simulated interconnect), per the substitution used by
+// every other bench.
+//
+// Knobs: DW_BENCH_TOPO (default local2), DW_BENCH_SERVE_ROWS (default
+// 20000), DW_BENCH_SCALE (dataset size multiplier).
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "numa/memory_model.h"
+#include "serve/serving_engine.h"
+
+namespace dw {
+namespace {
+
+using matrix::Index;
+
+struct ServeRun {
+  double measured_rows_per_sec = 0.0;
+  double sim_rows_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double remote_mb = 0.0;
+};
+
+// The memory-model input for the run's total traffic under BALANCED
+// routing: every active node serves an equal share of the rows. On this
+// small host, which worker happens to drain the queue is scheduling noise
+// (virtual cores are oversubscribed onto few physical CPUs); a production
+// load balancer -- like the trainer's per-epoch partitioning -- hands each
+// node an equal share, and that is the regime the Fig. 8-style comparison
+// is about. Under kPerMachine the canonical share of model reads from
+// nodes other than the replica's crosses the interconnect.
+numa::SimulationInput BalancedSimInput(const serve::ServingStats& stats,
+                                       const numa::Topology& topo,
+                                       serve::Replication rep, int threads,
+                                       uint64_t model_bytes) {
+  const int nodes_used = std::min(threads, topo.num_nodes);
+  numa::SimulationInput in(topo.num_nodes);
+  const numa::AccessCounters& t = stats.traffic;
+  const uint64_t model_total = t.model_read_bytes + t.remote_read_bytes;
+  for (int n = 0; n < nodes_used; ++n) {
+    numa::AccessCounters c;
+    c.local_read_bytes = t.local_read_bytes / nodes_used;
+    c.flops = t.flops / nodes_used;
+    c.updates = t.updates / nodes_used;
+    if (rep == serve::Replication::kPerNode || n == 0) {
+      c.model_read_bytes = model_total / nodes_used;
+    } else {
+      c.remote_read_bytes = model_total / nodes_used;
+    }
+    in.traffic.per_node[n] = c;
+    in.active_workers[n] = std::max(1, threads / nodes_used);
+  }
+  in.model_sharing_sockets =
+      rep == serve::Replication::kPerMachine ? nodes_used : 1;
+  in.model_bytes = model_bytes;
+  return in;
+}
+
+ServeRun RunServing(const data::Dataset& d, const models::ModelSpec& spec,
+                    const std::vector<double>& weights,
+                    const numa::Topology& topo, serve::Replication rep,
+                    int threads, int total_rows) {
+  serve::ServingOptions opts;
+  opts.topology = topo;
+  opts.replication = rep;
+  opts.num_threads = threads;
+  opts.batch.max_batch_size = 64;
+  opts.batch.max_delay = std::chrono::microseconds(200);
+  serve::ServingEngine server(&spec, opts);
+  server.Publish(spec.name(), weights);
+  const Status st = server.Start();
+  DW_CHECK(st.ok()) << st.ToString();
+
+  const int kProducers = 4;
+  WallTimer timer;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<std::future<double>> futures;
+      futures.reserve(total_rows / kProducers + 1);
+      std::vector<Index> idx;
+      std::vector<double> vals;
+      for (int r = p; r < total_rows; r += kProducers) {
+        const auto row = d.a.Row(static_cast<Index>(r % d.a.rows()));
+        idx.assign(row.indices, row.indices + row.nnz);
+        vals.assign(row.values, row.values + row.nnz);
+        for (;;) {
+          auto fut = server.Score(idx, vals);
+          if (fut.ok()) {
+            futures.push_back(std::move(fut).value());
+            break;
+          }
+          // Only queue-full back-pressure is retryable; anything else
+          // would spin forever.
+          DW_CHECK(fut.status().code() ==
+                   Status::Code::kResourceExhausted)
+              << fut.status().ToString();
+          std::this_thread::yield();
+        }
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : producers) t.join();
+  const double wall = timer.Seconds();
+  server.Stop();
+
+  const serve::ServingStats stats = server.Stats();
+  DW_CHECK_EQ(stats.requests, static_cast<uint64_t>(total_rows));
+
+  ServeRun out;
+  out.measured_rows_per_sec = total_rows / wall;
+  out.p50_ms = stats.p50_latency_ms;
+  out.p99_ms = stats.p99_latency_ms;
+  out.remote_mb = stats.traffic.remote_read_bytes / (1024.0 * 1024.0);
+  const numa::MemoryModel model(topo);
+  const uint64_t model_bytes =
+      static_cast<uint64_t>(d.a.cols()) * sizeof(double);
+  const double sim_sec =
+      model
+          .SimulateEpoch(
+              BalancedSimInput(stats, topo, rep, threads, model_bytes))
+          .total_sec;
+  out.sim_rows_per_sec = sim_sec > 0.0 ? total_rows / sim_sec : 0.0;
+  return out;
+}
+
+}  // namespace
+}  // namespace dw
+
+int main() {
+  using namespace dw;
+
+  const std::string topo_name = [] {
+    const char* v = std::getenv("DW_BENCH_TOPO");
+    return std::string(v != nullptr ? v : "local2");
+  }();
+  auto topo_or = numa::TopologyByName(topo_name);
+  DW_CHECK(topo_or.ok()) << topo_or.status().ToString();
+  const numa::Topology topo = topo_or.value();
+  const int total_rows = bench::EnvInt("DW_BENCH_SERVE_ROWS", 20000);
+
+  const data::Dataset dataset = bench::BenchRcv1();
+  models::LogisticSpec lr;
+  std::printf("dataset %s: %u rows, %u features; topology %s (%d nodes)\n",
+              dataset.name.c_str(), dataset.a.rows(), dataset.a.cols(),
+              topo.name.c_str(), topo.num_nodes);
+
+  // Train briefly: serving quality is not under test, the scoring path is.
+  engine::EngineOptions train_opts =
+      bench::MakeOptions(topo, engine::AccessMethod::kRowWise,
+                         engine::ModelReplication::kPerNode,
+                         engine::DataReplication::kSharding);
+  engine::Engine trainer(&dataset, &lr, train_opts);
+  DW_CHECK(trainer.Init().ok());
+  engine::RunConfig cfg;
+  cfg.max_epochs = 5;
+  trainer.Run(cfg);
+  const engine::ModelExport exported = trainer.Export();
+
+  const std::vector<int> thread_counts = {1, topo.total_cores() / 2,
+                                          topo.total_cores()};
+  const std::vector<serve::Replication> strategies = {
+      serve::Replication::kPerNode, serve::Replication::kPerMachine};
+
+  Table table("Serving throughput (" + std::to_string(total_rows) +
+              " requests, batch<=64, " + topo.name + ")");
+  table.SetHeader({"replication", "threads", "measured rows/s", "model rows/s",
+                   "p50 ms", "p99 ms", "remote MB"});
+  double per_node_max = 0.0;
+  double per_machine_max = 0.0;
+  for (const serve::Replication rep : strategies) {
+    for (const int threads : thread_counts) {
+      const ServeRun r = RunServing(dataset, lr, exported.weights, topo, rep,
+                                    threads, total_rows);
+      table.AddRow({ToString(rep), std::to_string(threads),
+                    Table::Num(r.measured_rows_per_sec, 0),
+                    Table::Num(r.sim_rows_per_sec, 0), Table::Num(r.p50_ms, 3),
+                    Table::Num(r.p99_ms, 3), Table::Num(r.remote_mb, 1)});
+      if (threads == topo.total_cores()) {
+        if (rep == serve::Replication::kPerNode) {
+          per_node_max = r.sim_rows_per_sec;
+        } else {
+          per_machine_max = r.sim_rows_per_sec;
+        }
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nmax-thread model throughput: PerNode %.0f rows/s vs PerMachine "
+      "%.0f rows/s (%s)\n",
+      per_node_max, per_machine_max,
+      per_node_max >= per_machine_max ? "PerNode >= PerMachine, as predicted"
+                                      : "UNEXPECTED: PerMachine ahead");
+  return per_node_max >= per_machine_max ? 0 : 1;
+}

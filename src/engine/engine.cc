@@ -375,6 +375,15 @@ std::vector<double> Engine::ConsensusModel() {
   return out;
 }
 
+ModelExport Engine::Export() {
+  DW_CHECK(initialized_) << "call Init() first";
+  ModelExport out;
+  out.spec_name = spec_->name();
+  out.epochs_trained = epoch_counter_;
+  out.weights = ConsensusModel();
+  return out;
+}
+
 double Engine::EvaluateLoss() {
   // Replicas are synchronized at epoch boundaries; replica 0 holds the
   // consensus. Parallel scan over rows.

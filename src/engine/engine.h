@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -43,6 +44,14 @@ struct RunConfig {
   int eval_every = 1;
 };
 
+/// An immutable export of the trained model, ready to hand to the serving
+/// layer (src/serve): consensus weights plus provenance.
+struct ModelExport {
+  std::string spec_name;
+  int epochs_trained = 0;
+  std::vector<double> weights;
+};
+
 /// The engine. Construct, Init(), then Run() or RunEpoch().
 class Engine {
  public:
@@ -66,6 +75,11 @@ class Engine {
   /// The consensus model (average of replicas; the replicas themselves
   /// are written back so this is also the next epoch's starting point).
   std::vector<double> ConsensusModel();
+
+  /// Snapshots the consensus model for serving (serve::ModelRegistry
+  /// republishes it without copying again). Valid after Init(); callable
+  /// between epochs while training continues.
+  ModelExport Export();
 
   /// Parallel loss of the consensus model over the full dataset.
   double EvaluateLoss();

@@ -22,6 +22,48 @@ struct EpochRecord {
   numa::AccessCounters traffic;  ///< totals across workers
 };
 
+/// Per-request latency sink for the serving path (src/serve). Each worker
+/// owns one recorder (no synchronization on Record); Merge() and the
+/// percentile queries run on the cold stats-aggregation path. Bounded: past
+/// kMaxSamples the recorder decimates uniformly (keeps every 2nd sample,
+/// doubling the weight each retained sample carries) so long-running
+/// servers don't grow without limit. Merge() renormalizes both sides to a
+/// common stride first, so percentiles stay traffic-weighted even when one
+/// worker decimated and another did not.
+class LatencyRecorder {
+ public:
+  static constexpr size_t kMaxSamples = 1 << 16;
+
+  /// Records one latency sample (milliseconds).
+  void Record(double ms);
+
+  /// Accumulates another recorder's samples into this one.
+  void Merge(const LatencyRecorder& other);
+
+  /// The p-th percentile (p in [0, 100]) of recorded samples; 0 if none.
+  double Percentile(double p) const;
+
+  /// Several percentiles from one sort (cheaper than repeated
+  /// Percentile() on the stats-polling path).
+  std::vector<double> Percentiles(const std::vector<double>& ps) const;
+
+  /// Total samples recorded (including decimated-away ones).
+  uint64_t count() const { return count_; }
+
+  /// Mean of the retained samples; 0 if none.
+  double MeanMs() const;
+
+ private:
+  /// Keeps every 2nd retained sample and doubles the stride.
+  void Decimate();
+
+  std::vector<double> samples_ms_;
+  uint64_t count_ = 0;
+  /// Each retained sample stands for this many recorded ones.
+  uint64_t stride_ = 1;
+  uint64_t skip_ = 0;  ///< samples to drop before the next retained one
+};
+
 /// A full run: the loss curve plus helpers for the paper's
 /// "time to come within p% of the optimal loss" metric (Sec. 4.1).
 struct RunResult {

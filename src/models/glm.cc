@@ -129,6 +129,11 @@ double SvmSpec::RowLoss(const Dataset& d, Index i, const double* model) const {
   return margin < 1.0 ? 1.0 - margin : 0.0;
 }
 
+double SvmSpec::Predict(const double* model,
+                        const SparseVectorView& row) const {
+  return row.Dot(model);
+}
+
 // ----------------------------------------------------------------- LR ----
 
 void LogisticSpec::RowStep(const StepContext& ctx, Index i, double* model,
@@ -180,6 +185,11 @@ double LogisticSpec::RowLoss(const Dataset& d, Index i,
                              const double* model) const {
   const double z = d.b[i] * d.a.Row(i).Dot(model);
   return Log1pExp(-z);
+}
+
+double LogisticSpec::Predict(const double* model,
+                             const SparseVectorView& row) const {
+  return Sigmoid(row.Dot(model));
 }
 
 // ----------------------------------------------------------------- LS ----
@@ -243,6 +253,11 @@ double LeastSquaresSpec::RowLoss(const Dataset& d, Index i,
                                  const double* model) const {
   const double r = d.a.Row(i).Dot(model) - d.b[i];
   return 0.5 * r * r;
+}
+
+double LeastSquaresSpec::Predict(const double* model,
+                                 const SparseVectorView& row) const {
+  return row.Dot(model);
 }
 
 }  // namespace dw::models

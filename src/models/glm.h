@@ -38,6 +38,9 @@ class GlmSpec : public ModelSpec {
 class SvmSpec : public GlmSpec {
  public:
   std::string name() const override { return "SVM"; }
+  /// Signed decision value a . x (classify by sign, |.| = margin).
+  double Predict(const double* model,
+                 const matrix::SparseVectorView& row) const override;
   void RowStep(const StepContext& ctx, matrix::Index i, double* model,
                double* aux) const override;
   void ColStep(const StepContext& ctx, matrix::Index j, double* model,
@@ -54,6 +57,9 @@ class SvmSpec : public GlmSpec {
 class LogisticSpec : public GlmSpec {
  public:
   std::string name() const override { return "LR"; }
+  /// P(y = +1 | row) = sigmoid(a . x).
+  double Predict(const double* model,
+                 const matrix::SparseVectorView& row) const override;
   void RowStep(const StepContext& ctx, matrix::Index i, double* model,
                double* aux) const override;
   void ColStep(const StepContext& ctx, matrix::Index j, double* model,
@@ -71,6 +77,9 @@ class LogisticSpec : public GlmSpec {
 class LeastSquaresSpec : public GlmSpec {
  public:
   std::string name() const override { return "LS"; }
+  /// Regression estimate a . x.
+  double Predict(const double* model,
+                 const matrix::SparseVectorView& row) const override;
   void RowStep(const StepContext& ctx, matrix::Index i, double* model,
                double* aux) const override;
   void ColStep(const StepContext& ctx, matrix::Index j, double* model,

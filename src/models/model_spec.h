@@ -19,6 +19,7 @@
 
 #include "data/dataset.h"
 #include "matrix/csc_matrix.h"
+#include "matrix/sparse_vector.h"
 
 namespace dw::models {
 
@@ -81,6 +82,17 @@ class ModelSpec {
   /// (the MLlib execution model); not on DimmWitted's own hot path.
   virtual void RowGradient(const StepContext& ctx, matrix::Index i,
                            const double* model, double* grad) const = 0;
+
+  // --- serving -------------------------------------------------------------
+
+  /// Scores one unseen feature row against a trained `model` (the serving
+  /// path: no dataset, no label). The default is the linear decision value
+  /// a . x; specs with a link function override it (e.g. logistic returns
+  /// P(y = +1 | a)).
+  virtual double Predict(const double* model,
+                         const matrix::SparseVectorView& row) const {
+    return row.Dot(model);
+  }
 
   /// Touch pattern of RowStep's model write (drives the cost model).
   virtual UpdateSparsity RowWriteSparsity() const {

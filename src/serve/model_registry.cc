@@ -1,0 +1,72 @@
+#include "serve/model_registry.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace dw::serve {
+
+const char* ToString(Replication r) {
+  switch (r) {
+    case Replication::kPerNode:
+      return "PerNode";
+    case Replication::kPerMachine:
+      return "PerMachine";
+  }
+  return "?";
+}
+
+ModelRegistry::ModelRegistry(const numa::Topology& topo,
+                             Replication replication)
+    : allocator_(std::make_shared<numa::NumaAllocator>(topo)),
+      replication_(replication) {}
+
+uint64_t ModelRegistry::Publish(const std::string& name,
+                                const std::vector<double>& weights) {
+  DW_CHECK(!weights.empty()) << "publishing an empty model";
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  const auto dim = static_cast<matrix::Index>(weights.size());
+  if (next_version_ == 1) {
+    dim_.store(dim, std::memory_order_release);
+  } else {
+    DW_CHECK_EQ(dim, dim_.load(std::memory_order_relaxed))
+        << "model dimension changed across Publish";
+  }
+  const uint64_t version = next_version_++;
+
+  // Build the replacement entirely off to the side; readers keep scoring
+  // against the old snapshot until the single pointer store below.
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snap->version_ = version;
+  snap->name_ = name;
+  snap->dim_ = static_cast<matrix::Index>(weights.size());
+  snap->allocator_ = allocator_;
+  const int copies = replication_ == Replication::kPerNode
+                         ? allocator_->topology().num_nodes
+                         : 1;
+  snap->replicas_.reserve(copies);
+  for (int n = 0; n < copies; ++n) {
+    auto replica = allocator_->AllocateOnNode<double>(n, weights.size());
+    std::memcpy(replica.data(), weights.data(),
+                weights.size() * sizeof(double));
+    snap->replicas_.push_back(std::move(replica));
+  }
+
+  std::atomic_store_explicit(
+      &current_, std::shared_ptr<const ModelSnapshot>(std::move(snap)),
+      std::memory_order_release);
+  return version;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::Acquire() const {
+  return std::atomic_load_explicit(&current_, std::memory_order_acquire);
+}
+
+uint64_t ModelRegistry::current_version() const {
+  const auto snap = Acquire();
+  return snap ? snap->version() : 0;
+}
+
+}  // namespace dw::serve

@@ -1,0 +1,120 @@
+// NUMA-replicated, versioned model snapshots for the serving path.
+//
+// Training (engine::Engine) exports a consensus model; the registry turns
+// each export into an immutable ModelSnapshot whose weights are replicated
+// per NUMA node through the same numa::NumaAllocator machinery the trainer
+// uses for its mutable replicas. Serving is the read-mostly regime where
+// the paper's PerNode replication (Sec. 3.3) is unambiguously right: every
+// reader scores against its node-local copy and no cacheline is ever
+// shared across sockets. kPerMachine (one shared copy) exists as the
+// baseline the serving bench compares against, mirroring Fig. 8.
+//
+// Hot-swap: Publish() builds the new snapshot off to the side and installs
+// it with one atomic pointer store. Concurrent readers either keep the
+// snapshot they already acquired (it is immutable and refcounted) or see
+// the new one -- never a mix of versions, never a torn weight vector.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "matrix/sparse_vector.h"
+#include "numa/numa_allocator.h"
+#include "numa/topology.h"
+
+namespace dw::serve {
+
+/// Granularity of the read-only serving replicas (the serving analogue of
+/// engine::ModelReplication; PerCore buys nothing for immutable state).
+enum class Replication {
+  kPerNode,     ///< one copy per NUMA node, readers route to the local one
+  kPerMachine,  ///< one shared copy on node 0 (the Fig. 8 baseline)
+};
+
+const char* ToString(Replication r);
+
+/// One immutable, versioned model. Readers hold it via shared_ptr, so a
+/// snapshot stays valid for as long as any in-flight batch references it,
+/// even after newer versions are published.
+class ModelSnapshot {
+ public:
+  uint64_t version() const { return version_; }
+  const std::string& name() const { return name_; }
+  matrix::Index dim() const { return dim_; }
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+
+  /// Node owning the replica that serves a reader on `node`.
+  numa::NodeId ReplicaNodeFor(numa::NodeId node) const {
+    return replicas_.size() == 1 ? replicas_[0].node()
+                                 : replicas_[node].node();
+  }
+
+  /// Weights a reader on `node` scores against: its node-local copy under
+  /// kPerNode, the single shared copy under kPerMachine.
+  const double* WeightsForNode(numa::NodeId node) const {
+    return replicas_.size() == 1 ? replicas_[0].data()
+                                 : replicas_[node].data();
+  }
+
+ private:
+  friend class ModelRegistry;
+  ModelSnapshot() = default;
+
+  uint64_t version_ = 0;
+  std::string name_;
+  matrix::Index dim_ = 0;
+  /// Keeps the ledger the replicas report into alive even if a reader
+  /// outlives the registry. Declared before replicas_ so it is destroyed
+  /// after them (their destructors post to the ledger).
+  std::shared_ptr<numa::NumaAllocator> allocator_;
+  std::vector<numa::NodeArray<double>> replicas_;
+};
+
+/// Holds the current snapshot and swaps it atomically on republish.
+class ModelRegistry {
+ public:
+  ModelRegistry(const numa::Topology& topo, Replication replication);
+
+  /// Copies `weights` into fresh per-node replicas and installs them as
+  /// the current version. Returns the new version (monotonic from 1).
+  /// The first Publish fixes the registry's model dimension; publishing a
+  /// different dimension later is a programming error (checked): readers
+  /// validate feature indices against dim() once at admission, which is
+  /// only sound if every version a batch might score against agrees.
+  uint64_t Publish(const std::string& name,
+                   const std::vector<double>& weights);
+
+  /// Acquires the current snapshot (nullptr before the first Publish).
+  std::shared_ptr<const ModelSnapshot> Acquire() const;
+
+  /// Version of the current snapshot (0 before the first Publish).
+  uint64_t current_version() const;
+
+  /// Model dimension shared by every published version (0 before the
+  /// first Publish). Lock-free; safe on the request admission hot path.
+  matrix::Index dim() const { return dim_.load(std::memory_order_acquire); }
+
+  Replication replication() const { return replication_; }
+  const numa::Topology& topology() const { return allocator_->topology(); }
+
+  /// Placement ledger: where the current snapshot's replica bytes live.
+  const numa::NodeLedger& ledger() const { return allocator_->ledger(); }
+
+ private:
+  std::shared_ptr<numa::NumaAllocator> allocator_;
+  Replication replication_;
+  /// Serializes publishers so installation order matches version order
+  /// (readers rely on current_version() never going backwards). A
+  /// blocking mutex: the critical section spans the replica allocation
+  /// and full-model copies, far too long to spin through.
+  std::mutex publish_mu_;
+  uint64_t next_version_ = 1;
+  std::atomic<matrix::Index> dim_{0};
+  /// Accessed only through std::atomic_load/atomic_store.
+  std::shared_ptr<const ModelSnapshot> current_;
+};
+
+}  // namespace dw::serve

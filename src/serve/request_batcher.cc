@@ -1,0 +1,88 @@
+#include "serve/request_batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dw::serve {
+
+RequestBatcher::RequestBatcher(const Options& opts) : opts_(opts) {
+  DW_CHECK_GT(opts_.max_batch_size, 0u);
+  DW_CHECK_GT(opts_.max_queue_rows, 0u);
+}
+
+StatusOr<std::future<double>> RequestBatcher::Submit(
+    std::vector<matrix::Index> indices, std::vector<double> values) {
+  if (indices.size() != values.size()) {
+    return Status::InvalidArgument("indices/values length mismatch");
+  }
+  ScoreRequest req;
+  req.indices = std::move(indices);
+  req.values = std::move(values);
+  req.enqueued_at = std::chrono::steady_clock::now();
+  std::future<double> fut = req.result.get_future();
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("batcher is shut down");
+    }
+    if (queue_.size() >= opts_.max_queue_rows) {
+      return Status::ResourceExhausted("serving queue full");
+    }
+    queue_.push_back(std::move(req));
+  }
+  // One waiter is enough: either the batch is full and it takes it, or it
+  // re-arms its deadline timer on the (possibly first) queued request.
+  ready_cv_.notify_one();
+  return fut;
+}
+
+bool RequestBatcher::NextBatch(Batch* out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (queue_.size() >= opts_.max_batch_size) break;  // flush on size
+    if (shutdown_) {
+      if (queue_.empty()) return false;
+      break;  // drain the remainder as a partial batch
+    }
+    if (!queue_.empty()) {
+      const auto deadline = queue_.front().enqueued_at + opts_.max_delay;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        break;  // flush on deadline
+      }
+      ready_cv_.wait_until(lk, deadline);
+    } else {
+      ready_cv_.wait(lk);
+    }
+  }
+
+  const size_t take = std::min(queue_.size(), opts_.max_batch_size);
+  out->requests.clear();
+  out->requests.reserve(take);
+  for (size_t k = 0; k < take; ++k) {
+    out->requests.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  lk.unlock();
+  // Leftover rows may already form another full batch (or a drain batch):
+  // hand them to a sibling worker immediately.
+  ready_cv_.notify_one();
+  return true;
+}
+
+void RequestBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+size_t RequestBatcher::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+}  // namespace dw::serve

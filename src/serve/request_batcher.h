@@ -1,0 +1,88 @@
+// Request coalescing for the serving hot path.
+//
+// Single-row score requests are tiny; dispatching each one to a worker
+// would spend more time on queue traffic than on math, and the model
+// replica would be re-read from DRAM for every row. The batcher coalesces
+// requests into dense mini-batches so one worker runs the row-wise access
+// method over max_batch_size rows against a replica that stays hot in
+// cache -- the serving analogue of an epoch's sequential row scan.
+//
+// Flush policy: a batch is released as soon as it reaches max_batch_size
+// rows (flush on size), or when the OLDEST queued request has waited
+// max_delay (flush on deadline), whichever comes first. Shutdown() drains:
+// workers keep receiving partial batches until the queue is empty, so no
+// accepted request is ever dropped.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "matrix/sparse_vector.h"
+#include "util/status.h"
+
+namespace dw::serve {
+
+/// One single-row score request: an owned sparse feature vector plus the
+/// promise the scoring worker fulfills.
+struct ScoreRequest {
+  std::vector<matrix::Index> indices;
+  std::vector<double> values;
+  std::promise<double> result;
+  std::chrono::steady_clock::time_point enqueued_at;
+
+  matrix::SparseVectorView View() const {
+    return {indices.data(), values.data(), values.size()};
+  }
+};
+
+/// A mini-batch handed to one scoring worker.
+struct Batch {
+  std::vector<ScoreRequest> requests;
+  size_t rows() const { return requests.size(); }
+};
+
+/// Bounded MPMC queue with size/deadline batch formation.
+class RequestBatcher {
+ public:
+  struct Options {
+    size_t max_batch_size = 64;
+    std::chrono::microseconds max_delay{500};
+    /// Admission bound: Submit rejects (back-pressure) beyond this many
+    /// queued rows instead of letting latency grow without limit.
+    size_t max_queue_rows = 1 << 16;
+  };
+
+  explicit RequestBatcher(const Options& opts);
+
+  /// Enqueues one row. The future resolves once a worker scores the batch
+  /// containing it. Fails with ResourceExhausted when the queue is full
+  /// and FailedPrecondition after Shutdown().
+  StatusOr<std::future<double>> Submit(std::vector<matrix::Index> indices,
+                                       std::vector<double> values);
+
+  /// Blocks until a batch is ready under the flush policy; returns false
+  /// only once the batcher is shut down AND fully drained.
+  bool NextBatch(Batch* out);
+
+  /// Stops admission and wakes all waiting workers to drain the queue.
+  void Shutdown();
+
+  /// Rows currently queued (racy snapshot; for tests and stats).
+  size_t pending() const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  const Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<ScoreRequest> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace dw::serve

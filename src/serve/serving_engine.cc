@@ -1,0 +1,242 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/thread_util.h"
+
+namespace dw::serve {
+
+using matrix::Index;
+
+// Per-worker mutable state. Workers update it under a spinlock taken once
+// per batch (cold relative to the scoring loop); Stats() aggregates under
+// the same locks.
+struct ServingEngine::WorkerState {
+  mutable SpinLock mu;
+  engine::LatencyRecorder latencies;
+  numa::AccessCounters counters;
+  uint64_t batches = 0;
+  uint64_t rows = 0;
+  uint64_t local_replica_batches = 0;
+  uint64_t remote_replica_batches = 0;
+};
+
+ServingEngine::ServingEngine(const models::ModelSpec* spec,
+                             ServingOptions options)
+    : spec_(spec),
+      options_(std::move(options)),
+      registry_(options_.topology, options_.replication),
+      batcher_(options_.batch) {
+  DW_CHECK(spec_ != nullptr);
+  const numa::Topology& topo = options_.topology;
+  const int nw = options_.num_threads > 0 ? options_.num_threads
+                                          : topo.total_cores();
+  // Round-robin workers over nodes so every socket serves traffic at any
+  // thread count (core ids are node-major: node n owns cores
+  // [n*cores_per_node, (n+1)*cores_per_node)).
+  worker_cores_.reserve(nw);
+  worker_nodes_.reserve(nw);
+  for (int w = 0; w < nw; ++w) {
+    const numa::NodeId node = w % topo.num_nodes;
+    const int slot = (w / topo.num_nodes) % topo.cores_per_node;
+    const numa::CoreId core = node * topo.cores_per_node + slot;
+    worker_cores_.push_back(core);
+    worker_nodes_.push_back(node);
+  }
+  // Built once here (never rebuilt) so a monitoring thread's Stats() can
+  // iterate the states concurrently with Start().
+  worker_states_.reserve(nw);
+  for (int w = 0; w < nw; ++w) {
+    worker_states_.push_back(std::make_unique<WorkerState>());
+  }
+}
+
+ServingEngine::~ServingEngine() { Stop(); }
+
+uint64_t ServingEngine::Publish(const std::string& name,
+                                const std::vector<double>& weights) {
+  return registry_.Publish(name, weights);
+}
+
+uint64_t ServingEngine::Publish(const engine::ModelExport& exported) {
+  return registry_.Publish(exported.spec_name, exported.weights);
+}
+
+Status ServingEngine::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("already started");
+  }
+  if (stopped_) {
+    // Stop() shuts the batcher down for good (drain semantics); a stopped
+    // engine cannot be revived -- construct a fresh one.
+    return Status::FailedPrecondition("engine was stopped; not restartable");
+  }
+  if (registry_.current_version() == 0) {
+    return Status::FailedPrecondition("no model published");
+  }
+  const int nw = num_workers();
+  workers_.reserve(nw);
+  for (int w = 0; w < nw; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  serve_timer_.Reset();
+  running_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void ServingEngine::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  batcher_.Shutdown();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  stopped_wall_sec_ = serve_timer_.Seconds();
+  running_.store(false, std::memory_order_release);
+  stopped_ = true;
+}
+
+StatusOr<std::future<double>> ServingEngine::Score(
+    std::vector<Index> indices, std::vector<double> values) {
+  // Requests cross a trust boundary: an out-of-range feature index would
+  // read past the replica inside SparseVectorView::Dot. The registry
+  // enforces one dimension across all published versions, so this
+  // admission check holds for whichever version scores the batch -- and
+  // reading the lock-free dim() avoids a contended snapshot acquire per
+  // single-row submit.
+  const Index dim = registry_.dim();
+  if (dim == 0) {
+    return Status::FailedPrecondition("no model published");
+  }
+  for (const Index i : indices) {
+    if (i >= dim) {
+      return Status::InvalidArgument("feature index out of range");
+    }
+  }
+  // Without workers a queued promise would never resolve (ScoreSync would
+  // hang); the batcher itself only rejects after Shutdown.
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine not started");
+  }
+  return batcher_.Submit(std::move(indices), std::move(values));
+}
+
+StatusOr<double> ServingEngine::ScoreSync(std::vector<Index> indices,
+                                          std::vector<double> values) {
+  auto fut = Score(std::move(indices), std::move(values));
+  if (!fut.ok()) return fut.status();
+  return std::move(fut).value().get();
+}
+
+void ServingEngine::WorkerLoop(int worker_id) {
+  SetCurrentThreadName("dw-serve-" + std::to_string(worker_id));
+  const numa::Topology& topo = options_.topology;
+  const numa::NodeId node = worker_nodes_[worker_id];
+  if (options_.pin_threads) {
+    const int cpu =
+        topo.PhysicalCpuOfCore(worker_cores_[worker_id], NumOnlineCpus());
+    (void)PinCurrentThreadToCpu(cpu);
+  }
+  WorkerState& ws = *worker_states_[worker_id];
+
+  Batch batch;
+  while (batcher_.NextBatch(&batch)) {
+    // One registry acquire per BATCH: the snapshot is pinned for the whole
+    // scan, so a concurrent Publish can never tear a batch across
+    // versions.
+    const auto snap = registry_.Acquire();
+    const double* weights = snap->WeightsForNode(node);
+    const bool replica_local = snap->ReplicaNodeFor(node) == node;
+
+    numa::AccessCounters delta;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(batch.rows());
+    for (ScoreRequest& req : batch.requests) {
+      const double score = spec_->Predict(weights, req.View());
+      req.result.set_value(score);
+      // Stamped after set_value so the recorded latency covers the full
+      // submit-to-resolution interval, including this batch's scoring.
+      const auto resolved_at = std::chrono::steady_clock::now();
+      const uint64_t nnz = req.values.size();
+      // Request payload arrives node-local (the batch was just written);
+      // model reads hit the routed replica.
+      delta.local_read_bytes += nnz * (sizeof(double) + sizeof(Index));
+      const uint64_t model_bytes = nnz * sizeof(double);
+      if (replica_local) {
+        delta.model_read_bytes += model_bytes;
+      } else {
+        delta.remote_read_bytes += model_bytes;
+      }
+      delta.flops += 2 * nnz;
+      ++delta.updates;
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(resolved_at -
+                                                    req.enqueued_at)
+              .count());
+    }
+
+    std::lock_guard<SpinLock> g(ws.mu);
+    ws.counters.Merge(delta);
+    ws.batches += 1;
+    ws.rows += batch.rows();
+    if (replica_local) {
+      ws.local_replica_batches += 1;
+    } else {
+      ws.remote_replica_batches += 1;
+    }
+    for (double ms : latencies_ms) ws.latencies.Record(ms);
+  }
+}
+
+ServingStats ServingEngine::Stats() const {
+  ServingStats s;
+  engine::LatencyRecorder all;
+  for (const auto& ws : worker_states_) {
+    std::lock_guard<SpinLock> g(ws->mu);
+    s.requests += ws->rows;
+    s.batches += ws->batches;
+    s.local_replica_batches += ws->local_replica_batches;
+    s.remote_replica_batches += ws->remote_replica_batches;
+    s.traffic.Merge(ws->counters);
+    all.Merge(ws->latencies);
+  }
+  s.wall_sec = running_.load(std::memory_order_acquire)
+                   ? serve_timer_.Seconds()
+                   : stopped_wall_sec_;
+  if (s.wall_sec > 0.0) {
+    s.rows_per_sec = static_cast<double>(s.requests) / s.wall_sec;
+  }
+  if (s.batches > 0) {
+    s.mean_batch_rows =
+        static_cast<double>(s.requests) / static_cast<double>(s.batches);
+  }
+  const std::vector<double> pct = all.Percentiles({50.0, 99.0});
+  s.p50_latency_ms = pct[0];
+  s.p99_latency_ms = pct[1];
+  return s;
+}
+
+numa::SimulationInput ServingEngine::SimInput() const {
+  const numa::Topology& topo = options_.topology;
+  numa::SimulationInput in(topo.num_nodes);
+  for (int w = 0; w < num_workers(); ++w) {
+    const WorkerState& ws = *worker_states_[w];
+    std::lock_guard<SpinLock> g(ws.mu);
+    in.traffic.Add(worker_nodes_[w], ws.counters);
+    ++in.active_workers[worker_nodes_[w]];
+  }
+  // Read-only serving never writes shared lines, but a PerMachine replica
+  // is still read by every socket; the memory model charges the remote
+  // reads accounted above.
+  in.model_sharing_sockets =
+      options_.replication == Replication::kPerMachine ? topo.num_nodes : 1;
+  const auto snap = registry_.Acquire();
+  if (snap) {
+    in.model_bytes = static_cast<uint64_t>(snap->dim()) * sizeof(double);
+  }
+  return in;
+}
+
+}  // namespace dw::serve

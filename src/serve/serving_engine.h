@@ -1,0 +1,134 @@
+// The model serving engine: a concurrent scoring service over trained
+// models (ROADMAP north star: heavy read traffic, as fast as the hardware
+// allows).
+//
+// Architecture: producers Submit() single-row requests; the RequestBatcher
+// coalesces them into mini-batches; a pool of worker threads -- pinned to
+// physical CPUs through the same virtual-topology map the trainer uses --
+// pops batches and scores every row with ModelSpec::Predict against the
+// replica of its own NUMA node (serve::ModelRegistry). Inference never
+// writes shared state, so with kPerNode replication the hot path touches
+// only node-local memory: the read-mostly endpoint of the paper's Sec. 3.3
+// tradeoff. kPerMachine routes every node to the node-0 copy and exists as
+// the bench baseline (remote reads cross the simulated interconnect).
+//
+// Workers account their logical traffic with numa::AccessCounters exactly
+// like training epochs do, so bench_serving can report both measured
+// rows/sec and memory-model throughput on the paper's topologies, and they
+// record per-request latency into engine::LatencyRecorder for p50/p99.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/metrics.h"
+#include "models/model_spec.h"
+#include "numa/access_counters.h"
+#include "numa/memory_model.h"
+#include "numa/topology.h"
+#include "serve/model_registry.h"
+#include "serve/request_batcher.h"
+#include "util/barrier.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace dw::serve {
+
+struct ServingOptions {
+  numa::Topology topology = numa::HostTopology();
+  /// Scoring threads; -1 means one per virtual core. Workers are assigned
+  /// to nodes round-robin so every socket serves traffic at any count.
+  int num_threads = -1;
+  Replication replication = Replication::kPerNode;
+  RequestBatcher::Options batch;
+  /// Pin workers to physical CPUs through the topology map.
+  bool pin_threads = true;
+};
+
+/// Aggregated serving counters since Start().
+struct ServingStats {
+  uint64_t requests = 0;  ///< rows scored (fulfilled futures)
+  uint64_t batches = 0;
+  double wall_sec = 0.0;
+  double rows_per_sec = 0.0;        ///< requests / wall_sec
+  double mean_batch_rows = 0.0;
+  double p50_latency_ms = 0.0;      ///< submit-to-score, per request
+  double p99_latency_ms = 0.0;
+  uint64_t local_replica_batches = 0;   ///< routed to the worker's node
+  uint64_t remote_replica_batches = 0;  ///< crossed the interconnect
+  numa::AccessCounters traffic;         ///< logical totals across workers
+};
+
+/// Construct, Publish() at least one model, Start(), then Score().
+class ServingEngine {
+ public:
+  /// `spec` must outlive the engine; it supplies Predict().
+  ServingEngine(const models::ModelSpec* spec, ServingOptions options);
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Publishes a model version (atomic hot-swap; callable any time, also
+  /// while serving). Returns the new version.
+  uint64_t Publish(const std::string& name,
+                   const std::vector<double>& weights);
+
+  /// Publishes a trainer export: `server.Publish(engine.Export())`.
+  uint64_t Publish(const engine::ModelExport& exported);
+
+  /// Starts the worker pool. Fails if no model has been published.
+  Status Start();
+
+  /// Drains the queue (every accepted request is still scored), then
+  /// stops and joins the workers. Idempotent and final: a stopped engine
+  /// cannot be Start()ed again.
+  void Stop();
+
+  /// Enqueues one sparse row for scoring. The future resolves with
+  /// ModelSpec::Predict of the row under the current model.
+  StatusOr<std::future<double>> Score(std::vector<matrix::Index> indices,
+                                      std::vector<double> values);
+
+  /// Convenience: Score() and wait for the result.
+  StatusOr<double> ScoreSync(std::vector<matrix::Index> indices,
+                             std::vector<double> values);
+
+  /// Counters aggregated across workers (callable while serving).
+  ServingStats Stats() const;
+
+  /// Serving traffic shaped for numa::MemoryModel::SimulateEpoch -- the
+  /// serving analogue of engine::Engine::last_epoch_sim().
+  numa::SimulationInput SimInput() const;
+
+  const ModelRegistry& registry() const { return registry_; }
+  const ServingOptions& options() const { return options_; }
+  int num_workers() const { return static_cast<int>(worker_nodes_.size()); }
+
+ private:
+  struct WorkerState;
+
+  void WorkerLoop(int worker_id);
+
+  const models::ModelSpec* spec_;
+  ServingOptions options_;
+  ModelRegistry registry_;
+  RequestBatcher batcher_;
+
+  std::vector<numa::CoreId> worker_cores_;
+  std::vector<numa::NodeId> worker_nodes_;
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+  std::vector<std::thread> workers_;
+  /// Atomic: Stats() may run on a monitoring thread while the owner
+  /// Stop()s; stopped_wall_sec_ is published by the release store.
+  std::atomic<bool> running_{false};
+  bool stopped_ = false;  ///< owner-thread only (Start/Stop)
+  WallTimer serve_timer_;
+  double stopped_wall_sec_ = 0.0;
+};
+
+}  // namespace dw::serve

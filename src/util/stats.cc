@@ -26,4 +26,20 @@ double Mean(const std::vector<double>& xs) {
   return sum / static_cast<double>(xs.size());
 }
 
+double Percentile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return PercentileSorted(xs, p);
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[lo + 1] - sorted[lo]) * frac;
+}
+
 }  // namespace dw

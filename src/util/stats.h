@@ -24,6 +24,14 @@ Summary Summarize(std::vector<double> xs);
 /// Population mean of `xs`, 0 if empty.
 double Mean(const std::vector<double>& xs);
 
+/// The p-th percentile of `xs` (p in [0, 100], linear interpolation
+/// between order statistics); 0 if empty.
+double Percentile(std::vector<double> xs, double p);
+
+/// Same, for `sorted` already in ascending order (no copy, no sort) --
+/// use when querying several percentiles of one sample.
+double PercentileSorted(const std::vector<double>& sorted, double p);
+
 /// Relative error |a - b| / max(|b|, eps).
 inline double RelativeError(double a, double b, double eps = 1e-12) {
   const double denom = std::max(std::abs(b), eps);

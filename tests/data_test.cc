@@ -213,7 +213,9 @@ TEST(TransformsTest, SubsampleElementsReducesNnz) {
   EXPECT_NEAR(static_cast<double>(sub.a.nnz()) / d.a.nnz(), 0.3, 0.1);
   // No row lost all of its elements.
   for (Index i = 0; i < sub.a.rows(); ++i) {
-    if (d.a.RowNnz(i) > 0) EXPECT_GE(sub.a.RowNnz(i), 1u);
+    if (d.a.RowNnz(i) > 0) {
+      EXPECT_GE(sub.a.RowNnz(i), 1u);
+    }
   }
 }
 
@@ -231,7 +233,9 @@ TEST(TransformsTest, NormalizeRowsGivesUnitNorms) {
   const Dataset norm = NormalizeRows(d);
   for (Index i = 0; i < norm.a.rows(); ++i) {
     const double sq = norm.a.Row(i).SquaredNorm();
-    if (d.a.RowNnz(i) > 0) EXPECT_NEAR(sq, 1.0, 1e-9);
+    if (d.a.RowNnz(i) > 0) {
+      EXPECT_NEAR(sq, 1.0, 1e-9);
+    }
   }
 }
 

@@ -387,8 +387,12 @@ TEST(EngineTest, TargetLossHelpers) {
   EXPECT_NEAR(RunResult::TargetLoss(2.0, 0.5), 3.0, 1e-9);
   EXPECT_NEAR(RunResult::TargetLoss(-2.0, 0.5), -1.0, 1e-9);
   RunResult rr;
-  rr.epochs.push_back({.epoch = 0, .loss = 5.0, .wall_sec = 1.0, .sim_sec = 2.0});
-  rr.epochs.push_back({.epoch = 1, .loss = 2.0, .wall_sec = 1.0, .sim_sec = 2.0});
+  rr.epochs.push_back(
+      {.epoch = 0, .loss = 5.0, .wall_sec = 1.0, .sim_sec = 2.0,
+       .loss_eval_sec = 0.0, .traffic = {}});
+  rr.epochs.push_back(
+      {.epoch = 1, .loss = 2.0, .wall_sec = 1.0, .sim_sec = 2.0,
+       .loss_eval_sec = 0.0, .traffic = {}});
   EXPECT_EQ(rr.EpochsToLoss(2.5), 2);
   EXPECT_EQ(rr.EpochsToLoss(0.5), -1);
   EXPECT_NEAR(rr.WallSecToLoss(2.5), 2.0, 1e-9);

@@ -392,6 +392,89 @@ TEST(QpTest, LossMatchesQuadraticForm) {
   EXPECT_NEAR(qp.Loss(d, x.data()), quad / d.a.rows(), 1e-9);
 }
 
+// --- Predict (the serving entry point) -------------------------------------
+
+// Predict must be consistent with the training losses: for every GLM the
+// row loss is a fixed function of the predicted margin/estimate.
+
+TEST(PredictTest, SvmPredictionIsTheMarginInsideRowLoss) {
+  const Dataset d = TinyClassification(30, 6, 61);
+  SvmSpec svm;
+  Rng rng(62);
+  std::vector<double> model(6);
+  for (auto& m : model) m = rng.Gaussian(0.0, 0.7);
+  for (Index i = 0; i < d.a.rows(); ++i) {
+    const double decision = svm.Predict(model.data(), d.a.Row(i));
+    const double margin = d.b[i] * decision;
+    const double expected = margin < 1.0 ? 1.0 - margin : 0.0;
+    EXPECT_NEAR(svm.RowLoss(d, i, model.data()), expected, 1e-12);
+  }
+}
+
+TEST(PredictTest, LogisticPredictionIsTheProbabilityInsideRowLoss) {
+  const Dataset d = TinyClassification(30, 6, 67);
+  LogisticSpec lr;
+  Rng rng(68);
+  std::vector<double> model(6);
+  for (auto& m : model) m = rng.Gaussian(0.0, 0.7);
+  for (Index i = 0; i < d.a.rows(); ++i) {
+    const double p = lr.Predict(model.data(), d.a.Row(i));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    // RowLoss = -log P(y_i | a_i): P(+1) = p, P(-1) = 1 - p.
+    const double p_label = d.b[i] > 0 ? p : 1.0 - p;
+    EXPECT_NEAR(lr.RowLoss(d, i, model.data()), -std::log(p_label), 1e-9);
+  }
+}
+
+TEST(PredictTest, LeastSquaresPredictionIsTheResidualInsideRowLoss) {
+  const Dataset d = TinyRegression(30, 5, 71);
+  LeastSquaresSpec ls;
+  Rng rng(72);
+  std::vector<double> model(5);
+  for (auto& m : model) m = rng.Gaussian(0.0, 0.5);
+  for (Index i = 0; i < d.a.rows(); ++i) {
+    const double estimate = ls.Predict(model.data(), d.a.Row(i));
+    const double r = estimate - d.b[i];
+    EXPECT_NEAR(ls.RowLoss(d, i, model.data()), 0.5 * r * r, 1e-12);
+  }
+}
+
+TEST(PredictTest, TrainedLeastSquaresPredictsTargetsWithinNoiseMargin) {
+  // End-to-end: a model trained to the noise floor must predict every
+  // target within a margin consistent with its final training loss.
+  const Dataset d = TinyRegression(80, 6, 73);
+  LeastSquaresSpec ls;
+  const CscMatrix csc = CscMatrix::FromCsr(d.a);
+  std::vector<double> model(6, 0.0);
+  std::vector<double> aux(ls.AuxDim(d));
+  ls.RefreshAux(d, model.data(), aux.data());
+  StepContext ctx{&d, &csc, 1.0};
+  for (int e = 0; e < 80; ++e) {
+    for (Index j = 0; j < 6; ++j) ls.ColStep(ctx, j, model.data(), aux.data());
+  }
+  const double loss = ls.Loss(d, model.data());
+  EXPECT_LT(loss, 0.01);
+  // Mean 0.5 r^2 = loss => RMS residual = sqrt(2 loss); allow 6 sigma.
+  const double margin = 6.0 * std::sqrt(2.0 * loss);
+  for (Index i = 0; i < d.a.rows(); ++i) {
+    EXPECT_NEAR(ls.Predict(model.data(), d.a.Row(i)), d.b[i], margin);
+  }
+}
+
+TEST(PredictTest, DefaultPredictIsLinearDecisionValue) {
+  // The base-class default (used by specs without a link function) is the
+  // plain dot product.
+  Dataset d;
+  auto m = matrix::CsrMatrix::FromTriplets(1, 3, {{0, 0, 2.0}, {0, 2, 3.0}});
+  ASSERT_TRUE(m.ok());
+  d.a = std::move(m).value();
+  d.b = {0.0};
+  SvmSpec svm;
+  const double model[3] = {1.0, 5.0, -1.0};
+  EXPECT_DOUBLE_EQ(svm.Predict(model, d.a.Row(0)), 2.0 - 3.0);
+}
+
 // --- parallel sum ----------------------------------------------------------
 
 TEST(ParallelSumTest, AccumulatesRowTotals) {

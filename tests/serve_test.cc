@@ -1,0 +1,505 @@
+// Tests for src/serve: registry placement and hot-swap safety, batcher
+// flush semantics, and end-to-end serving correctness against
+// single-threaded reference scores.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "engine/metrics.h"
+#include "models/glm.h"
+#include "serve/model_registry.h"
+#include "serve/request_batcher.h"
+#include "serve/serving_engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace dw::serve {
+namespace {
+
+using matrix::Index;
+
+std::vector<double> ConstantWeights(size_t dim, double v) {
+  return std::vector<double>(dim, v);
+}
+
+// --- registry -------------------------------------------------------------
+
+TEST(ModelRegistryTest, EmptyUntilFirstPublish) {
+  ModelRegistry reg(numa::Local2(), Replication::kPerNode);
+  EXPECT_EQ(reg.current_version(), 0u);
+  EXPECT_EQ(reg.Acquire(), nullptr);
+}
+
+TEST(ModelRegistryTest, PerNodePlacesOneReplicaPerNode) {
+  const numa::Topology topo = numa::Local2();
+  ModelRegistry reg(topo, Replication::kPerNode);
+  const uint64_t v = reg.Publish("m", ConstantWeights(128, 1.5));
+  EXPECT_EQ(v, 1u);
+
+  const auto snap = reg.Acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->num_replicas(), topo.num_nodes);
+  EXPECT_EQ(snap->dim(), 128u);
+  EXPECT_EQ(reg.dim(), 128u);
+  for (int n = 0; n < topo.num_nodes; ++n) {
+    EXPECT_EQ(snap->ReplicaNodeFor(n), n);
+    EXPECT_DOUBLE_EQ(snap->WeightsForNode(n)[127], 1.5);
+    // Every node holds a full copy of the model bytes.
+    EXPECT_EQ(reg.ledger().BytesOnNode(n), 128 * sizeof(double));
+  }
+}
+
+TEST(ModelRegistryTest, PerMachineKeepsOneCopyOnNodeZero) {
+  const numa::Topology topo = numa::Local2();
+  ModelRegistry reg(topo, Replication::kPerMachine);
+  reg.Publish("m", ConstantWeights(64, 2.0));
+
+  const auto snap = reg.Acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->num_replicas(), 1);
+  // Readers on every node route to the node-0 copy.
+  EXPECT_EQ(snap->ReplicaNodeFor(0), 0);
+  EXPECT_EQ(snap->ReplicaNodeFor(1), 0);
+  EXPECT_EQ(snap->WeightsForNode(0), snap->WeightsForNode(1));
+  EXPECT_EQ(reg.ledger().BytesOnNode(0), 64 * sizeof(double));
+  EXPECT_EQ(reg.ledger().BytesOnNode(1), 0u);
+}
+
+TEST(ModelRegistryTest, RepublishSwapsVersionAndFreesOldReplicas) {
+  ModelRegistry reg(numa::Local2(), Replication::kPerNode);
+  reg.Publish("m", ConstantWeights(32, 1.0));
+  const auto old_snap = reg.Acquire();
+  EXPECT_EQ(reg.Publish("m", ConstantWeights(32, 2.0)), 2u);
+  EXPECT_EQ(reg.current_version(), 2u);
+  // The old snapshot stays valid while referenced...
+  EXPECT_DOUBLE_EQ(old_snap->WeightsForNode(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(reg.Acquire()->WeightsForNode(0)[0], 2.0);
+  // ...and both versions' bytes are live until the old one is released.
+  EXPECT_EQ(reg.ledger().BytesOnNode(0), 2 * 32 * sizeof(double));
+}
+
+TEST(ModelRegistryTest, SnapshotOutlivesRegistry) {
+  std::shared_ptr<const ModelSnapshot> snap;
+  {
+    ModelRegistry reg(numa::Local2(), Replication::kPerNode);
+    reg.Publish("m", ConstantWeights(16, 3.0));
+    snap = reg.Acquire();
+  }
+  // The snapshot keeps its allocator (and ledger) alive.
+  EXPECT_DOUBLE_EQ(snap->WeightsForNode(1)[15], 3.0);
+}
+
+TEST(ModelRegistryTest, HotSwapUnderConcurrentReadersHasNoTornReads) {
+  // The publisher writes snapshots whose entries all equal the version
+  // number; a torn read would surface as a snapshot mixing two values.
+  const size_t dim = 512;
+  ModelRegistry reg(numa::Local8(), Replication::kPerNode);
+  reg.Publish("m", ConstantWeights(dim, 1.0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t last_version = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto snap = reg.Acquire();
+        const int node = t % 8;
+        const double* w = snap->WeightsForNode(node);
+        const double first = w[0];
+        for (size_t k = 0; k < dim; ++k) {
+          if (w[k] != first) {
+            torn.fetch_add(1);
+            break;
+          }
+        }
+        if (first != static_cast<double>(snap->version())) torn.fetch_add(1);
+        if (snap->version() < last_version) torn.fetch_add(1);
+        last_version = snap->version();
+      }
+    });
+  }
+  for (int v = 2; v <= 60; ++v) {
+    reg.Publish("m", ConstantWeights(dim, static_cast<double>(v)));
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(reg.current_version(), 60u);
+}
+
+// --- batcher --------------------------------------------------------------
+
+RequestBatcher::Options BatchOpts(size_t max_batch,
+                                  std::chrono::microseconds delay,
+                                  size_t max_rows = 1 << 16) {
+  RequestBatcher::Options o;
+  o.max_batch_size = max_batch;
+  o.max_delay = delay;
+  o.max_queue_rows = max_rows;
+  return o;
+}
+
+std::future<double> MustSubmit(RequestBatcher& b, double value) {
+  auto fut = b.Submit({0}, {value});
+  EXPECT_TRUE(fut.ok()) << fut.status().ToString();
+  return std::move(fut).value();
+}
+
+TEST(RequestBatcherTest, FlushesOnSizeWithoutWaitingForDeadline) {
+  RequestBatcher b(BatchOpts(4, std::chrono::seconds(10)));
+  for (int i = 0; i < 4; ++i) MustSubmit(b, i);
+  WallTimer timer;
+  Batch batch;
+  ASSERT_TRUE(b.NextBatch(&batch));
+  EXPECT_EQ(batch.rows(), 4u);
+  // Released by the size trigger, not the 10 s deadline.
+  EXPECT_LT(timer.Seconds(), 1.0);
+  EXPECT_EQ(b.pending(), 0u);
+}
+
+TEST(RequestBatcherTest, FlushesPartialBatchOnDeadline) {
+  const auto delay = std::chrono::milliseconds(25);
+  RequestBatcher b(BatchOpts(1000, delay));
+  MustSubmit(b, 1.0);
+  WallTimer timer;
+  Batch batch;
+  ASSERT_TRUE(b.NextBatch(&batch));
+  const double waited = timer.Seconds();
+  EXPECT_EQ(batch.rows(), 1u);
+  // The wait is bounded by the deadline on both sides (generous upper
+  // bound for slow CI).
+  EXPECT_GE(waited, 0.015);
+  EXPECT_LT(waited, 5.0);
+}
+
+TEST(RequestBatcherTest, ShutdownDrainsRemainderThenStops) {
+  RequestBatcher b(BatchOpts(1000, std::chrono::seconds(10)));
+  for (int i = 0; i < 3; ++i) MustSubmit(b, i);
+  b.Shutdown();
+  Batch batch;
+  ASSERT_TRUE(b.NextBatch(&batch));
+  EXPECT_EQ(batch.rows(), 3u);
+  EXPECT_FALSE(b.NextBatch(&batch));
+  // Admission is closed.
+  EXPECT_EQ(b.Submit({0}, {1.0}).status().code(),
+            Status::Code::kFailedPrecondition);
+}
+
+TEST(RequestBatcherTest, RejectsBeyondQueueBound) {
+  RequestBatcher b(BatchOpts(1000, std::chrono::seconds(10), 2));
+  MustSubmit(b, 1.0);
+  MustSubmit(b, 2.0);
+  EXPECT_EQ(b.Submit({0}, {3.0}).status().code(),
+            Status::Code::kResourceExhausted);
+}
+
+TEST(RequestBatcherTest, RejectsMismatchedRow) {
+  RequestBatcher b(BatchOpts(8, std::chrono::milliseconds(1)));
+  EXPECT_EQ(b.Submit({0, 1}, {1.0}).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(RequestBatcherTest, OversizedBurstSplitsIntoFullBatches) {
+  RequestBatcher b(BatchOpts(4, std::chrono::seconds(10)));
+  for (int i = 0; i < 10; ++i) MustSubmit(b, i);
+  b.Shutdown();
+  Batch batch;
+  size_t total = 0;
+  std::vector<size_t> sizes;
+  while (b.NextBatch(&batch)) {
+    sizes.push_back(batch.rows());
+    total += batch.rows();
+  }
+  EXPECT_EQ(total, 10u);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 4u);
+  EXPECT_EQ(sizes[1], 4u);
+  EXPECT_EQ(sizes[2], 2u);
+}
+
+// --- serving engine -------------------------------------------------------
+
+// A row view over dataset row i, copied into the Submit format.
+void RowOf(const data::Dataset& d, Index i, std::vector<Index>* idx,
+           std::vector<double>* vals) {
+  const auto row = d.a.Row(i);
+  idx->assign(row.indices, row.indices + row.nnz);
+  vals->assign(row.values, row.values + row.nnz);
+}
+
+data::Dataset ServeDataset(Index rows, Index cols, uint64_t seed) {
+  data::Dataset d;
+  d.name = "serve";
+  d.a = data::MakeDenseTable({.rows = rows, .cols = cols,
+                              .feature_correlation = 0.2, .seed = seed});
+  d.b = data::PlantClassificationLabels(d.a, cols, 0.0, seed + 1);
+  return d;
+}
+
+TEST(ServingEngineTest, StartRequiresPublishedModel) {
+  models::LogisticSpec lr;
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  ServingEngine server(&lr, opts);
+  EXPECT_EQ(server.Start().code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(server.Score({0}, {1.0}).status().code(),
+            Status::Code::kFailedPrecondition);
+}
+
+TEST(ServingEngineTest, ServedScoresMatchSingleThreadedReference) {
+  // Multi-threaded smoke test: every score served by the pool must equal
+  // the single-threaded ModelSpec::Predict of the same row.
+  const data::Dataset d = ServeDataset(400, 24, 91);
+  models::LogisticSpec lr;
+  Rng rng(7);
+  std::vector<double> weights(24);
+  for (auto& w : weights) w = rng.Gaussian(0.0, 0.5);
+
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  opts.batch.max_batch_size = 32;
+  opts.batch.max_delay = std::chrono::microseconds(200);
+  ServingEngine server(&lr, opts);
+  server.Publish("lr", weights);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::future<double>> futures(d.a.rows());
+  std::vector<std::thread> producers;
+  const int kProducers = 4;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<Index> idx;
+      std::vector<double> vals;
+      for (Index i = p; i < d.a.rows(); i += kProducers) {
+        RowOf(d, i, &idx, &vals);
+        auto fut = server.Score(idx, vals);
+        ASSERT_TRUE(fut.ok()) << fut.status().ToString();
+        futures[i] = std::move(fut).value();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  for (Index i = 0; i < d.a.rows(); ++i) {
+    const double served = futures[i].get();
+    const double reference = lr.Predict(weights.data(), d.a.Row(i));
+    EXPECT_DOUBLE_EQ(served, reference) << "row " << i;
+    EXPECT_GE(served, 0.0);
+    EXPECT_LE(served, 1.0);
+  }
+
+  server.Stop();
+  const ServingStats stats = server.Stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(d.a.rows()));
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.rows_per_sec, 0.0);
+  EXPECT_GE(stats.p99_latency_ms, stats.p50_latency_ms);
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  // PerNode routing never crosses the interconnect.
+  EXPECT_EQ(stats.remote_replica_batches, 0u);
+  EXPECT_EQ(stats.traffic.remote_read_bytes, 0u);
+  EXPECT_EQ(stats.traffic.updates, static_cast<uint64_t>(d.a.rows()));
+}
+
+TEST(ServingEngineTest, PerMachineRoutingCrossesTheInterconnect) {
+  models::LeastSquaresSpec ls;
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  opts.replication = Replication::kPerMachine;
+  opts.num_threads = 2;  // one worker per node (round-robin assignment)
+  opts.batch.max_batch_size = 8;
+  opts.batch.max_delay = std::chrono::microseconds(100);
+  ServingEngine server(&ls, opts);
+  server.Publish("ls", ConstantWeights(8, 0.5));
+  ASSERT_TRUE(server.Start().ok());
+
+  for (int i = 0; i < 256; ++i) {
+    auto fut = server.Score({static_cast<Index>(i % 8)}, {2.0});
+    ASSERT_TRUE(fut.ok());
+    EXPECT_DOUBLE_EQ(std::move(fut).value().get(), 1.0);
+  }
+  server.Stop();
+
+  const ServingStats stats = server.Stats();
+  EXPECT_EQ(stats.requests, 256u);
+  // The node-1 worker reads the node-0 replica: remote traffic appears
+  // whenever it served at least one batch (scheduling-dependent, so only
+  // the consistency of the two counters is asserted).
+  EXPECT_EQ(stats.local_replica_batches + stats.remote_replica_batches,
+            stats.batches);
+  const numa::SimulationInput sim = server.SimInput();
+  EXPECT_EQ(sim.model_sharing_sockets, 2);
+  EXPECT_EQ(sim.traffic.Total().remote_read_bytes,
+            stats.traffic.remote_read_bytes);
+}
+
+TEST(ServingEngineTest, HotSwapWhileServingNeverMixesVersions) {
+  // Weights are all-1.0 (v1) then all-2.0 (v2); a row of k ones must score
+  // exactly k or 2k -- any other value means a batch saw a mix.
+  models::LeastSquaresSpec ls;
+  const size_t dim = 64;
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  opts.batch.max_batch_size = 16;
+  opts.batch.max_delay = std::chrono::microseconds(100);
+  ServingEngine server(&ls, opts);
+  server.Publish("m", ConstantWeights(dim, 1.0));
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    for (int v = 0; v < 40 && !stop.load(); ++v) {
+      server.Publish("m", ConstantWeights(dim, (v % 2 == 0) ? 2.0 : 1.0));
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  std::vector<Index> idx(dim);
+  std::vector<double> vals(dim, 1.0);
+  for (size_t k = 0; k < dim; ++k) idx[k] = static_cast<Index>(k);
+  const double k = static_cast<double>(dim);
+  for (int i = 0; i < 600; ++i) {
+    auto score = server.ScoreSync(idx, vals);
+    ASSERT_TRUE(score.ok());
+    const double s = score.value();
+    EXPECT_TRUE(s == k || s == 2.0 * k) << "mixed-version score " << s;
+  }
+  stop.store(true);
+  publisher.join();
+  server.Stop();
+}
+
+TEST(ServingEngineTest, RejectsOutOfRangeFeatureIndex) {
+  models::LogisticSpec lr;
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  ServingEngine server(&lr, opts);
+  server.Publish("lr", ConstantWeights(24, 0.1));
+  // Untrusted request input must never index past the replica.
+  EXPECT_EQ(server.Score({24}, {1.0}).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server.Score({1000}, {1.0}).status().code(),
+            Status::Code::kInvalidArgument);
+  // A valid row is still refused until workers exist to resolve it.
+  EXPECT_EQ(server.Score({23}, {1.0}).status().code(),
+            Status::Code::kFailedPrecondition);
+  ASSERT_TRUE(server.Start().ok());
+  auto ok = server.ScoreSync({23}, {1.0});
+  EXPECT_TRUE(ok.ok());
+  server.Stop();
+}
+
+TEST(ServingEngineTest, StoppedEngineCannotRestart) {
+  models::SvmSpec svm;
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  ServingEngine server(&svm, opts);
+  server.Publish("svm", ConstantWeights(4, 1.0));
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+  // The batcher's shutdown is final; a second Start must refuse rather
+  // than hand back a pool whose workers exit immediately.
+  EXPECT_EQ(server.Start().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(ServingEngineTest, ConcurrentPublishersKeepVersionsMonotonic) {
+  ModelRegistry reg(numa::Local2(), Replication::kPerNode);
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < 4; ++t) {
+    publishers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const uint64_t v = reg.Publish("m", ConstantWeights(8, 1.0));
+        // Installs are serialized in version order, so once Publish
+        // returns, the current version can only be at or past it.
+        EXPECT_GE(reg.current_version(), v);
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!stop.load()) {
+      const uint64_t v = reg.current_version();
+      EXPECT_GE(v, last) << "version went backwards";
+      last = v;
+    }
+  });
+  for (auto& t : publishers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(reg.current_version(), 200u);
+}
+
+TEST(ServingEngineTest, StopDrainsAcceptedRequests) {
+  models::SvmSpec svm;
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  opts.batch.max_batch_size = 64;
+  opts.batch.max_delay = std::chrono::seconds(10);  // only drain can flush
+  ServingEngine server(&svm, opts);
+  server.Publish("svm", ConstantWeights(4, 1.0));
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::future<double>> futures;
+  for (int i = 0; i < 10; ++i) {
+    auto fut = server.Score({0, 2}, {1.0, 1.0});
+    ASSERT_TRUE(fut.ok());
+    futures.push_back(std::move(fut).value());
+  }
+  server.Stop();  // must flush the never-full batch
+  for (auto& f : futures) {
+    EXPECT_DOUBLE_EQ(f.get(), 2.0);
+  }
+}
+
+// --- latency recorder ------------------------------------------------------
+
+TEST(LatencyRecorderTest, PercentilesAndMerge) {
+  engine::LatencyRecorder a;
+  engine::LatencyRecorder b;
+  for (int i = 1; i <= 50; ++i) a.Record(static_cast<double>(i));
+  for (int i = 51; i <= 100; ++i) b.Record(static_cast<double>(i));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_NEAR(a.Percentile(50.0), 50.5, 1.0);
+  EXPECT_NEAR(a.Percentile(99.0), 99.0, 1.1);
+  EXPECT_NEAR(a.MeanMs(), 50.5, 1e-9);
+}
+
+TEST(LatencyRecorderTest, MergeReweightsAcrossDifferentStrides) {
+  // Worker A: heavy traffic (decimated, all samples ~100ms). Worker B:
+  // light traffic (no decimation, all ~1ms). A has ~16x B's requests, so
+  // the merged p50 must come from A's distribution.
+  engine::LatencyRecorder a;
+  engine::LatencyRecorder b;
+  const uint64_t heavy = engine::LatencyRecorder::kMaxSamples * 4;
+  for (uint64_t i = 0; i < heavy; ++i) a.Record(100.0);
+  for (uint64_t i = 0; i < heavy / 16; ++i) b.Record(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), heavy + heavy / 16);
+  EXPECT_NEAR(a.Percentile(50.0), 100.0, 1e-9);
+  // The light worker still shows up in the low tail.
+  EXPECT_NEAR(a.Percentile(1.0), 1.0, 1e-9);
+}
+
+TEST(LatencyRecorderTest, DecimationBoundsMemoryButKeepsCount) {
+  engine::LatencyRecorder r;
+  const uint64_t n = (1 << 18);  // 4x the retention bound
+  for (uint64_t i = 0; i < n; ++i) {
+    r.Record(static_cast<double>(i % 1000));
+  }
+  EXPECT_EQ(r.count(), n);
+  // Percentiles stay sane after decimation.
+  EXPECT_NEAR(r.Percentile(50.0), 500.0, 50.0);
+}
+
+}  // namespace
+}  // namespace dw::serve
