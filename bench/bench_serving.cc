@@ -1,32 +1,59 @@
-// Serving throughput vs. thread count x replication strategy -- the
-// serving analogue of Fig. 8. Training showed PerNode replication trades a
-// little statistical efficiency for hardware efficiency; serving has no
-// statistical side at all (reads only), so PerNode should dominate
-// PerMachine outright once readers span sockets. Measured rows/sec comes
-// from the host wall clock; memory-model rows/sec applies the calibrated
-// topology model to the logically-counted serving traffic (remote model
-// reads cross the simulated interconnect), per the substitution used by
-// every other bench.
+// Serving benchmarks, three experiments in one binary:
+//
+//  1. Throughput vs thread count x replication strategy -- the serving
+//     analogue of Fig. 8. Training showed PerNode replication trades a
+//     little statistical efficiency for hardware efficiency; serving has
+//     no statistical side at all (reads only), so PerNode should dominate
+//     PerMachine outright once readers span sockets.
+//  2. Batched vs scalar scoring kernels on a dense synthetic workload at
+//     max threads: one ModelSpec::PredictBatch call per mini-batch (the
+//     cache-blocked GLM kernel) against row-by-row Predict. This is the
+//     ROADMAP "batch-aware scoring kernels" number CI tracks; the bench
+//     exits nonzero if the batched kernel falls under the gate.
+//  3. A closed-loop SLO search (ROADMAP "latency SLOs in the bench"):
+//     binary-search the offered load for the max sustainable rows/sec
+//     whose measured p99 stays under a target.
+//
+// Measured rows/sec comes from the host wall clock; memory-model rows/sec
+// applies the calibrated topology model to the logically-counted serving
+// traffic, per the substitution used by every other bench.
 //
 // Knobs: DW_BENCH_TOPO (default local2), DW_BENCH_SERVE_ROWS (default
-// 20000), DW_BENCH_SCALE (dataset size multiplier).
+// 20000), DW_BENCH_SCALE (dataset size multiplier), DW_BENCH_DENSE_ROWS /
+// DW_BENCH_DENSE_DIM (kernel-comparison workload, default 1024 x 4096),
+// DW_BENCH_KERNEL_SEC (seconds per kernel measurement, default 0.4),
+// DW_BENCH_MIN_SPEEDUP (batched/scalar gate, default 1.5),
+// DW_BENCH_SLO_P99_MS (p99 target, default 2.0), DW_BENCH_SLO_TRIALS
+// (search iterations, default 5), DW_BENCH_SLO_TRIAL_SEC (seconds per
+// trial, default 0.4), DW_BENCH_JSON (path: write the machine-readable
+// result artifact CI archives per commit).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "data/synthetic.h"
 #include "numa/memory_model.h"
 #include "serve/serving_engine.h"
+#include "util/json_writer.h"
+#include "util/rng.h"
 
 namespace dw {
 namespace {
 
 using matrix::Index;
 
+// --- experiment 1: replication x threads ----------------------------------
+
 struct ServeRun {
+  std::string replication;
+  int threads = 0;
   double measured_rows_per_sec = 0.0;
   double sim_rows_per_sec = 0.0;
   double p50_ms = 0.0;
@@ -79,6 +106,12 @@ ServeRun RunServing(const data::Dataset& d, const models::ModelSpec& spec,
   opts.num_threads = threads;
   opts.batch.max_batch_size = 64;
   opts.batch.max_delay = std::chrono::microseconds(200);
+  // Scalar scoring on purpose: the Fig. 8 analogue is about what model
+  // REPLICATION costs when every row re-reads the replica. Batched
+  // scoring streams each replica tile once per batch, which (by design)
+  // collapses most of the PerNode-vs-PerMachine traffic gap -- that
+  // effect is experiment 2's story, not this table's.
+  opts.scoring = serve::ScoringMode::kScalar;
   serve::ServingEngine server(&spec, opts);
   server.Publish(spec.name(), weights);
   const Status st = server.Start();
@@ -123,6 +156,8 @@ ServeRun RunServing(const data::Dataset& d, const models::ModelSpec& spec,
   DW_CHECK_EQ(stats.requests, static_cast<uint64_t>(total_rows));
 
   ServeRun out;
+  out.replication = ToString(rep);
+  out.threads = threads;
   out.measured_rows_per_sec = total_rows / wall;
   out.p50_ms = stats.p50_latency_ms;
   out.p99_ms = stats.p99_latency_ms;
@@ -137,6 +172,245 @@ ServeRun RunServing(const data::Dataset& d, const models::ModelSpec& spec,
           .total_sec;
   out.sim_rows_per_sec = sim_sec > 0.0 ? total_rows / sim_sec : 0.0;
   return out;
+}
+
+// --- experiment 2: batched vs scalar kernels ------------------------------
+
+struct KernelCompare {
+  int rows = 0;
+  int dim = 0;
+  int threads = 0;
+  double scalar_rows_per_sec = 0.0;
+  double batched_rows_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+/// Scores the dense synthetic workload for `run_sec` with `threads`
+/// threads, each looping over its own row slice. `batched` picks one
+/// PredictBatch call per 256-row chunk vs one Predict call per row --
+/// the pure kernel comparison, no queue or promise machinery in the way.
+double MeasureScoringRate(const models::ModelSpec& spec,
+                          const std::vector<double>& weights,
+                          const std::vector<matrix::SparseVectorView>& rows,
+                          int threads, bool batched, double run_sec) {
+  constexpr size_t kBatch = 256;
+  std::atomic<uint64_t> total_rows{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  WallTimer timer;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(run_sec));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      const size_t lo = rows.size() * t / threads;
+      const size_t hi = rows.size() * (t + 1) / threads;
+      if (lo == hi) return;
+      const Index dim = static_cast<Index>(weights.size());
+      std::vector<double> out(hi - lo);
+      uint64_t scored = 0;
+      // `sink` defeats dead-code elimination of the scoring loop.
+      double sink = 0.0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        if (batched) {
+          for (size_t b = lo; b < hi; b += kBatch) {
+            const size_t n = std::min(kBatch, hi - b);
+            spec.PredictBatch(weights.data(), dim, rows.data() + b, n,
+                              out.data() + (b - lo));
+          }
+        } else {
+          for (size_t r = lo; r < hi; ++r) {
+            out[r - lo] = spec.Predict(weights.data(), rows[r]);
+          }
+        }
+        sink += out[0];
+        scored += hi - lo;
+      }
+      if (sink == 0.12345) std::printf(" ");
+      total_rows.fetch_add(scored);
+    });
+  }
+  for (auto& t : pool) t.join();
+  // Spawn overhead and final-pass overshoot are inside the window, and the
+  // rows they score are counted -- the same small bias for both kernels.
+  const double wall = timer.Seconds();
+  return wall > 0.0 ? static_cast<double>(total_rows.load()) / wall : 0.0;
+}
+
+KernelCompare CompareKernels(int rows, int dim, int threads) {
+  data::DenseTableParams params;
+  params.rows = static_cast<Index>(rows);
+  params.cols = static_cast<Index>(dim);
+  params.seed = 17;
+  const matrix::CsrMatrix a = data::MakeDenseTable(params);
+  // Explicit dense views (null indices), the form dense serving requests
+  // take after admission: both kernels score values-only rows, so the
+  // comparison isolates the scoring loop, not payload-size differences.
+  std::vector<matrix::SparseVectorView> views;
+  views.reserve(rows);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto row = a.Row(i);
+    views.push_back({nullptr, row.values, row.nnz});
+  }
+
+  Rng rng(23);
+  std::vector<double> weights(dim);
+  for (auto& w : weights) w = rng.Gaussian(0.0, 1.0);
+
+  models::LogisticSpec lr;
+  const double run_sec = bench::EnvDouble("DW_BENCH_KERNEL_SEC", 0.4);
+  // Warm both paths (page in the workload, settle the frequency governor).
+  MeasureScoringRate(lr, weights, views, threads, false, run_sec * 0.25);
+  MeasureScoringRate(lr, weights, views, threads, true, run_sec * 0.25);
+
+  KernelCompare out;
+  out.rows = rows;
+  out.dim = dim;
+  out.threads = threads;
+  out.scalar_rows_per_sec =
+      MeasureScoringRate(lr, weights, views, threads, false, run_sec);
+  out.batched_rows_per_sec =
+      MeasureScoringRate(lr, weights, views, threads, true, run_sec);
+  out.speedup = out.scalar_rows_per_sec > 0.0
+                    ? out.batched_rows_per_sec / out.scalar_rows_per_sec
+                    : 0.0;
+  return out;
+}
+
+// --- experiment 3: closed-loop SLO search ---------------------------------
+
+struct SloTrial {
+  double offered_rows_per_sec = 0.0;  ///< 0 = unthrottled
+  double achieved_rows_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  bool meets_slo = false;
+};
+
+struct SloResult {
+  double target_p99_ms = 0.0;
+  double unthrottled_rows_per_sec = 0.0;
+  double max_rows_per_sec_under_slo = 0.0;  ///< 0 if no trial met the SLO
+  std::vector<SloTrial> trials;
+};
+
+/// Sleeps until `when` with a spin tail: timer granularity is far coarser
+/// than the sub-10us inter-arrival gaps a high offered load needs.
+void SleepUntilSpin(std::chrono::steady_clock::time_point when) {
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= when) return;
+    const auto left = when - now;
+    if (left > std::chrono::microseconds(200)) {
+      std::this_thread::sleep_for(left - std::chrono::microseconds(100));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+/// One closed-loop trial: a single producer offers rows at `offered_rate`
+/// (rows/sec; <= 0 means as fast as possible) against a fresh engine, and
+/// the measured latency distribution decides whether the rate is
+/// sustainable under the p99 target.
+SloTrial RunSloTrial(const data::Dataset& d, const models::ModelSpec& spec,
+                     const std::vector<double>& weights,
+                     const numa::Topology& topo, double offered_rate,
+                     double target_p99_ms, double trial_sec, int cap_rows) {
+  serve::ServingOptions opts;
+  opts.topology = topo;
+  opts.num_threads = topo.total_cores();
+  opts.batch.max_batch_size = 64;
+  opts.batch.max_delay = std::chrono::microseconds(200);
+  serve::ServingEngine server(&spec, opts);
+  server.Publish(spec.name(), weights);
+  DW_CHECK(server.Start().ok());
+
+  int rows = cap_rows;
+  if (offered_rate > 0.0) {
+    rows = std::min(rows, std::max(200, static_cast<int>(offered_rate *
+                                                         trial_sec)));
+  }
+  std::vector<std::future<double>> futures;
+  futures.reserve(rows);
+  std::vector<Index> idx;
+  std::vector<double> vals;
+  WallTimer timer;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rows; ++r) {
+    if (offered_rate > 0.0) {
+      SleepUntilSpin(start + std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(
+                                     static_cast<double>(r) / offered_rate)));
+    }
+    const auto row = d.a.Row(static_cast<Index>(r % d.a.rows()));
+    idx.assign(row.indices, row.indices + row.nnz);
+    vals.assign(row.values, row.values + row.nnz);
+    for (;;) {
+      auto fut = server.Score(idx, vals);
+      if (fut.ok()) {
+        futures.push_back(std::move(fut).value());
+        break;
+      }
+      DW_CHECK(fut.status().code() == Status::Code::kResourceExhausted)
+          << fut.status().ToString();
+      std::this_thread::yield();
+    }
+  }
+  for (auto& f : futures) f.get();
+  const double wall = timer.Seconds();
+  server.Stop();
+
+  const serve::ServingStats stats = server.Stats();
+  SloTrial t;
+  t.offered_rows_per_sec = offered_rate;
+  t.achieved_rows_per_sec = wall > 0.0 ? rows / wall : 0.0;
+  t.p50_ms = stats.p50_latency_ms;
+  t.p99_ms = stats.p99_latency_ms;
+  t.max_ms = stats.max_latency_ms;
+  t.meets_slo = stats.p99_latency_ms <= target_p99_ms;
+  return t;
+}
+
+/// Finds the max offered rows/sec whose p99 stays under target: one
+/// unthrottled probe for the upper bound, then bisection on offered load.
+SloResult SearchMaxRateUnderSlo(const data::Dataset& d,
+                                const models::ModelSpec& spec,
+                                const std::vector<double>& weights,
+                                const numa::Topology& topo,
+                                double target_p99_ms, int iters,
+                                double trial_sec, int cap_rows) {
+  SloResult res;
+  res.target_p99_ms = target_p99_ms;
+
+  SloTrial top = RunSloTrial(d, spec, weights, topo, /*offered_rate=*/0.0,
+                             target_p99_ms, trial_sec, cap_rows);
+  res.unthrottled_rows_per_sec = top.achieved_rows_per_sec;
+  res.trials.push_back(top);
+  if (top.meets_slo) {
+    // The engine meets the SLO flat out; no throttling needed.
+    res.max_rows_per_sec_under_slo = top.achieved_rows_per_sec;
+    return res;
+  }
+  double lo = 0.0;  // highest rate known to meet the SLO
+  double hi = top.achieved_rows_per_sec;
+  for (int i = 0; i < iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= 0.0) break;
+    SloTrial t = RunSloTrial(d, spec, weights, topo, mid, target_p99_ms,
+                             trial_sec, cap_rows);
+    res.trials.push_back(t);
+    if (t.meets_slo) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  res.max_rows_per_sec_under_slo = lo;
+  return res;
 }
 
 }  // namespace
@@ -172,6 +446,8 @@ int main() {
   trainer.Run(cfg);
   const engine::ModelExport exported = trainer.Export();
 
+  // --- experiment 1: replication x threads (scalar scoring; see the
+  // rationale in RunServing) ----------------------------------------------
   const std::vector<int> thread_counts = {1, topo.total_cores() / 2,
                                           topo.total_cores()};
   const std::vector<serve::Replication> strategies = {
@@ -181,13 +457,15 @@ int main() {
               " requests, batch<=64, " + topo.name + ")");
   table.SetHeader({"replication", "threads", "measured rows/s", "model rows/s",
                    "p50 ms", "p99 ms", "remote MB"});
+  std::vector<ServeRun> runs;
   double per_node_max = 0.0;
   double per_machine_max = 0.0;
   for (const serve::Replication rep : strategies) {
     for (const int threads : thread_counts) {
       const ServeRun r = RunServing(dataset, lr, exported.weights, topo, rep,
                                     threads, total_rows);
-      table.AddRow({ToString(rep), std::to_string(threads),
+      runs.push_back(r);
+      table.AddRow({r.replication, std::to_string(threads),
                     Table::Num(r.measured_rows_per_sec, 0),
                     Table::Num(r.sim_rows_per_sec, 0), Table::Num(r.p50_ms, 3),
                     Table::Num(r.p99_ms, 3), Table::Num(r.remote_mb, 1)});
@@ -207,5 +485,113 @@ int main() {
       per_node_max, per_machine_max,
       per_node_max >= per_machine_max ? "PerNode >= PerMachine, as predicted"
                                       : "UNEXPECTED: PerMachine ahead");
-  return per_node_max >= per_machine_max ? 0 : 1;
+
+  // --- experiment 2: batched vs scalar kernels ---------------------------
+  const int dense_rows = bench::EnvInt("DW_BENCH_DENSE_ROWS", 1024);
+  const int dense_dim = bench::EnvInt("DW_BENCH_DENSE_DIM", 4096);
+  const double min_speedup = bench::EnvDouble("DW_BENCH_MIN_SPEEDUP", 1.5);
+  const KernelCompare kc =
+      CompareKernels(dense_rows, dense_dim, topo.total_cores());
+  Table ktable("PredictBatch vs Predict (dense " +
+               std::to_string(dense_rows) + " x " + std::to_string(dense_dim) +
+               ", " + std::to_string(kc.threads) + " threads)");
+  ktable.SetHeader({"kernel", "rows/s", "speedup"});
+  ktable.AddRow({"scalar Predict", Table::Num(kc.scalar_rows_per_sec, 0),
+                 "1.00x"});
+  ktable.AddRow({"PredictBatch", Table::Num(kc.batched_rows_per_sec, 0),
+                 Table::Num(kc.speedup, 2) + "x"});
+  ktable.Print();
+  std::printf("\nbatched/scalar speedup: %.2fx (gate: >= %.2fx)\n", kc.speedup,
+              min_speedup);
+
+  // --- experiment 3: closed-loop SLO search ------------------------------
+  const double slo_p99_ms = bench::EnvDouble("DW_BENCH_SLO_P99_MS", 2.0);
+  const int slo_iters = bench::EnvInt("DW_BENCH_SLO_TRIALS", 5);
+  const double slo_trial_sec = bench::EnvDouble("DW_BENCH_SLO_TRIAL_SEC", 0.4);
+  const SloResult slo = SearchMaxRateUnderSlo(
+      dataset, lr, exported.weights, topo, slo_p99_ms, slo_iters,
+      slo_trial_sec, std::max(2000, total_rows / 2));
+  Table stable("Closed-loop SLO search (p99 <= " +
+               Table::Num(slo_p99_ms, 1) + " ms, " + topo.name + ")");
+  stable.SetHeader({"offered rows/s", "achieved rows/s", "p50 ms", "p99 ms",
+                    "max ms", "meets SLO"});
+  for (const SloTrial& t : slo.trials) {
+    stable.AddRow({t.offered_rows_per_sec > 0.0
+                       ? Table::Num(t.offered_rows_per_sec, 0)
+                       : "unthrottled",
+                   Table::Num(t.achieved_rows_per_sec, 0),
+                   Table::Num(t.p50_ms, 3), Table::Num(t.p99_ms, 3),
+                   Table::Num(t.max_ms, 3), t.meets_slo ? "yes" : "no"});
+  }
+  stable.Print();
+  std::printf("\nmax rows/s under p99 <= %.1f ms: %.0f (unthrottled %.0f)\n",
+              slo_p99_ms, slo.max_rows_per_sec_under_slo,
+              slo.unthrottled_rows_per_sec);
+
+  // --- machine-readable artifact -----------------------------------------
+  const char* json_path = std::getenv("DW_BENCH_JSON");
+  if (json_path != nullptr && json_path[0] != '\0') {
+    JsonWriter j;
+    j.BeginObject();
+    j.Field("bench", "serving");
+    j.Field("unix_time", static_cast<int64_t>(std::time(nullptr)));
+    j.Field("topology", topo.name);
+    j.Field("dataset", dataset.name);
+    j.Field("dataset_rows", static_cast<uint64_t>(dataset.a.rows()));
+    j.Field("dataset_cols", static_cast<uint64_t>(dataset.a.cols()));
+    j.Field("serve_rows", total_rows);
+    j.Key("replication_runs").BeginArray();
+    for (const ServeRun& r : runs) {
+      j.BeginObject();
+      j.Field("replication", r.replication);
+      j.Field("threads", r.threads);
+      j.Field("measured_rows_per_sec", r.measured_rows_per_sec);
+      j.Field("model_rows_per_sec", r.sim_rows_per_sec);
+      j.Field("p50_ms", r.p50_ms);
+      j.Field("p99_ms", r.p99_ms);
+      j.Field("remote_mb", r.remote_mb);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.Key("batched_vs_scalar").BeginObject();
+    j.Field("dense_rows", kc.rows);
+    j.Field("dense_dim", kc.dim);
+    j.Field("threads", kc.threads);
+    j.Field("scalar_rows_per_sec", kc.scalar_rows_per_sec);
+    j.Field("batched_rows_per_sec", kc.batched_rows_per_sec);
+    j.Field("speedup", kc.speedup);
+    j.Field("min_speedup_gate", min_speedup);
+    j.EndObject();
+    j.Key("slo").BeginObject();
+    j.Field("target_p99_ms", slo.target_p99_ms);
+    j.Field("unthrottled_rows_per_sec", slo.unthrottled_rows_per_sec);
+    j.Field("max_rows_per_sec_under_slo", slo.max_rows_per_sec_under_slo);
+    j.Key("trials").BeginArray();
+    for (const SloTrial& t : slo.trials) {
+      j.BeginObject();
+      j.Field("offered_rows_per_sec", t.offered_rows_per_sec);
+      j.Field("achieved_rows_per_sec", t.achieved_rows_per_sec);
+      j.Field("p50_ms", t.p50_ms);
+      j.Field("p99_ms", t.p99_ms);
+      j.Field("max_ms", t.max_ms);
+      j.Field("meets_slo", t.meets_slo);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.EndObject();
+    j.EndObject();
+    if (!j.WriteFile(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path);
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path);
+  }
+
+  const bool replication_ok = per_node_max >= per_machine_max;
+  const bool speedup_ok = kc.speedup >= min_speedup;
+  if (!speedup_ok) {
+    std::printf("FAIL: batched kernel speedup %.2fx under the %.2fx gate\n",
+                kc.speedup, min_speedup);
+  }
+  return replication_ok && speedup_ok ? 0 : 1;
 }

@@ -45,6 +45,10 @@ int main() {
   serve_opts.replication = serve::Replication::kPerNode;
   serve_opts.batch.max_batch_size = 32;
   serve_opts.batch.max_delay = std::chrono::microseconds(200);
+  // Batched scoring (the default): each flushed mini-batch is scored with
+  // one ModelSpec::PredictBatch call, so the GLM kernel tiles the replica
+  // through the cache instead of re-reading it per row.
+  serve_opts.scoring = serve::ScoringMode::kBatched;
   serve::ServingEngine server(&lr, serve_opts);
   const uint64_t v1 = server.Publish(trainer.Export());
   st = server.Start();
@@ -52,8 +56,9 @@ int main() {
     std::fprintf(stderr, "Start failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("serving version %llu on %d threads\n",
-              static_cast<unsigned long long>(v1), server.num_workers());
+  std::printf("serving version %llu on %d threads (%s scoring)\n",
+              static_cast<unsigned long long>(v1), server.num_workers(),
+              serve::ToString(serve_opts.scoring));
 
   // 3. Score the first few training rows (in production these would be
   //    fresh requests). LogisticSpec::Predict returns P(y = +1 | row).

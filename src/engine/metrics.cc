@@ -17,6 +17,7 @@ void LatencyRecorder::Decimate() {
 
 void LatencyRecorder::Record(double ms) {
   ++count_;
+  max_ms_ = std::max(max_ms_, ms);
   if (skip_ > 0) {
     --skip_;
     return;
@@ -36,6 +37,7 @@ void LatencyRecorder::Merge(const LatencyRecorder& other) {
     samples_ms_.push_back(other.samples_ms_[r]);
   }
   count_ += other.count_;
+  max_ms_ = std::max(max_ms_, other.max_ms_);
   while (samples_ms_.size() >= kMaxSamples) Decimate();
 }
 

@@ -53,12 +53,18 @@ class LatencyRecorder {
   /// Mean of the retained samples; 0 if none.
   double MeanMs() const;
 
+  /// Exact maximum over ALL recorded samples (tracked outside the sample
+  /// buffer, so decimation can never drop the worst case -- the number an
+  /// SLO report cares about most); 0 if none.
+  double MaxMs() const { return max_ms_; }
+
  private:
   /// Keeps every 2nd retained sample and doubles the stride.
   void Decimate();
 
   std::vector<double> samples_ms_;
   uint64_t count_ = 0;
+  double max_ms_ = 0.0;
   /// Each retained sample stands for this many recorded ones.
   uint64_t stride_ = 1;
   uint64_t skip_ = 0;  ///< samples to drop before the next retained one

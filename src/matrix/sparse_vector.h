@@ -11,21 +11,37 @@ namespace dw::matrix {
 using Index = uint32_t;
 
 /// A view over one sparse row/column: parallel (index, value) arrays.
+///
+/// A null `indices` with nonzero nnz declares an EXPLICITLY DENSE row:
+/// the identity index pattern 0..nnz-1 (entry k sits at coordinate k).
+/// Dense serving requests use this form -- it halves the payload and
+/// lets the scoring kernels skip index loads and gathers entirely.
 struct SparseVectorView {
   const Index* indices = nullptr;
   const double* values = nullptr;
   size_t nnz = 0;
 
+  /// True if this view is in the explicit dense (identity) form.
+  bool IsDense() const { return indices == nullptr && nnz > 0; }
+
   /// Dot product with a dense vector x (x indexed by `indices`).
   double Dot(const double* x) const {
     double acc = 0.0;
-    for (size_t k = 0; k < nnz; ++k) acc += values[k] * x[indices[k]];
+    if (IsDense()) {
+      for (size_t k = 0; k < nnz; ++k) acc += values[k] * x[k];
+    } else {
+      for (size_t k = 0; k < nnz; ++k) acc += values[k] * x[indices[k]];
+    }
     return acc;
   }
 
   /// x[indices[k]] += scale * values[k] for all k (sparse update).
   void Axpy(double scale, double* x) const {
-    for (size_t k = 0; k < nnz; ++k) x[indices[k]] += scale * values[k];
+    if (IsDense()) {
+      for (size_t k = 0; k < nnz; ++k) x[k] += scale * values[k];
+    } else {
+      for (size_t k = 0; k < nnz; ++k) x[indices[k]] += scale * values[k];
+    }
   }
 
   /// Squared L2 norm of the stored values.

@@ -8,9 +8,18 @@
 // margins of rows in S(j) -- a pure column access).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+
 #include "models/model_spec.h"
 
 namespace dw::models {
+
+/// Numerically-stable log(1 + exp(z)).
+double Log1pExp(double z);
+
+/// Logistic sigmoid 1 / (1 + exp(-z)).
+double Sigmoid(double z);
 
 /// Shared machinery for the three GLMs. Each provides BOTH column flavors:
 /// f_col (SCD with maintained margins, Shogun-style) and f_ctr (GraphLab-
@@ -18,6 +27,14 @@ namespace dw::models {
 /// -- the access pattern whose read cost is sum n_i^2 in Fig. 6).
 class GlmSpec : public ModelSpec {
  public:
+  /// Feature-dimension tile of the batched scoring kernels: 4096 doubles
+  /// = 32 KB of model, small enough to sit in L1/L2 while a mini-batch's
+  /// row slices stream past it. Models at or under one tile skip the
+  /// blocking machinery entirely.
+  static constexpr matrix::Index kPredictBlockCols = 4096;
+  /// Rows scored per chunk; accumulators and cursors live on the stack.
+  static constexpr size_t kPredictRowChunk = 128;
+
   bool HasCol() const override { return true; }
   bool HasCtr() const override { return true; }
 
@@ -27,11 +44,44 @@ class GlmSpec : public ModelSpec {
   void RefreshAux(const data::Dataset& d, const double* model,
                   double* aux) const override;
 
+  /// Cache-blocked batched scoring shared by the GLM family. Rows are
+  /// classified once per batch:
+  ///   - full-width dense rows (explicit dense views, or the identity
+  ///     index pattern 0..dim-1) are register-tiled FOUR AT A TIME against
+  ///     each model block: every model element is loaded once per four
+  ///     rows and eight independent accumulator chains keep the FP
+  ///     pipeline full -- the batched speedup on dense workloads (within
+  ///     reassociation epsilon of Predict());
+  ///   - shorter explicit dense views take the same column-blocked dense
+  ///     kernel one row at a time;
+  ///   - sorted sparse rows take a gather path whose cursor advances
+  ///     monotonically per tile, so one pass of the model tile serves the
+  ///     whole chunk of rows -- bitwise equal to Predict();
+  ///   - unsorted rows fall back to the per-row reference dot (bitwise).
+  void PredictBatch(const double* model, matrix::Index dim,
+                    const matrix::SparseVectorView* rows, size_t n,
+                    double* out) const override;
+
+  /// The blocked kernel streams each model block at most once per
+  /// kPredictRowChunk-row chunk (and never reads more than the rows
+  /// gather in total).
+  uint64_t PredictBatchModelBytes(matrix::Index dim, uint64_t total_nnz,
+                                  size_t n) const override {
+    const uint64_t chunks =
+        (static_cast<uint64_t>(n) + kPredictRowChunk - 1) / kPredictRowChunk;
+    return std::min<uint64_t>(total_nnz, chunks * dim) * sizeof(double);
+  }
+
   UpdateSparsity RowWriteSparsity() const override {
     return UpdateSparsity::kSparse;
   }
 
   bool ColumnStepMaintainsAux() const override { return true; }
+
+ protected:
+  /// Link function the batched kernel applies to the raw margin a . x;
+  /// identity for SVM/LS, sigmoid for LR. Must agree with Predict().
+  virtual double Link(double margin) const { return margin; }
 };
 
 /// Support vector machine with hinge loss (1/N) sum max(0, 1 - y_i a_i.x).
@@ -70,6 +120,9 @@ class LogisticSpec : public GlmSpec {
                    const double* model, double* grad) const override;
   double RowLoss(const data::Dataset& d, matrix::Index i,
                  const double* model) const override;
+
+ protected:
+  double Link(double margin) const override { return Sigmoid(margin); }
 };
 
 /// Least squares, loss (1/2N) sum (a_i.x - b_i)^2. The column step is the
@@ -91,11 +144,5 @@ class LeastSquaresSpec : public GlmSpec {
   double RowLoss(const data::Dataset& d, matrix::Index i,
                  const double* model) const override;
 };
-
-/// Numerically-stable log(1 + exp(z)).
-double Log1pExp(double z);
-
-/// Logistic sigmoid 1 / (1 + exp(-z)).
-double Sigmoid(double z);
 
 }  // namespace dw::models

@@ -94,6 +94,31 @@ class ModelSpec {
     return row.Dot(model);
   }
 
+  /// Scores `n` rows at once, writing one score per row into `out`
+  /// (same semantics as n Predict() calls; `dim` is the model dimension,
+  /// every row index must be < dim). This is the serving hot path: a
+  /// flushed mini-batch is scored with ONE call so implementations can
+  /// tile the model through the cache hierarchy instead of re-streaming
+  /// it per row (paper Sec. 3.2 applied to inference). The default is the
+  /// row-by-row reference; the GLM family overrides it with cache-blocked
+  /// kernels.
+  virtual void PredictBatch(const double* model, matrix::Index /*dim*/,
+                            const matrix::SparseVectorView* rows, size_t n,
+                            double* out) const {
+    for (size_t k = 0; k < n; ++k) out[k] = Predict(model, rows[k]);
+  }
+
+  /// Model bytes one PredictBatch call over `n` rows with `total_nnz`
+  /// nonzeros reads (drives the serving traffic accounting, which feeds
+  /// the memory-model simulation). The default matches the reference
+  /// implementation above: a per-row re-gather of the replica. Overrides
+  /// must mirror their kernel's actual streaming behavior.
+  virtual uint64_t PredictBatchModelBytes(matrix::Index /*dim*/,
+                                          uint64_t total_nnz,
+                                          size_t /*n*/) const {
+    return total_nnz * sizeof(double);
+  }
+
   /// Touch pattern of RowStep's model write (drives the cost model).
   virtual UpdateSparsity RowWriteSparsity() const {
     return UpdateSparsity::kSparse;

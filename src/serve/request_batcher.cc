@@ -14,7 +14,8 @@ RequestBatcher::RequestBatcher(const Options& opts) : opts_(opts) {
 
 StatusOr<std::future<double>> RequestBatcher::Submit(
     std::vector<matrix::Index> indices, std::vector<double> values) {
-  if (indices.size() != values.size()) {
+  // Empty indices with nonempty values is the explicit dense form.
+  if (indices.size() != values.size() && !indices.empty()) {
     return Status::InvalidArgument("indices/values length mismatch");
   }
   ScoreRequest req;

@@ -28,7 +28,9 @@
 namespace dw::serve {
 
 /// One single-row score request: an owned sparse feature vector plus the
-/// promise the scoring worker fulfills.
+/// promise the scoring worker fulfills. Empty `indices` with nonempty
+/// `values` is the explicit DENSE form (value k at coordinate k) -- half
+/// the payload, and the batched kernels skip index loads entirely.
 struct ScoreRequest {
   std::vector<matrix::Index> indices;
   std::vector<double> values;
@@ -36,7 +38,8 @@ struct ScoreRequest {
   std::chrono::steady_clock::time_point enqueued_at;
 
   matrix::SparseVectorView View() const {
-    return {indices.data(), values.data(), values.size()};
+    return {indices.empty() ? nullptr : indices.data(), values.data(),
+            values.size()};
   }
 };
 

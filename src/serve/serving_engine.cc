@@ -12,6 +12,10 @@ namespace dw::serve {
 
 using matrix::Index;
 
+const char* ToString(ScoringMode m) {
+  return m == ScoringMode::kBatched ? "Batched" : "Scalar";
+}
+
 // Per-worker mutable state. Workers update it under a spinlock taken once
 // per batch (cold relative to the scoring loop); Stats() aggregates under
 // the same locks.
@@ -110,9 +114,25 @@ StatusOr<std::future<double>> ServingEngine::Score(
   if (dim == 0) {
     return Status::FailedPrecondition("no model published");
   }
-  for (const Index i : indices) {
-    if (i >= dim) {
-      return Status::InvalidArgument("feature index out of range");
+  if (indices.empty()) {
+    // Explicit dense form: value k scores against coordinate k.
+    if (values.size() > dim) {
+      return Status::InvalidArgument("dense row wider than the model");
+    }
+  } else {
+    // The validation scan doubles as an identity test: an identity-indexed
+    // row is rewritten to the dense form for free, so it skips index
+    // traffic and takes the tiled kernel downstream.
+    bool identity = indices.size() <= dim;
+    Index pos = 0;
+    for (const Index i : indices) {
+      if (i >= dim) {
+        return Status::InvalidArgument("feature index out of range");
+      }
+      identity = identity && i == pos++;
+    }
+    if (identity && indices.size() == values.size()) {
+      indices.clear();
     }
   }
   // Without workers a queued promise would never resolve (ScoreSync would
@@ -140,8 +160,13 @@ void ServingEngine::WorkerLoop(int worker_id) {
     (void)PinCurrentThreadToCpu(cpu);
   }
   WorkerState& ws = *worker_states_[worker_id];
+  const bool batched = options_.scoring == ScoringMode::kBatched;
 
   Batch batch;
+  // Batched-mode scratch, reused across batches (no per-batch allocation
+  // once warm).
+  std::vector<matrix::SparseVectorView> views;
+  std::vector<double> scores;
   while (batcher_.NextBatch(&batch)) {
     // One registry acquire per BATCH: the snapshot is pinned for the whole
     // scan, so a concurrent Publish can never tear a batch across
@@ -150,24 +175,45 @@ void ServingEngine::WorkerLoop(int worker_id) {
     const double* weights = snap->WeightsForNode(node);
     const bool replica_local = snap->ReplicaNodeFor(node) == node;
 
+    uint64_t batch_nnz = 0;
+    if (batched) {
+      const size_t rows = batch.rows();
+      views.clear();
+      views.reserve(rows);
+      for (const ScoreRequest& req : batch.requests) views.push_back(req.View());
+      scores.resize(rows);
+      spec_->PredictBatch(weights, snap->dim(), views.data(), rows,
+                          scores.data());
+      for (size_t r = 0; r < rows; ++r) {
+        batch.requests[r].result.set_value(scores[r]);
+      }
+    }
+
     numa::AccessCounters delta;
     std::vector<double> latencies_ms;
     latencies_ms.reserve(batch.rows());
     for (ScoreRequest& req : batch.requests) {
-      const double score = spec_->Predict(weights, req.View());
-      req.result.set_value(score);
+      if (!batched) {
+        req.result.set_value(spec_->Predict(weights, req.View()));
+      }
       // Stamped after set_value so the recorded latency covers the full
       // submit-to-resolution interval, including this batch's scoring.
       const auto resolved_at = std::chrono::steady_clock::now();
       const uint64_t nnz = req.values.size();
+      batch_nnz += nnz;
       // Request payload arrives node-local (the batch was just written);
-      // model reads hit the routed replica.
-      delta.local_read_bytes += nnz * (sizeof(double) + sizeof(Index));
-      const uint64_t model_bytes = nnz * sizeof(double);
-      if (replica_local) {
-        delta.model_read_bytes += model_bytes;
-      } else {
-        delta.remote_read_bytes += model_bytes;
+      // model reads hit the routed replica. Dense requests carry no index
+      // array.
+      delta.local_read_bytes +=
+          nnz * sizeof(double) + req.indices.size() * sizeof(Index);
+      if (!batched) {
+        // Scalar mode re-gathers the replica per row.
+        const uint64_t model_bytes = nnz * sizeof(double);
+        if (replica_local) {
+          delta.model_read_bytes += model_bytes;
+        } else {
+          delta.remote_read_bytes += model_bytes;
+        }
       }
       delta.flops += 2 * nnz;
       ++delta.updates;
@@ -175,6 +221,18 @@ void ServingEngine::WorkerLoop(int worker_id) {
           std::chrono::duration<double, std::milli>(resolved_at -
                                                     req.enqueued_at)
               .count());
+    }
+    if (batched) {
+      // The spec reports what its batched kernel actually streams: the
+      // blocked GLM kernels read each model tile once per row chunk; the
+      // reference default re-gathers per row like scalar mode.
+      const uint64_t model_bytes = spec_->PredictBatchModelBytes(
+          snap->dim(), batch_nnz, batch.rows());
+      if (replica_local) {
+        delta.model_read_bytes += model_bytes;
+      } else {
+        delta.remote_read_bytes += model_bytes;
+      }
     }
 
     std::lock_guard<SpinLock> g(ws.mu);
@@ -215,6 +273,7 @@ ServingStats ServingEngine::Stats() const {
   const std::vector<double> pct = all.Percentiles({50.0, 99.0});
   s.p50_latency_ms = pct[0];
   s.p99_latency_ms = pct[1];
+  s.max_latency_ms = all.MaxMs();
   return s;
 }
 

@@ -38,6 +38,20 @@
 
 namespace dw::serve {
 
+/// How a worker scores a flushed mini-batch.
+enum class ScoringMode {
+  /// One ModelSpec::PredictBatch call per batch: the GLM kernels tile the
+  /// node-local replica through the cache hierarchy (column-blocked for
+  /// dense rows, monotone-cursor gather for sparse rows), so each model
+  /// block is read once per batch instead of once per row.
+  kBatched,
+  /// N ModelSpec::Predict calls, one per row; the pre-PredictBatch
+  /// behavior, kept as the bench_serving baseline.
+  kScalar,
+};
+
+const char* ToString(ScoringMode m);
+
 struct ServingOptions {
   numa::Topology topology = numa::HostTopology();
   /// Scoring threads; -1 means one per virtual core. Workers are assigned
@@ -47,6 +61,7 @@ struct ServingOptions {
   RequestBatcher::Options batch;
   /// Pin workers to physical CPUs through the topology map.
   bool pin_threads = true;
+  ScoringMode scoring = ScoringMode::kBatched;
 };
 
 /// Aggregated serving counters since Start().
@@ -58,6 +73,7 @@ struct ServingStats {
   double mean_batch_rows = 0.0;
   double p50_latency_ms = 0.0;      ///< submit-to-score, per request
   double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;      ///< exact worst case (never decimated)
   uint64_t local_replica_batches = 0;   ///< routed to the worker's node
   uint64_t remote_replica_batches = 0;  ///< crossed the interconnect
   numa::AccessCounters traffic;         ///< logical totals across workers

@@ -1,0 +1,243 @@
+// Equivalence suite for the batched scoring kernels: for every GLM spec,
+// ModelSpec::PredictBatch must reproduce row-by-row Predict() on dense and
+// sparse rows, across the kernel's blocking seams (ragged final column
+// block, ragged final row chunk, batch size 1), and for the classifier
+// fallbacks (unsorted rows, non-GLM specs using the reference default).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "models/glm.h"
+#include "models/graph_opt.h"
+#include "util/rng.h"
+
+namespace dw::models {
+namespace {
+
+using matrix::Index;
+using matrix::SparseVectorView;
+
+/// Owned sparse rows (the views must point at stable storage).
+struct RowSet {
+  std::vector<std::vector<Index>> indices;
+  std::vector<std::vector<double>> values;
+
+  /// Mirrors serve::ScoreRequest::View(): empty indices with nonempty
+  /// values is the explicit dense form (null index pointer).
+  std::vector<SparseVectorView> Views() const {
+    std::vector<SparseVectorView> v;
+    v.reserve(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      v.push_back({indices[i].empty() ? nullptr : indices[i].data(),
+                   values[i].data(), values[i].size()});
+    }
+    return v;
+  }
+};
+
+std::vector<double> RandomModel(Index dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w(dim);
+  for (auto& x : w) x = rng.Gaussian(0.0, 1.0);
+  return w;
+}
+
+/// `n` dense rows: the identity index pattern 0..dim-1.
+RowSet DenseRows(size_t n, Index dim, uint64_t seed) {
+  Rng rng(seed);
+  RowSet rs;
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<Index> idx(dim);
+    std::vector<double> val(dim);
+    for (Index j = 0; j < dim; ++j) {
+      idx[j] = j;
+      val[j] = rng.Gaussian(0.0, 1.0);
+    }
+    rs.indices.push_back(std::move(idx));
+    rs.values.push_back(std::move(val));
+  }
+  return rs;
+}
+
+/// `n` sparse rows with sorted strictly-increasing indices spread over the
+/// full dimension (so wide models cross several column blocks).
+RowSet SparseRows(size_t n, Index dim, size_t nnz, uint64_t seed) {
+  Rng rng(seed);
+  RowSet rs;
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<Index> idx;
+    // Sample-without-replacement by stride jitter: sorted and unique.
+    const Index stride = std::max<Index>(1, dim / static_cast<Index>(nnz));
+    for (Index j = static_cast<Index>(rng.Below(stride)); j < dim && idx.size() < nnz;
+         j += 1 + static_cast<Index>(rng.Below(2 * stride))) {
+      idx.push_back(j);
+    }
+    if (idx.empty()) idx.push_back(static_cast<Index>(rng.Below(dim)));
+    std::vector<double> val(idx.size());
+    for (auto& v : val) v = rng.Gaussian(0.0, 1.0);
+    rs.indices.push_back(std::move(idx));
+    rs.values.push_back(std::move(val));
+  }
+  return rs;
+}
+
+/// Asserts PredictBatch matches per-row Predict for every row. The sparse
+/// and fallback paths preserve accumulation order (bitwise equal); the
+/// dense kernel uses multi-lane accumulators, so the bound is the
+/// reassociation epsilon of a dot over `dim` terms.
+void ExpectBatchMatchesScalar(const ModelSpec& spec,
+                              const std::vector<double>& model, Index dim,
+                              const RowSet& rows) {
+  const std::vector<SparseVectorView> views = rows.Views();
+  std::vector<double> batched(views.size(), -1e300);
+  spec.PredictBatch(model.data(), dim, views.data(), views.size(),
+                    batched.data());
+  for (size_t r = 0; r < views.size(); ++r) {
+    const double scalar = spec.Predict(model.data(), views[r]);
+    EXPECT_NEAR(batched[r], scalar,
+                1e-9 * std::max(1.0, std::abs(scalar)))
+        << spec.name() << " row " << r;
+  }
+}
+
+template <typename SpecT>
+class GlmPredictBatchTest : public ::testing::Test {
+ protected:
+  SpecT spec;
+};
+
+using GlmSpecs =
+    ::testing::Types<SvmSpec, LogisticSpec, LeastSquaresSpec>;
+TYPED_TEST_SUITE(GlmPredictBatchTest, GlmSpecs);
+
+TYPED_TEST(GlmPredictBatchTest, DenseRowsSmallModel) {
+  // dim under one column block: the unblocked dense fast path.
+  const Index dim = 96;
+  ExpectBatchMatchesScalar(this->spec, RandomModel(dim, 1), dim,
+                           DenseRows(40, dim, 2));
+}
+
+TYPED_TEST(GlmPredictBatchTest, DenseRowsWideModelRaggedFinalBlock) {
+  // dim = 1.4 blocks: the last column block is ragged (not a multiple of
+  // kPredictBlockCols), exercising the blocked dense kernel's tail.
+  const Index dim = GlmSpec::kPredictBlockCols + 1700;
+  ExpectBatchMatchesScalar(this->spec, RandomModel(dim, 3), dim,
+                           DenseRows(9, dim, 4));
+}
+
+TYPED_TEST(GlmPredictBatchTest, SparseRowsSmallModel) {
+  const Index dim = 300;
+  ExpectBatchMatchesScalar(this->spec, RandomModel(dim, 5), dim,
+                           SparseRows(64, dim, 12, 6));
+}
+
+TYPED_TEST(GlmPredictBatchTest, SparseRowsWideModelCrossBlockCursors) {
+  // Sparse rows spanning three column blocks: the per-row cursor must
+  // resume exactly where the previous block left off.
+  const Index dim = 2 * GlmSpec::kPredictBlockCols + 777;
+  ExpectBatchMatchesScalar(this->spec, RandomModel(dim, 7), dim,
+                           SparseRows(50, dim, 40, 8));
+}
+
+TYPED_TEST(GlmPredictBatchTest, BatchSizeOne) {
+  const Index dim = GlmSpec::kPredictBlockCols + 10;
+  ExpectBatchMatchesScalar(this->spec, RandomModel(dim, 9), dim,
+                           DenseRows(1, dim, 10));
+  ExpectBatchMatchesScalar(this->spec, RandomModel(dim, 11), dim,
+                           SparseRows(1, dim, 5, 12));
+}
+
+TYPED_TEST(GlmPredictBatchTest, RaggedFinalRowChunk) {
+  // n = one full row chunk plus a remainder: the chunk loop's tail.
+  const size_t n = GlmSpec::kPredictRowChunk + 3;
+  const Index dim = 128;
+  ExpectBatchMatchesScalar(this->spec, RandomModel(dim, 13), dim,
+                           SparseRows(n, dim, 10, 14));
+}
+
+TYPED_TEST(GlmPredictBatchTest, MixedDenseSparseAndUnsortedRows) {
+  const Index dim = GlmSpec::kPredictBlockCols + 50;
+  const std::vector<double> model = RandomModel(dim, 15);
+  RowSet rs = DenseRows(2, dim, 16);
+  RowSet sparse = SparseRows(3, dim, 20, 17);
+  for (size_t r = 0; r < sparse.values.size(); ++r) {
+    rs.indices.push_back(std::move(sparse.indices[r]));
+    rs.values.push_back(std::move(sparse.values[r]));
+  }
+  // An unsorted row (descending indices) must hit the reference fallback
+  // and still match, interleaved with kernel-path rows.
+  rs.indices.push_back({dim - 1, 40, 7});
+  rs.values.push_back({0.5, -1.25, 2.0});
+  // A duplicate-index row is "unsorted" to the classifier (not strictly
+  // increasing); Dot semantics sum both entries.
+  rs.indices.push_back({3, 3, 9});
+  rs.values.push_back({1.0, 2.0, -0.5});
+  ExpectBatchMatchesScalar(this->spec, model, dim, rs);
+}
+
+TYPED_TEST(GlmPredictBatchTest, EmptyBatchAndEmptyRows) {
+  const Index dim = 64;
+  const std::vector<double> model = RandomModel(dim, 19);
+  // n = 0 must not touch out.
+  this->spec.PredictBatch(model.data(), dim, nullptr, 0, nullptr);
+  // A zero-nnz row scores Link(0), same as scalar Predict.
+  RowSet rs;
+  rs.indices.push_back({});
+  rs.values.push_back({});
+  ExpectBatchMatchesScalar(this->spec, model, dim, rs);
+}
+
+TYPED_TEST(GlmPredictBatchTest, ExplicitDenseViewsFullAndShort) {
+  // Null-index dense views: six full-width rows (one 4-row register tile
+  // plus two remainder rows) and short rows whose lengths straddle the
+  // column-block boundary.
+  const Index dim = GlmSpec::kPredictBlockCols + 900;
+  Rng rng(31);
+  RowSet rs;
+  for (int r = 0; r < 6; ++r) {
+    std::vector<double> val(dim);
+    for (auto& v : val) v = rng.Gaussian(0.0, 1.0);
+    rs.indices.push_back({});
+    rs.values.push_back(std::move(val));
+  }
+  for (const size_t len : {size_t{1}, size_t{537},
+                           size_t{GlmSpec::kPredictBlockCols + 1}}) {
+    std::vector<double> val(len);
+    for (auto& v : val) v = rng.Gaussian(0.0, 1.0);
+    rs.indices.push_back({});
+    rs.values.push_back(std::move(val));
+  }
+  ExpectBatchMatchesScalar(this->spec, RandomModel(dim, 32), dim, rs);
+}
+
+TEST(PredictBatchDefaultTest, NonGlmSpecUsesRowByRowReference) {
+  // LpSpec does not override PredictBatch: the ModelSpec default must
+  // delegate to the spec's own Predict row by row.
+  LpSpec lp;
+  const Index dim = 50;
+  const std::vector<double> model = RandomModel(dim, 21);
+  ExpectBatchMatchesScalar(lp, model, dim, SparseRows(17, dim, 2, 22));
+}
+
+TEST(PredictBatchLinkTest, LogisticBatchAppliesSigmoid) {
+  // Guards the Link() wiring: a batched LR score is a probability, not a
+  // raw margin.
+  LogisticSpec lr;
+  const Index dim = 8;
+  std::vector<double> model(dim, 1.0);
+  RowSet rs = DenseRows(4, dim, 23);
+  const std::vector<SparseVectorView> views = rs.Views();
+  std::vector<double> out(views.size());
+  lr.PredictBatch(model.data(), dim, views.data(), views.size(), out.data());
+  for (size_t r = 0; r < out.size(); ++r) {
+    EXPECT_GT(out[r], 0.0);
+    EXPECT_LT(out[r], 1.0);
+    double margin = 0.0;
+    for (Index j = 0; j < dim; ++j) margin += rs.values[r][j];
+    EXPECT_NEAR(out[r], Sigmoid(margin), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dw::models

@@ -291,7 +291,9 @@ TEST(ServingEngineTest, ServedScoresMatchSingleThreadedReference) {
   for (Index i = 0; i < d.a.rows(); ++i) {
     const double served = futures[i].get();
     const double reference = lr.Predict(weights.data(), d.a.Row(i));
-    EXPECT_DOUBLE_EQ(served, reference) << "row " << i;
+    // These dense identity-indexed rows take the tiled batched kernel,
+    // which reassociates the dot -- within-epsilon, not bitwise.
+    EXPECT_NEAR(served, reference, 1e-12) << "row " << i;
     EXPECT_GE(served, 0.0);
     EXPECT_LE(served, 1.0);
   }
@@ -397,6 +399,36 @@ TEST(ServingEngineTest, RejectsOutOfRangeFeatureIndex) {
   server.Stop();
 }
 
+TEST(ServingEngineTest, DenseRequestsScoreValidateAndDensify) {
+  models::LeastSquaresSpec ls;
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  opts.batch.max_batch_size = 4;
+  opts.batch.max_delay = std::chrono::microseconds(100);
+  ServingEngine server(&ls, opts);
+  server.Publish("ls", ConstantWeights(16, 0.5));
+  ASSERT_TRUE(server.Start().ok());
+
+  // Explicit dense form: empty indices, value k at coordinate k. A row
+  // shorter than the model is an identity prefix.
+  auto dense = server.ScoreSync({}, {1.0, 1.0, 1.0, 1.0});
+  ASSERT_TRUE(dense.ok());
+  EXPECT_DOUBLE_EQ(dense.value(), 2.0);
+  // Wider than the model: rejected at admission.
+  EXPECT_EQ(server.Score({}, std::vector<double>(17, 1.0)).status().code(),
+            Status::Code::kInvalidArgument);
+  // An identity-indexed request is rewritten to the dense form during the
+  // admission scan and must score identically.
+  auto densified = server.ScoreSync({0, 1, 2}, {2.0, 2.0, 2.0});
+  ASSERT_TRUE(densified.ok());
+  EXPECT_DOUBLE_EQ(densified.value(), 3.0);
+  // Non-identity sparse requests still take the gather path.
+  auto sparse = server.ScoreSync({3, 15}, {4.0, 4.0});
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_DOUBLE_EQ(sparse.value(), 4.0);
+  server.Stop();
+}
+
 TEST(ServingEngineTest, StoppedEngineCannotRestart) {
   models::SvmSpec svm;
   ServingOptions opts;
@@ -436,6 +468,82 @@ TEST(ServingEngineTest, ConcurrentPublishersKeepVersionsMonotonic) {
   stop.store(true);
   reader.join();
   EXPECT_EQ(reg.current_version(), 200u);
+}
+
+TEST(ServingEngineTest, ScalarAndBatchedModesAgreeWithinEpsilon) {
+  // The sparse batched kernel preserves accumulation order (bitwise); the
+  // dense kernel reassociates across accumulator lanes, so the two modes
+  // must agree to reassociation epsilon on these dense requests.
+  const data::Dataset d = ServeDataset(200, 48, 131);
+  models::LogisticSpec lr;
+  Rng rng(5);
+  std::vector<double> weights(48);
+  for (auto& w : weights) w = rng.Gaussian(0.0, 0.7);
+
+  std::vector<std::vector<double>> results;
+  for (const ScoringMode mode : {ScoringMode::kScalar, ScoringMode::kBatched}) {
+    ServingOptions opts;
+    opts.topology = numa::Local2();
+    opts.scoring = mode;
+    opts.batch.max_batch_size = 16;
+    opts.batch.max_delay = std::chrono::microseconds(100);
+    ServingEngine server(&lr, opts);
+    server.Publish("lr", weights);
+    ASSERT_TRUE(server.Start().ok());
+    std::vector<double> scores;
+    std::vector<Index> idx;
+    std::vector<double> vals;
+    for (Index i = 0; i < d.a.rows(); ++i) {
+      RowOf(d, i, &idx, &vals);
+      auto s = server.ScoreSync(idx, vals);
+      ASSERT_TRUE(s.ok());
+      scores.push_back(s.value());
+    }
+    server.Stop();
+    results.push_back(std::move(scores));
+  }
+  for (size_t i = 0; i < results[0].size(); ++i) {
+    EXPECT_NEAR(results[0][i], results[1][i], 1e-12) << "row " << i;
+  }
+}
+
+TEST(ServingEngineTest, BatchedServingOfWideModelCrossesColumnBlocks) {
+  // A model wider than one kernel tile: batched serving must still equal
+  // the scalar reference (end-to-end check of the blocked serving path).
+  const Index dim = models::GlmSpec::kPredictBlockCols + 333;
+  models::LeastSquaresSpec ls;
+  Rng rng(77);
+  std::vector<double> weights(dim);
+  for (auto& w : weights) w = rng.Gaussian(0.0, 0.3);
+
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  opts.batch.max_batch_size = 8;
+  opts.batch.max_delay = std::chrono::microseconds(100);
+  ServingEngine server(&ls, opts);
+  server.Publish("ls", weights);
+  ASSERT_TRUE(server.Start().ok());
+
+  Rng row_rng(78);
+  for (int r = 0; r < 64; ++r) {
+    // A sorted sparse row spanning the full width.
+    std::vector<Index> idx;
+    std::vector<double> vals;
+    for (Index j = static_cast<Index>(row_rng.Below(200)); j < dim;
+         j += 150 + static_cast<Index>(row_rng.Below(200))) {
+      idx.push_back(j);
+      vals.push_back(row_rng.Gaussian(0.0, 1.0));
+    }
+    const matrix::SparseVectorView view{idx.data(), vals.data(), idx.size()};
+    const double reference = ls.Predict(weights.data(), view);
+    auto served = server.ScoreSync(idx, vals);
+    ASSERT_TRUE(served.ok());
+    EXPECT_DOUBLE_EQ(served.value(), reference) << "row " << r;
+  }
+  server.Stop();
+  const ServingStats stats = server.Stats();
+  EXPECT_EQ(stats.requests, 64u);
+  EXPECT_GE(stats.max_latency_ms, stats.p99_latency_ms);
 }
 
 TEST(ServingEngineTest, StopDrainsAcceptedRequests) {

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -9,6 +11,7 @@
 
 #include "util/aligned.h"
 #include "util/barrier.h"
+#include "util/json_writer.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -288,6 +291,46 @@ TEST(RoundUpTest, Rounds) {
   EXPECT_EQ(RoundUp(1, 64), 64u);
   EXPECT_EQ(RoundUp(64, 64), 64u);
   EXPECT_EQ(RoundUp(65, 64), 128u);
+}
+
+TEST(JsonWriterTest, NestedObjectsAndArrays) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Field("name", "bench");
+  j.Field("count", 3);
+  j.Field("rate", 1.5);
+  j.Field("ok", true);
+  j.Key("items").BeginArray();
+  j.Number(1).Number(2.5).String("x").Bool(false).Null();
+  j.BeginObject().Field("k", "v").EndObject();
+  j.EndArray();
+  j.Key("empty").BeginObject().EndObject();
+  j.EndObject();
+  EXPECT_EQ(j.str(),
+            "{\"name\":\"bench\",\"count\":3,\"rate\":1.5,\"ok\":true,"
+            "\"items\":[1,2.5,\"x\",false,null,{\"k\":\"v\"}],"
+            "\"empty\":{}}");
+}
+
+TEST(JsonWriterTest, EscapesStringsAndHandlesNonFinite) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Field("quote\"back\\slash", "line\nbreak\ttab");
+  j.Field("inf", std::numeric_limits<double>::infinity());
+  j.Field("nan", std::nan(""));
+  j.EndObject();
+  EXPECT_EQ(j.str(),
+            "{\"quote\\\"back\\\\slash\":\"line\\nbreak\\ttab\","
+            "\"inf\":null,\"nan\":null}");
+}
+
+TEST(JsonWriterTest, TopLevelArrayOfNumbers) {
+  JsonWriter j;
+  j.BeginArray();
+  j.Number(static_cast<uint64_t>(18446744073709551615ull));
+  j.Number(static_cast<int64_t>(-42));
+  j.EndArray();
+  EXPECT_EQ(j.str(), "[18446744073709551615,-42]");
 }
 
 }  // namespace
