@@ -1,94 +1,169 @@
-// Serving quickstart: train a model with the DimmWitted engine, then serve
-// it from a NUMA-replicated scoring service.
+// Serving quickstart: train two models with the DimmWitted engine and
+// serve them side by side from one NUMA-replicated scoring service.
 //
-//   1. train a logistic-regression model (exactly like examples/quickstart),
-//   2. export the consensus model and publish it to a ServingEngine,
-//   3. score single rows through the request batcher,
-//   4. hot-swap a newer model version without stopping the server.
+//   1. train a wide logistic-regression model and a narrow SVM,
+//   2. register both as named families -- the registry picks each
+//      family's replication with the opt:: cost model (no hard-coding),
+//   3. wire each trainer to its family through a SnapshotExporter, which
+//      publishes fresh snapshots on a period WHILE training runs,
+//   4. score single rows against either family through the batcher,
+//   5. read per-family stats: throughput, latency, snapshot staleness.
 //
 // Build & run:  ./examples/serving_quickstart
 #include <cstdio>
 #include <vector>
 
 #include "data/paper_datasets.h"
+#include "data/synthetic.h"
 #include "engine/engine.h"
 #include "models/glm.h"
 #include "serve/serving_engine.h"
+#include "serve/snapshot_exporter.h"
 
 int main() {
   using namespace dw;
   using matrix::Index;
 
-  // 1. Train. PerNode replication, row-wise access: the paper's sweet spot
-  //    for GLMs.
-  const data::Dataset dataset = data::Rcv1(/*scale=*/0.003);
+  // 1. Two trainers. PerNode replication, row-wise access: the paper's
+  //    sweet spot for GLMs.
+  const data::Dataset wide_data = data::Rcv1(/*scale=*/0.003);
   models::LogisticSpec lr;
   engine::EngineOptions train_opts;
   train_opts.topology = numa::Local2();
-  engine::Engine trainer(&dataset, &lr, train_opts);
-  Status st = trainer.Init();
+  engine::Engine wide_trainer(&wide_data, &lr, train_opts);
+
+  const Index narrow_dim = 24;
+  data::Dataset narrow_data;
+  narrow_data.name = "fraud";
+  narrow_data.a = data::MakeDenseTable(
+      {.rows = 1500, .cols = narrow_dim, .feature_correlation = 0.2,
+       .seed = 42});
+  narrow_data.b =
+      data::PlantClassificationLabels(narrow_data.a, narrow_dim, 0.0, 43);
+  models::SvmSpec svm;
+  engine::Engine narrow_trainer(&narrow_data, &svm, train_opts);
+
+  Status st = wide_trainer.Init();
+  if (st.ok()) st = narrow_trainer.Init();
   if (!st.ok()) {
     std::fprintf(stderr, "Init failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  engine::RunConfig cfg;
-  cfg.max_epochs = 10;
-  const engine::RunResult result = trainer.Run(cfg);
-  std::printf("trained %s for %zu epochs, final loss %.4f\n",
-              lr.name().c_str(), result.epochs.size(), result.BestLoss());
 
-  // 2. Publish the trained model to a serving engine. Weights are copied
-  //    into one immutable replica per NUMA node; scoring threads are
-  //    pinned and route every batch to their node-local copy.
+  // 2. Register both families. No Replication argument anywhere: each
+  //    family describes its expected traffic (dimension, batch width,
+  //    reads per publish) and opt::ChooseServingReplication costs both
+  //    strategies through the calibrated memory model. The wide
+  //    read-heavy family comes out PerNode (one replica per socket); the
+  //    narrow family, republished every few ms by its exporter, comes
+  //    out PerMachine (replicating snapshots nobody read yet is waste).
   serve::ServingOptions serve_opts;
   serve_opts.topology = numa::Local2();
-  serve_opts.replication = serve::Replication::kPerNode;
   serve_opts.batch.max_batch_size = 32;
   serve_opts.batch.max_delay = std::chrono::microseconds(200);
-  // Batched scoring (the default): each flushed mini-batch is scored with
-  // one ModelSpec::PredictBatch call, so the GLM kernel tiles the replica
-  // through the cache instead of re-reading it per row.
-  serve_opts.scoring = serve::ScoringMode::kBatched;
-  serve::ServingEngine server(&lr, serve_opts);
-  const uint64_t v1 = server.Publish(trainer.Export());
+  serve::ServingEngine server(serve_opts);
+
+  serve::ServingFamilyOptions wide_family;
+  wide_family.traffic.dim = wide_data.a.cols();
+  wide_family.traffic.expected_batch_rows = 32.0;
+  wide_family.traffic.reads_per_publish = 2048.0;  // read-heavy
+  serve::ServingFamilyOptions narrow_family;
+  narrow_family.traffic.dim = narrow_dim;
+  narrow_family.traffic.expected_batch_rows = 32.0;
+  narrow_family.traffic.reads_per_publish = 0.25;  // hot-refresh
+  st = server.RegisterFamily("ctr-wide-lr", &lr, wide_family);
+  if (st.ok()) st = server.RegisterFamily("fraud-narrow-svm", &svm, narrow_family);
+  if (!st.ok()) {
+    std::fprintf(stderr, "RegisterFamily failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  for (const char* name : {"ctr-wide-lr", "fraud-narrow-svm"}) {
+    const serve::ModelFamily* f = server.registry().FindFamily(name);
+    std::printf("%-17s -> %s (%s)\n", name, serve::ToString(f->replication()),
+                f->rationale().c_str());
+  }
+
+  // 3. One exporter per family: publish_on_start seeds version 1, then
+  //    each publishes mid-training on its own period. Export() is
+  //    thread-safe (it reads the engine's consensus export buffer), so
+  //    epochs never block on serving.
+  serve::SnapshotExporter::Options wide_eopts;
+  wide_eopts.period = std::chrono::milliseconds(20);
+  serve::SnapshotExporter wide_exporter(&wide_trainer, &server, "ctr-wide-lr",
+                                        wide_eopts);
+  serve::SnapshotExporter::Options narrow_eopts;
+  narrow_eopts.period = std::chrono::milliseconds(2);
+  serve::SnapshotExporter narrow_exporter(&narrow_trainer, &server,
+                                          "fraud-narrow-svm", narrow_eopts);
+  wide_exporter.Start();
+  narrow_exporter.Start();
   st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "Start failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("serving version %llu on %d threads (%s scoring)\n",
-              static_cast<unsigned long long>(v1), server.num_workers(),
-              serve::ToString(serve_opts.scoring));
+  std::printf("serving %d families on %d threads\n", server.num_families(),
+              server.num_workers());
 
-  // 3. Score the first few training rows (in production these would be
-  //    fresh requests). LogisticSpec::Predict returns P(y = +1 | row).
-  for (Index i = 0; i < 5; ++i) {
-    const auto row = dataset.a.Row(i);
+  // 4. Train both models while serving; the exporters hot-swap improved
+  //    snapshots underneath the in-flight traffic.
+  engine::RunConfig cfg;
+  cfg.max_epochs = 10;
+  std::thread narrow_training([&] { narrow_trainer.Run(cfg); });
+  const engine::RunResult wide_result = wide_trainer.Run(cfg);
+  narrow_training.join();
+  std::printf("trained %s for %zu epochs, final loss %.4f\n",
+              lr.name().c_str(), wide_result.epochs.size(),
+              wide_result.BestLoss());
+  //    Training is done: stopping an exporter flushes one final export,
+  //    so the freshly-trained weights are what gets served below.
+  wide_exporter.Stop();
+  narrow_exporter.Stop();
+
+  //    Score a few rows against each family (in production these would
+  //    be fresh requests). LogisticSpec::Predict returns P(y = +1 | row).
+  for (Index i = 0; i < 3; ++i) {
+    const auto row = wide_data.a.Row(i);
     std::vector<Index> idx(row.indices, row.indices + row.nnz);
     std::vector<double> vals(row.values, row.values + row.nnz);
-    const auto score = server.ScoreSync(idx, vals);
+    const auto score = server.ScoreSync("ctr-wide-lr", idx, vals);
     if (!score.ok()) {
       std::fprintf(stderr, "Score failed: %s\n",
                    score.status().ToString().c_str());
       return 1;
     }
-    std::printf("row %u: P(y=+1) = %.3f (label %+.0f)\n", i, score.value(),
-                dataset.b[i]);
+    std::printf("ctr-wide-lr row %u: P(y=+1) = %.3f (label %+.0f)\n", i,
+                score.value(), wide_data.b[i]);
+  }
+  for (Index i = 0; i < 3; ++i) {
+    const auto row = narrow_data.a.Row(i);
+    std::vector<Index> idx(row.indices, row.indices + row.nnz);
+    std::vector<double> vals(row.values, row.values + row.nnz);
+    const auto score = server.ScoreSync("fraud-narrow-svm", idx, vals);
+    if (!score.ok()) {
+      std::fprintf(stderr, "Score failed: %s\n",
+                   score.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("fraud-narrow-svm row %u: margin = %+.3f (label %+.0f)\n", i,
+                score.value(), narrow_data.b[i]);
   }
 
-  // 4. Keep training and hot-swap the improved model; in-flight batches
-  //    finish on the version they started with.
-  cfg.max_epochs = 10;
-  trainer.Run(cfg);
-  const uint64_t v2 = server.Publish(trainer.Export());
-  std::printf("hot-swapped to version %llu while serving\n",
-              static_cast<unsigned long long>(v2));
-
+  // 5. Stop serving; per-family stats include the staleness the async
+  //    pipeline traded for never blocking an epoch.
   server.Stop();
   const serve::ServingStats stats = server.Stats();
-  std::printf("served %llu requests in %llu batches, p50 %.3f ms, p99 %.3f ms\n",
+  std::printf("served %llu requests in %llu batches total\n",
               static_cast<unsigned long long>(stats.requests),
-              static_cast<unsigned long long>(stats.batches),
-              stats.p50_latency_ms, stats.p99_latency_ms);
+              static_cast<unsigned long long>(stats.batches));
+  for (const serve::FamilyServingStats& f : stats.families) {
+    std::printf(
+        "%-17s v%llu: %llu rows, p50 %.3f ms, p99 %.3f ms, "
+        "staleness mean %.1f ms (max %.1f), rejected %llu\n",
+        f.family.c_str(), static_cast<unsigned long long>(f.served_version),
+        static_cast<unsigned long long>(f.requests), f.p50_latency_ms,
+        f.p99_latency_ms, f.mean_staleness_ms, f.max_staleness_ms,
+        static_cast<unsigned long long>(f.rejected));
+  }
   return 0;
 }

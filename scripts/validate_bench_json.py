@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Schema check for the bench_serving DW_BENCH_JSON artifact.
+
+CI runs `bench_serving --smoke` per commit and validates the artifact with
+this script, so downstream consumers (perf dashboards, trend diffs over the
+archived artifacts) cannot be broken silently by a field rename. Checks
+presence and types, not values: perf numbers are noisy, shapes are not.
+
+Usage: validate_bench_json.py <artifact.json>
+"""
+import json
+import numbers
+import sys
+
+
+def fail(msg):
+    print(f"SCHEMA FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(obj, key, typ, where):
+    if key not in obj:
+        fail(f"missing key '{key}' in {where}")
+    if typ is numbers.Number:
+        ok = isinstance(obj[key], numbers.Number) and not isinstance(
+            obj[key], bool)
+    else:
+        ok = isinstance(obj[key], typ)
+    if not ok:
+        fail(f"key '{key}' in {where} has type {type(obj[key]).__name__}, "
+             f"want {getattr(typ, '__name__', typ)}")
+    return obj[key]
+
+
+NUM = numbers.Number
+
+TOP_LEVEL = {
+    "bench": str,
+    "schema_version": NUM,
+    "smoke": bool,
+    "unix_time": NUM,
+    "topology": str,
+    "dataset": str,
+    "dataset_rows": NUM,
+    "dataset_cols": NUM,
+    "serve_rows": NUM,
+    "replication_runs": list,
+    "batched_vs_scalar": dict,
+    "slo": dict,
+    "families": list,
+}
+
+REPLICATION_RUN = {
+    "replication": str,
+    "threads": NUM,
+    "measured_rows_per_sec": NUM,
+    "model_rows_per_sec": NUM,
+    "p50_ms": NUM,
+    "p99_ms": NUM,
+    "remote_mb": NUM,
+}
+
+BATCHED = {
+    "dense_rows": NUM,
+    "dense_dim": NUM,
+    "threads": NUM,
+    "scalar_rows_per_sec": NUM,
+    "batched_rows_per_sec": NUM,
+    "speedup": NUM,
+    "min_speedup_gate": NUM,
+}
+
+SLO = {
+    "target_p99_ms": NUM,
+    "unthrottled_rows_per_sec": NUM,
+    "max_rows_per_sec_under_slo": NUM,
+    "trials": list,
+}
+
+SLO_TRIAL = {
+    "offered_rows_per_sec": NUM,
+    "achieved_rows_per_sec": NUM,
+    "p50_ms": NUM,
+    "p99_ms": NUM,
+    "max_ms": NUM,
+    "meets_slo": bool,
+}
+
+FAMILY = {
+    "family": str,
+    "replication": str,
+    "replication_rationale": str,
+    "requests": NUM,
+    "rows_per_sec": NUM,
+    "p50_ms": NUM,
+    "p99_ms": NUM,
+    "max_ms": NUM,
+    "accepted": NUM,
+    "rejected": NUM,
+    "queue_depth": NUM,
+    "flush_size": NUM,
+    "flush_deadline": NUM,
+    "flush_drain": NUM,
+    "mean_staleness_ms": NUM,
+    "max_staleness_ms": NUM,
+    "mean_versions_behind": NUM,
+    "max_versions_behind": NUM,
+    "exporter_period_ms": NUM,
+    "exporter_publishes": NUM,
+    "publish_mean_ms": NUM,
+    "publish_max_ms": NUM,
+}
+
+
+def check_all(obj, spec, where):
+    for key, typ in spec.items():
+        require(obj, key, typ, where)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_bench_json.py <artifact.json>")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    check_all(doc, TOP_LEVEL, "top level")
+    if doc["bench"] != "serving":
+        fail(f"bench is '{doc['bench']}', want 'serving'")
+    if doc["schema_version"] < 2:
+        fail(f"schema_version {doc['schema_version']} < 2")
+
+    if not doc["replication_runs"]:
+        fail("replication_runs is empty")
+    for i, run in enumerate(doc["replication_runs"]):
+        check_all(run, REPLICATION_RUN, f"replication_runs[{i}]")
+
+    check_all(doc["batched_vs_scalar"], BATCHED, "batched_vs_scalar")
+
+    check_all(doc["slo"], SLO, "slo")
+    if not doc["slo"]["trials"]:
+        fail("slo.trials is empty")
+    for i, trial in enumerate(doc["slo"]["trials"]):
+        check_all(trial, SLO_TRIAL, f"slo.trials[{i}]")
+
+    if len(doc["families"]) < 2:
+        fail(f"families has {len(doc['families'])} entries, want >= 2 "
+             "(multi-family serving is the point)")
+    for i, fam in enumerate(doc["families"]):
+        check_all(fam, FAMILY, f"families[{i}]")
+    reps = {f["replication"] for f in doc["families"]}
+    if not reps <= {"PerNode", "PerMachine"}:
+        fail(f"unknown replication strings: {reps}")
+
+    print(f"schema OK: {sys.argv[1]} "
+          f"({len(doc['replication_runs'])} replication runs, "
+          f"{len(doc['families'])} families)")
+
+
+if __name__ == "__main__":
+    main()

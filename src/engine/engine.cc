@@ -143,6 +143,10 @@ Status Engine::Init() {
     averager_ = std::thread([this] { AveragerLoop(); });
   }
 
+  // Seed the export buffer so Export() is valid (and thread-safe) from
+  // the moment Init() returns, before any epoch has run.
+  RefreshExportBuffer(replicas_[0]->model(), 0);
+
   initialized_ = true;
   return Status::OK();
 }
@@ -268,6 +272,17 @@ void Engine::AverageReplicasOnce() {
     for (Index k = 0; k < model_dim_; ++k) m[k] = consensus_[k];
   }
   averaging_rounds_.fetch_add(1, std::memory_order_relaxed);
+  // The freshly-averaged consensus is exactly what a serving export
+  // should carry; refreshing here (also from the async averager thread)
+  // is what makes mid-epoch Export() lag by at most one averaging round.
+  RefreshExportBuffer(consensus_.data(), /*epochs=*/-1);
+}
+
+void Engine::RefreshExportBuffer(const double* weights, int epochs) {
+  std::lock_guard<std::mutex> lk(export_mu_);
+  export_weights_.assign(weights, weights + model_dim_);
+  if (epochs >= 0) export_epochs_ = epochs;
+  export_refreshed_at_ = std::chrono::steady_clock::now();
 }
 
 void Engine::AveragerLoop() {
@@ -277,12 +292,18 @@ void Engine::AveragerLoop() {
   while (!averager_quit_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(period);
     if (epoch_active_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lk(averaging_mu_);
       AverageReplicasOnce();
     }
   }
 }
 
 void Engine::EpochBoundarySync() {
+  // Wait out (and exclude) any in-flight async averaging round: from here
+  // to the export-buffer refresh below, the replicas must not be half
+  // rewritten by the averager, or serving would be handed torn weights.
+  // Bounded wait: one O(replicas x dim) averaging pass at most.
+  std::lock_guard<std::mutex> boundary_lock(averaging_mu_);
   if (plan_.num_replicas > 1) {
     AverageReplicasOnce();
   }
@@ -295,6 +316,10 @@ void Engine::EpochBoundarySync() {
       spec_->RefreshAux(*dataset_, rep->model(), rep->aux());
     }
   }
+  // Workers are parked at the barrier here, so replica 0 is quiescent and
+  // holds the projected consensus: the canonical post-epoch export. The
+  // boundary runs before ++epoch_counter_, hence the +1.
+  RefreshExportBuffer(replicas_[0]->model(), epoch_counter_ + 1);
 }
 
 numa::SimulationInput Engine::BuildSimInput() const {
@@ -379,8 +404,10 @@ ModelExport Engine::Export() {
   DW_CHECK(initialized_) << "call Init() first";
   ModelExport out;
   out.spec_name = spec_->name();
-  out.epochs_trained = epoch_counter_;
-  out.weights = ConsensusModel();
+  std::lock_guard<std::mutex> lk(export_mu_);
+  out.epochs_trained = export_epochs_;
+  out.weights = export_weights_;
+  out.exported_at = export_refreshed_at_;
   return out;
 }
 

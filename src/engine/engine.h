@@ -14,7 +14,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +52,9 @@ struct ModelExport {
   std::string spec_name;
   int epochs_trained = 0;
   std::vector<double> weights;
+  /// When the weights left the trainer (the export buffer's refresh
+  /// time). The serving layer diffs against this for staleness.
+  std::chrono::steady_clock::time_point exported_at{};
 };
 
 /// The engine. Construct, Init(), then Run() or RunEpoch().
@@ -77,8 +82,14 @@ class Engine {
   std::vector<double> ConsensusModel();
 
   /// Snapshots the consensus model for serving (serve::ModelRegistry
-  /// republishes it without copying again). Valid after Init(); callable
-  /// between epochs while training continues.
+  /// republishes it without copying again). Valid after Init(), and
+  /// THREAD-SAFE: callable from a background exporter (the
+  /// serve::SnapshotExporter pipeline) while epochs run. The weights come
+  /// from a mutex-guarded export buffer refreshed at every asynchronous
+  /// averaging round and epoch boundary, so a mid-epoch export lags the
+  /// live replicas by at most one averaging interval and never reads
+  /// them directly (epochs do not block, and the racy replica reads stay
+  /// inside the training loop where they belong).
   ModelExport Export();
 
   /// Parallel loss of the consensus model over the full dataset.
@@ -103,6 +114,10 @@ class Engine {
   void EpochBoundarySync();               // average + project + aux refresh
   void AveragerLoop();                    // async averaging thread body
   void AverageReplicasOnce();             // one averaging round (model part)
+  /// Copies `weights` (model_dim_ doubles) into the export buffer.
+  /// `epochs` < 0 keeps the current trained-epochs figure (mid-epoch
+  /// averaging rounds refresh weights, not epoch provenance).
+  void RefreshExportBuffer(const double* weights, int epochs);
   void ResampleImportanceWork();          // kImportance: new per-epoch work
   numa::SimulationInput BuildSimInput() const;
 
@@ -132,9 +147,21 @@ class Engine {
 
   // Async averager.
   std::thread averager_;
+  /// Serializes averaging rounds against the epoch boundary: the
+  /// boundary's consensus copy into the export buffer must never read a
+  /// replica the averager is halfway through rewriting (workers' Hogwild
+  /// races stay -- this guards only averager-vs-boundary).
+  std::mutex averaging_mu_;
   std::atomic<bool> averager_quit_{false};
   std::atomic<bool> epoch_active_{false};
   std::atomic<uint64_t> averaging_rounds_{0};
+
+  // Export buffer: the thread-safe hand-off point between training and
+  // the serving exporter (see Export()).
+  mutable std::mutex export_mu_;
+  std::vector<double> export_weights_;
+  int export_epochs_ = 0;
+  std::chrono::steady_clock::time_point export_refreshed_at_{};
 
   numa::SimulationInput last_sim_{1};
   int epoch_counter_ = 0;

@@ -1,0 +1,75 @@
+// Serving-side replication chooser (the registry's analogue of the
+// training optimizer in optimizer.h).
+//
+// The paper's Sec. 3.2-3.3 argument is that replication should be picked
+// by a cost model per workload, not hard-coded. Training applies it to
+// mutable replicas (write traffic dominates); serving is the read-mostly
+// end of the same tradeoff, where the decision is between
+//
+//   kPerNode:    one immutable copy per socket. Every read is node-local
+//                DRAM, but every Publish() writes the model once per
+//                socket and the footprint is num_nodes * model bytes.
+//   kPerMachine: one copy on node 0. Publishes write once, but the other
+//                sockets' reads all cross the shared interconnect (QPI),
+//                which saturates long before per-socket DRAM does.
+//
+// ChooseServingReplication() decides by simulating one "traffic period"
+// of the family -- `reads_per_publish` scored rows, batched at
+// `expected_batch_rows` per model stream, followed by one republish --
+// under both strategies with the same calibrated numa::MemoryModel the
+// trainer uses, and picking the cheaper one. The read/write asymmetry
+// alpha (rows per publish) is the serving twin of the paper's write/read
+// cost ratio: read-heavy families on multi-socket topologies come out
+// kPerNode (the Fig. 8 serving regime), while republish-dominated
+// families come out kPerMachine.
+#pragma once
+
+#include <string>
+
+#include "matrix/sparse_vector.h"
+#include "numa/memory_model.h"
+#include "numa/topology.h"
+#include "serve/replication.h"
+
+namespace dw::opt {
+
+/// Per-family traffic estimate the registry hands the chooser at
+/// registration time. Defaults describe a read-heavy scoring family; the
+/// only field without a usable default is `dim`.
+struct ServingTrafficEstimate {
+  /// Model dimension (doubles). Fixes the replica footprint and the bytes
+  /// one batched scoring pass streams.
+  matrix::Index dim = 0;
+  /// Expected rows per flushed mini-batch (RequestBatcher flush width).
+  /// Load-bearing for the byte model: the blocked PredictBatch kernel
+  /// streams the model replica ONCE per batch, so the period's model
+  /// traffic is (reads_per_publish / expected_batch_rows) streams --
+  /// wider batches amortize reads and shrink the payoff of replication.
+  double expected_batch_rows = 64.0;
+  /// Fraction of the model one batched scoring pass touches: 1.0 for
+  /// dense rows (the blocked kernel streams every tile once per batch),
+  /// lower for sparse families whose rows hit few coordinates.
+  double model_touch_fraction = 1.0;
+  /// Read/write asymmetry: ROWS scored per Publish(). Serving is
+  /// read-mostly, so the default is high; a family refreshed by a fast
+  /// SnapshotExporter against light traffic can be far lower (fractions
+  /// are fine: 0.25 means one row per four publishes).
+  double reads_per_publish = 65536.0;
+};
+
+/// The chooser's decision plus its reasoning (mirrors opt::PlanChoice).
+struct ServingReplicationChoice {
+  serve::Replication replication = serve::Replication::kPerNode;
+  double per_node_cost_sec = 0.0;     ///< simulated period cost, kPerNode
+  double per_machine_cost_sec = 0.0;  ///< simulated period cost, kPerMachine
+  double replica_bytes = 0.0;         ///< footprint of ONE replica
+  std::string rationale;
+};
+
+/// Picks the replication for one serving family on `topo` by costing both
+/// strategies through the calibrated memory model.
+ServingReplicationChoice ChooseServingReplication(
+    const numa::Topology& topo, const ServingTrafficEstimate& traffic,
+    const numa::MemoryModelParams& params = {});
+
+}  // namespace dw::opt

@@ -1,10 +1,7 @@
 #include "serve/model_registry.h"
 
-#include <atomic>
 #include <cstring>
-#include <mutex>
-
-#include "util/logging.h"
+#include <utility>
 
 namespace dw::serve {
 
@@ -18,30 +15,34 @@ const char* ToString(Replication r) {
   return "?";
 }
 
-ModelRegistry::ModelRegistry(const numa::Topology& topo,
-                             Replication replication)
-    : allocator_(std::make_shared<numa::NumaAllocator>(topo)),
-      replication_(replication) {}
+// --- ModelFamily ----------------------------------------------------------
 
-uint64_t ModelRegistry::Publish(const std::string& name,
-                                const std::vector<double>& weights) {
-  DW_CHECK(!weights.empty()) << "publishing an empty model";
+ModelFamily::ModelFamily(std::string name,
+                         std::shared_ptr<numa::NumaAllocator> allocator,
+                         Replication replication, std::string rationale,
+                         matrix::Index dim)
+    : name_(std::move(name)),
+      allocator_(std::move(allocator)),
+      replication_(replication),
+      rationale_(std::move(rationale)),
+      dim_(dim) {}
+
+uint64_t ModelFamily::Publish(
+    const std::vector<double>& weights,
+    std::chrono::steady_clock::time_point exported_at) {
+  DW_CHECK(!weights.empty()) << "publishing an empty model to " << name_;
+  DW_CHECK_EQ(static_cast<matrix::Index>(weights.size()), dim_)
+      << "model dimension mismatch for family " << name_;
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
-  const auto dim = static_cast<matrix::Index>(weights.size());
-  if (next_version_ == 1) {
-    dim_.store(dim, std::memory_order_release);
-  } else {
-    DW_CHECK_EQ(dim, dim_.load(std::memory_order_relaxed))
-        << "model dimension changed across Publish";
-  }
   const uint64_t version = next_version_++;
 
   // Build the replacement entirely off to the side; readers keep scoring
   // against the old snapshot until the single pointer store below.
   auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
   snap->version_ = version;
-  snap->name_ = name;
-  snap->dim_ = static_cast<matrix::Index>(weights.size());
+  snap->family_ = name_;
+  snap->dim_ = dim_;
+  snap->exported_at_ = exported_at;
   snap->allocator_ = allocator_;
   const int copies = replication_ == Replication::kPerNode
                          ? allocator_->topology().num_nodes
@@ -54,19 +55,74 @@ uint64_t ModelRegistry::Publish(const std::string& name,
     snap->replicas_.push_back(std::move(replica));
   }
 
+  // Counter first, pointer second: a reader that acquires the NEW
+  // snapshot must never see a current_version() older than it (workers
+  // diff the two for versions-behind staleness; the opposite order would
+  // let the difference underflow). A reader in the one-instruction window
+  // sees the OLD snapshot with the new counter -- i.e. "one behind",
+  // which is true: version `version` is already committed.
+  current_version_.store(version, std::memory_order_release);
   std::atomic_store_explicit(
       &current_, std::shared_ptr<const ModelSnapshot>(std::move(snap)),
       std::memory_order_release);
   return version;
 }
 
-std::shared_ptr<const ModelSnapshot> ModelRegistry::Acquire() const {
+std::shared_ptr<const ModelSnapshot> ModelFamily::Acquire() const {
   return std::atomic_load_explicit(&current_, std::memory_order_acquire);
 }
 
-uint64_t ModelRegistry::current_version() const {
-  const auto snap = Acquire();
-  return snap ? snap->version() : 0;
+// --- ModelRegistry --------------------------------------------------------
+
+ModelRegistry::ModelRegistry(const numa::Topology& topo)
+    : allocator_(std::make_shared<numa::NumaAllocator>(topo)) {}
+
+ModelFamily* ModelRegistry::RegisterFamily(const std::string& name,
+                                           const FamilyOptions& options) {
+  DW_CHECK(!name.empty()) << "family needs a name";
+  std::lock_guard<std::mutex> lk(register_mu_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+
+  Replication replication;
+  std::string rationale;
+  if (options.replication_override.has_value()) {
+    replication = *options.replication_override;
+    rationale = "explicit override";
+  } else {
+    const opt::ServingReplicationChoice choice =
+        opt::ChooseServingReplication(allocator_->topology(), options.traffic);
+    replication = choice.replication;
+    rationale = choice.rationale;
+  }
+  DW_CHECK_GT(options.traffic.dim, 0u)
+      << "family " << name << " needs traffic.dim";
+
+  owned_.push_back(std::unique_ptr<ModelFamily>(
+      new ModelFamily(name, allocator_, replication, std::move(rationale),
+                      options.traffic.dim)));
+  ModelFamily* family = owned_.back().get();
+  by_name_[name] = family;
+  return family;
+}
+
+ModelFamily* ModelRegistry::FindFamily(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(register_mu_);
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<ModelFamily*> ModelRegistry::Families() const {
+  std::lock_guard<std::mutex> lk(register_mu_);
+  std::vector<ModelFamily*> out;
+  out.reserve(owned_.size());
+  for (const auto& f : owned_) out.push_back(f.get());
+  return out;
+}
+
+int ModelRegistry::num_families() const {
+  std::lock_guard<std::mutex> lk(register_mu_);
+  return static_cast<int>(owned_.size());
 }
 
 }  // namespace dw::serve

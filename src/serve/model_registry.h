@@ -1,13 +1,23 @@
-// NUMA-replicated, versioned model snapshots for the serving path.
+// NUMA-replicated, versioned model snapshots for the serving path, keyed
+// by named model FAMILY.
 //
-// Training (engine::Engine) exports a consensus model; the registry turns
+// The registry holds many concurrently-served families ("ctr-wide-lr",
+// "spam-narrow-svm", ...). Each family keeps its own immutable, versioned
+// snapshot chain, and -- the paper's Sec. 3.2-3.3 point, applied to
+// serving -- its replication is not passed in by the caller: it is chosen
+// at registration by opt::ChooseServingReplication() from the calibrated
+// memory model, the topology, and the family's traffic estimate (model
+// dim, expected batch width, read/write asymmetry). Benches that need a
+// fixed strategy set FamilyOptions::replication_override.
+//
+// Training (engine::Engine) exports a consensus model; Publish() turns
 // each export into an immutable ModelSnapshot whose weights are replicated
-// per NUMA node through the same numa::NumaAllocator machinery the trainer
-// uses for its mutable replicas. Serving is the read-mostly regime where
-// the paper's PerNode replication (Sec. 3.3) is unambiguously right: every
+// through the same numa::NumaAllocator machinery the trainer uses. Serving
+// is the read-mostly regime where PerNode replication usually wins: every
 // reader scores against its node-local copy and no cacheline is ever
-// shared across sockets. kPerMachine (one shared copy) exists as the
-// baseline the serving bench compares against, mirroring Fig. 8.
+// shared across sockets. kPerMachine (one shared copy) is what the cost
+// model picks when republish traffic or footprint dominates, and the
+// bench baseline mirroring Fig. 8.
 //
 // Hot-swap: Publish() builds the new snapshot off to the side and installs
 // it with one atomic pointer store. Concurrent readers either keep the
@@ -16,25 +26,22 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "matrix/sparse_vector.h"
 #include "numa/numa_allocator.h"
 #include "numa/topology.h"
+#include "opt/serving_replication.h"
+#include "serve/replication.h"
+#include "util/logging.h"
 
 namespace dw::serve {
-
-/// Granularity of the read-only serving replicas (the serving analogue of
-/// engine::ModelReplication; PerCore buys nothing for immutable state).
-enum class Replication {
-  kPerNode,     ///< one copy per NUMA node, readers route to the local one
-  kPerMachine,  ///< one shared copy on node 0 (the Fig. 8 baseline)
-};
-
-const char* ToString(Replication r);
 
 /// One immutable, versioned model. Readers hold it via shared_ptr, so a
 /// snapshot stays valid for as long as any in-flight batch references it,
@@ -42,30 +49,47 @@ const char* ToString(Replication r);
 class ModelSnapshot {
  public:
   uint64_t version() const { return version_; }
-  const std::string& name() const { return name_; }
+  /// Family this snapshot belongs to.
+  const std::string& family() const { return family_; }
   matrix::Index dim() const { return dim_; }
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  /// When the weights left the trainer (Publish time for raw weights).
+  /// Serving staleness = now - exported_at().
+  std::chrono::steady_clock::time_point exported_at() const {
+    return exported_at_;
+  }
 
-  /// Node owning the replica that serves a reader on `node`.
+  /// Node owning the replica that serves a reader on `node`. The index is
+  /// validated against the replica count: an out-of-range node under
+  /// kPerNode would otherwise index past replicas_ (and silently read a
+  /// neighboring family's weights, or worse).
   numa::NodeId ReplicaNodeFor(numa::NodeId node) const {
-    return replicas_.size() == 1 ? replicas_[0].node()
-                                 : replicas_[node].node();
+    DW_CHECK_GE(node, 0) << "negative node for " << family_;
+    if (replicas_.size() == 1) return replicas_[0].node();
+    DW_CHECK_LT(node, static_cast<numa::NodeId>(replicas_.size()))
+        << "node out of range for " << family_;
+    return replicas_[node].node();
   }
 
   /// Weights a reader on `node` scores against: its node-local copy under
-  /// kPerNode, the single shared copy under kPerMachine.
+  /// kPerNode, the single shared copy under kPerMachine. Same node-index
+  /// validation as ReplicaNodeFor.
   const double* WeightsForNode(numa::NodeId node) const {
-    return replicas_.size() == 1 ? replicas_[0].data()
-                                 : replicas_[node].data();
+    DW_CHECK_GE(node, 0) << "negative node for " << family_;
+    if (replicas_.size() == 1) return replicas_[0].data();
+    DW_CHECK_LT(node, static_cast<numa::NodeId>(replicas_.size()))
+        << "node out of range for " << family_;
+    return replicas_[node].data();
   }
 
  private:
-  friend class ModelRegistry;
+  friend class ModelFamily;
   ModelSnapshot() = default;
 
   uint64_t version_ = 0;
-  std::string name_;
+  std::string family_;
   matrix::Index dim_ = 0;
+  std::chrono::steady_clock::time_point exported_at_{};
   /// Keeps the ledger the replicas report into alive even if a reader
   /// outlives the registry. Declared before replicas_ so it is destroyed
   /// after them (their destructors post to the ledger).
@@ -73,48 +97,110 @@ class ModelSnapshot {
   std::vector<numa::NodeArray<double>> replicas_;
 };
 
-/// Holds the current snapshot and swaps it atomically on republish.
-class ModelRegistry {
+/// Registration-time description of a family. The traffic estimate feeds
+/// the replication chooser; `dim` is required (it fixes the footprint and
+/// lets admission validate feature indices before the first publish).
+struct FamilyOptions {
+  opt::ServingTrafficEstimate traffic;
+  /// Explicit strategy for benches/ablations; leave unset in production
+  /// so the cost model decides.
+  std::optional<Replication> replication_override;
+};
+
+/// One named model family: a versioned immutable snapshot chain plus the
+/// replication strategy fixed at registration. Obtained from
+/// ModelRegistry::RegisterFamily; pointers stay valid for the registry's
+/// lifetime (families are never removed).
+class ModelFamily {
  public:
-  ModelRegistry(const numa::Topology& topo, Replication replication);
+  const std::string& name() const { return name_; }
+  Replication replication() const { return replication_; }
+  /// Why the chooser picked the strategy ("explicit override" when the
+  /// caller pinned it instead).
+  const std::string& rationale() const { return rationale_; }
+  /// Model dimension, fixed at registration. Lock-free; safe on the
+  /// request admission hot path.
+  matrix::Index dim() const { return dim_; }
 
   /// Copies `weights` into fresh per-node replicas and installs them as
-  /// the current version. Returns the new version (monotonic from 1).
-  /// The first Publish fixes the registry's model dimension; publishing a
-  /// different dimension later is a programming error (checked): readers
-  /// validate feature indices against dim() once at admission, which is
-  /// only sound if every version a batch might score against agrees.
-  uint64_t Publish(const std::string& name,
-                   const std::vector<double>& weights);
+  /// the family's current version (monotonic from 1). The weight count
+  /// must equal dim(): admission validates feature indices against dim()
+  /// once, which is only sound if every version a batch might score
+  /// against agrees. `exported_at` stamps when the weights left the
+  /// trainer, for staleness accounting.
+  uint64_t Publish(const std::vector<double>& weights,
+                   std::chrono::steady_clock::time_point exported_at =
+                       std::chrono::steady_clock::now());
 
   /// Acquires the current snapshot (nullptr before the first Publish).
   std::shared_ptr<const ModelSnapshot> Acquire() const;
 
   /// Version of the current snapshot (0 before the first Publish).
-  uint64_t current_version() const;
-
-  /// Model dimension shared by every published version (0 before the
-  /// first Publish). Lock-free; safe on the request admission hot path.
-  matrix::Index dim() const { return dim_.load(std::memory_order_acquire); }
-
-  Replication replication() const { return replication_; }
-  const numa::Topology& topology() const { return allocator_->topology(); }
-
-  /// Placement ledger: where the current snapshot's replica bytes live.
-  const numa::NodeLedger& ledger() const { return allocator_->ledger(); }
+  /// Lock-free: workers diff this against an acquired snapshot's version
+  /// to count how many publishes the batch is behind.
+  uint64_t current_version() const {
+    return current_version_.load(std::memory_order_acquire);
+  }
 
  private:
+  friend class ModelRegistry;
+  ModelFamily(std::string name, std::shared_ptr<numa::NumaAllocator> allocator,
+              Replication replication, std::string rationale,
+              matrix::Index dim);
+
+  const std::string name_;
   std::shared_ptr<numa::NumaAllocator> allocator_;
-  Replication replication_;
+  const Replication replication_;
+  const std::string rationale_;
+  const matrix::Index dim_;
   /// Serializes publishers so installation order matches version order
   /// (readers rely on current_version() never going backwards). A
   /// blocking mutex: the critical section spans the replica allocation
   /// and full-model copies, far too long to spin through.
   std::mutex publish_mu_;
   uint64_t next_version_ = 1;
-  std::atomic<matrix::Index> dim_{0};
+  std::atomic<uint64_t> current_version_{0};
   /// Accessed only through std::atomic_load/atomic_store.
   std::shared_ptr<const ModelSnapshot> current_;
+};
+
+/// The registry of named families. Registration AND lookup are rare,
+/// publish-rate paths (the per-request hot path resolves names through
+/// ServingEngine's own table), so one mutex guards the map -- no
+/// lock-free machinery where none is needed.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(const numa::Topology& topo);
+
+  /// Registers `name`, choosing its replication through
+  /// opt::ChooseServingReplication(topology, options.traffic) unless
+  /// options.replication_override is set. Registering an existing name
+  /// returns the existing family unchanged (first registration wins).
+  ModelFamily* RegisterFamily(const std::string& name,
+                              const FamilyOptions& options);
+
+  /// Looks up a registered family; nullptr if unknown. Returned pointers
+  /// stay valid for the registry's lifetime.
+  ModelFamily* FindFamily(const std::string& name) const;
+
+  /// All families in registration order.
+  std::vector<ModelFamily*> Families() const;
+
+  int num_families() const;
+
+  const numa::Topology& topology() const { return allocator_->topology(); }
+
+  /// Placement ledger: where every family's current replica bytes live.
+  const numa::NodeLedger& ledger() const { return allocator_->ledger(); }
+
+ private:
+  std::shared_ptr<numa::NumaAllocator> allocator_;
+  /// Guards owned_ and by_name_.
+  mutable std::mutex register_mu_;
+  /// Owns the families; append-only, so ModelFamily* stay stable (and
+  /// remain valid after FindFamily returns without the lock).
+  std::vector<std::unique_ptr<ModelFamily>> owned_;
+  std::unordered_map<std::string, ModelFamily*> by_name_;
 };
 
 }  // namespace dw::serve

@@ -1,0 +1,17 @@
+// Replication granularity of the read-only serving replicas, split out of
+// model_registry.h so the opt:: serving cost model can name it without
+// pulling in (or cyclically depending on) the registry itself.
+#pragma once
+
+namespace dw::serve {
+
+/// Granularity of the read-only serving replicas (the serving analogue of
+/// engine::ModelReplication; PerCore buys nothing for immutable state).
+enum class Replication {
+  kPerNode,     ///< one copy per NUMA node, readers route to the local one
+  kPerMachine,  ///< one shared copy on node 0 (the Fig. 8 baseline)
+};
+
+const char* ToString(Replication r);
+
+}  // namespace dw::serve

@@ -7,13 +7,29 @@
 
 namespace dw::serve {
 
-RequestBatcher::RequestBatcher(const Options& opts) : opts_(opts) {
-  DW_CHECK_GT(opts_.max_batch_size, 0u);
-  DW_CHECK_GT(opts_.max_queue_rows, 0u);
+const char* ToString(FlushReason r) {
+  switch (r) {
+    case FlushReason::kSize:
+      return "size";
+    case FlushReason::kDeadline:
+      return "deadline";
+    case FlushReason::kDrain:
+      return "drain";
+  }
+  return "?";
+}
+
+FamilyId RequestBatcher::AddQueue(const Options& opts) {
+  DW_CHECK_GT(opts.max_batch_size, 0u);
+  DW_CHECK_GT(opts.max_queue_rows, 0u);
+  std::lock_guard<std::mutex> lk(mu_);
+  queues_.push_back(FamilyQueue{opts, {}, 0, 0, 0, 0, 0});
+  return static_cast<FamilyId>(queues_.size() - 1);
 }
 
 StatusOr<std::future<double>> RequestBatcher::Submit(
-    std::vector<matrix::Index> indices, std::vector<double> values) {
+    FamilyId family, std::vector<matrix::Index> indices,
+    std::vector<double> values) {
   // Empty indices with nonempty values is the explicit dense form.
   if (indices.size() != values.size() && !indices.empty()) {
     return Status::InvalidArgument("indices/values length mismatch");
@@ -26,51 +42,114 @@ StatusOr<std::future<double>> RequestBatcher::Submit(
 
   {
     std::lock_guard<std::mutex> lk(mu_);
+    DW_CHECK_GE(family, 0);
+    DW_CHECK_LT(family, static_cast<FamilyId>(queues_.size()));
     if (shutdown_) {
       return Status::FailedPrecondition("batcher is shut down");
     }
-    if (queue_.size() >= opts_.max_queue_rows) {
+    FamilyQueue& q = queues_[family];
+    if (q.queue.size() >= q.opts.max_queue_rows) {
+      ++q.rejected_full;
       return Status::ResourceExhausted("serving queue full");
     }
-    queue_.push_back(std::move(req));
+    ++q.accepted;
+    q.queue.push_back(std::move(req));
   }
-  // One waiter is enough: either the batch is full and it takes it, or it
+  // One waiter is enough: either a batch is full and it takes it, or it
   // re-arms its deadline timer on the (possibly first) queued request.
   ready_cv_.notify_one();
   return fut;
 }
 
+void RequestBatcher::TakeBatch(FamilyId f, FlushReason reason, Batch* out) {
+  FamilyQueue& q = queues_[f];
+  const size_t take = std::min(q.queue.size(), q.opts.max_batch_size);
+  out->family = f;
+  out->reason = reason;
+  out->requests.clear();
+  out->requests.reserve(take);
+  for (size_t k = 0; k < take; ++k) {
+    out->requests.push_back(std::move(q.queue.front()));
+    q.queue.pop_front();
+  }
+  switch (reason) {
+    case FlushReason::kSize:
+      ++q.flush_size;
+      break;
+    case FlushReason::kDeadline:
+      ++q.flush_deadline;
+      break;
+    case FlushReason::kDrain:
+      ++q.flush_drain;
+      break;
+  }
+}
+
 bool RequestBatcher::NextBatch(Batch* out) {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    if (queue_.size() >= opts_.max_batch_size) break;  // flush on size
-    if (shutdown_) {
-      if (queue_.empty()) return false;
-      break;  // drain the remainder as a partial batch
-    }
-    if (!queue_.empty()) {
-      const auto deadline = queue_.front().enqueued_at + opts_.max_delay;
-      if (std::chrono::steady_clock::now() >= deadline) {
-        break;  // flush on deadline
+    const size_t nq = queues_.size();
+    // Expired deadlines outrank everything, INCLUDING size-ready
+    // neighbors: a family whose oldest request has aged past max_delay
+    // already blew its latency promise, while a full batch merely became
+    // eligible -- under sustained load on one hot family the size branch
+    // is always ready, and checking it first would starve everyone
+    // else's deadlines without bound.
+    bool any_waiting = false;
+    auto earliest = std::chrono::steady_clock::time_point::max();
+    size_t earliest_f = 0;
+    for (size_t k = 0; k < nq; ++k) {
+      const size_t f = (next_queue_ + k) % nq;
+      const FamilyQueue& q = queues_[f];
+      if (q.queue.empty()) continue;
+      const auto deadline = q.queue.front().enqueued_at + q.opts.max_delay;
+      if (!any_waiting || deadline < earliest) {
+        any_waiting = true;
+        earliest = deadline;
+        earliest_f = f;
       }
-      ready_cv_.wait_until(lk, deadline);
+    }
+    if (any_waiting && std::chrono::steady_clock::now() >= earliest) {
+      next_queue_ = (earliest_f + 1) % nq;
+      TakeBatch(static_cast<FamilyId>(earliest_f), FlushReason::kDeadline,
+                out);
+      lk.unlock();
+      // Leftover rows may already form another ready batch: hand them
+      // to a sibling worker immediately.
+      ready_cv_.notify_one();
+      return true;
+    }
+    // Size-triggered flush, round-robin from the cursor so a hot family
+    // cannot monopolize the workers.
+    for (size_t k = 0; k < nq; ++k) {
+      const size_t f = (next_queue_ + k) % nq;
+      if (queues_[f].queue.size() >= queues_[f].opts.max_batch_size) {
+        next_queue_ = (f + 1) % nq;
+        TakeBatch(static_cast<FamilyId>(f), FlushReason::kSize, out);
+        lk.unlock();
+        ready_cv_.notify_one();
+        return true;
+      }
+    }
+    if (shutdown_) {
+      for (size_t k = 0; k < nq; ++k) {
+        const size_t f = (next_queue_ + k) % nq;
+        if (!queues_[f].queue.empty()) {
+          next_queue_ = (f + 1) % nq;
+          TakeBatch(static_cast<FamilyId>(f), FlushReason::kDrain, out);
+          lk.unlock();
+          ready_cv_.notify_one();
+          return true;
+        }
+      }
+      return false;  // shut down AND fully drained
+    }
+    if (any_waiting) {
+      ready_cv_.wait_until(lk, earliest);
     } else {
       ready_cv_.wait(lk);
     }
   }
-
-  const size_t take = std::min(queue_.size(), opts_.max_batch_size);
-  out->requests.clear();
-  out->requests.reserve(take);
-  for (size_t k = 0; k < take; ++k) {
-    out->requests.push_back(std::move(queue_.front()));
-    queue_.pop_front();
-  }
-  lk.unlock();
-  // Leftover rows may already form another full batch (or a drain batch):
-  // hand them to a sibling worker immediately.
-  ready_cv_.notify_one();
-  return true;
 }
 
 void RequestBatcher::Shutdown() {
@@ -83,7 +162,36 @@ void RequestBatcher::Shutdown() {
 
 size_t RequestBatcher::pending() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return queue_.size();
+  size_t total = 0;
+  for (const FamilyQueue& q : queues_) total += q.queue.size();
+  return total;
+}
+
+RequestBatcher::QueueStats RequestBatcher::queue_stats(FamilyId family) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  DW_CHECK_GE(family, 0);
+  DW_CHECK_LT(family, static_cast<FamilyId>(queues_.size()));
+  const FamilyQueue& q = queues_[family];
+  QueueStats s;
+  s.accepted = q.accepted;
+  s.rejected_full = q.rejected_full;
+  s.flush_size = q.flush_size;
+  s.flush_deadline = q.flush_deadline;
+  s.flush_drain = q.flush_drain;
+  s.depth = q.queue.size();
+  return s;
+}
+
+const RequestBatcher::Options& RequestBatcher::options(FamilyId family) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  DW_CHECK_GE(family, 0);
+  DW_CHECK_LT(family, static_cast<FamilyId>(queues_.size()));
+  return queues_[family].opts;
+}
+
+int RequestBatcher::num_queues() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(queues_.size());
 }
 
 }  // namespace dw::serve

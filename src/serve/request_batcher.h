@@ -1,4 +1,5 @@
-// Request coalescing for the serving hot path.
+// Request coalescing for the serving hot path, one bounded queue per
+// model family.
 //
 // Single-row score requests are tiny; dispatching each one to a worker
 // would spend more time on queue traffic than on math, and the model
@@ -7,11 +8,20 @@
 // method over max_batch_size rows against a replica that stays hot in
 // cache -- the serving analogue of an epoch's sequential row scan.
 //
-// Flush policy: a batch is released as soon as it reaches max_batch_size
-// rows (flush on size), or when the OLDEST queued request has waited
-// max_delay (flush on deadline), whichever comes first. Shutdown() drains:
-// workers keep receiving partial batches until the queue is empty, so no
-// accepted request is ever dropped.
+// Families do not share queues: a mini-batch is scored against ONE
+// family's replica, so mixing families in a queue would shred batches at
+// flush time, and a burst against one family must back-pressure that
+// family alone (per-family max_queue_rows), not starve its neighbors.
+// Workers drain all queues through one condition variable, taking ready
+// batches round-robin across families.
+//
+// Flush policy (per family): a batch is released as soon as the queue
+// reaches max_batch_size rows (flush on size), or when the OLDEST queued
+// request has waited max_delay (flush on deadline), whichever comes
+// first. Shutdown() drains: workers keep receiving partial batches until
+// every queue is empty, so no accepted request is ever dropped. Every
+// queue counts its admissions, rejections, and flush reasons
+// (QueueStats), the raw material of ServingStats' per-family rows.
 #pragma once
 
 #include <chrono>
@@ -26,6 +36,10 @@
 #include "util/status.h"
 
 namespace dw::serve {
+
+/// Index of a family's queue inside the batcher (assigned by AddQueue in
+/// registration order; the serving engine maps family name -> id once).
+using FamilyId = int;
 
 /// One single-row score request: an owned sparse feature vector plus the
 /// promise the scoring worker fulfills. Empty `indices` with nonempty
@@ -43,48 +57,98 @@ struct ScoreRequest {
   }
 };
 
-/// A mini-batch handed to one scoring worker.
+/// Why a batch left its queue.
+enum class FlushReason {
+  kSize,      ///< the queue reached max_batch_size
+  kDeadline,  ///< the oldest request aged past max_delay
+  kDrain,     ///< shutdown drained the remainder
+};
+
+const char* ToString(FlushReason r);
+
+/// A mini-batch handed to one scoring worker; all rows belong to `family`.
 struct Batch {
+  FamilyId family = 0;
+  FlushReason reason = FlushReason::kSize;
   std::vector<ScoreRequest> requests;
   size_t rows() const { return requests.size(); }
 };
 
-/// Bounded MPMC queue with size/deadline batch formation.
+/// Bounded MPMC queues (one per family) with size/deadline batch
+/// formation and a shared worker wait.
 class RequestBatcher {
  public:
   struct Options {
     size_t max_batch_size = 64;
     std::chrono::microseconds max_delay{500};
     /// Admission bound: Submit rejects (back-pressure) beyond this many
-    /// queued rows instead of letting latency grow without limit.
+    /// queued rows IN THIS FAMILY instead of letting latency grow without
+    /// limit.
     size_t max_queue_rows = 1 << 16;
   };
 
-  explicit RequestBatcher(const Options& opts);
+  /// Per-family admission counters (snapshot; `depth` is racy-by-design
+  /// monitoring data, the totals are exact at quiescence).
+  struct QueueStats {
+    uint64_t accepted = 0;
+    uint64_t rejected_full = 0;  ///< Submit refusals on a full queue
+    uint64_t flush_size = 0;
+    uint64_t flush_deadline = 0;
+    uint64_t flush_drain = 0;
+    size_t depth = 0;  ///< rows queued right now
+  };
 
-  /// Enqueues one row. The future resolves once a worker scores the batch
-  /// containing it. Fails with ResourceExhausted when the queue is full
-  /// and FailedPrecondition after Shutdown().
-  StatusOr<std::future<double>> Submit(std::vector<matrix::Index> indices,
+  RequestBatcher() = default;
+
+  /// Adds a family queue; returns its id (dense, from 0). Callable while
+  /// workers run (registration is rare; the lock is shared with the hot
+  /// path but uncontended).
+  FamilyId AddQueue(const Options& opts);
+
+  /// Enqueues one row on `family`'s queue. The future resolves once a
+  /// worker scores the batch containing it. Fails with ResourceExhausted
+  /// when that family's queue is full and FailedPrecondition after
+  /// Shutdown().
+  StatusOr<std::future<double>> Submit(FamilyId family,
+                                       std::vector<matrix::Index> indices,
                                        std::vector<double> values);
 
-  /// Blocks until a batch is ready under the flush policy; returns false
-  /// only once the batcher is shut down AND fully drained.
+  /// Blocks until some family has a batch ready under the flush policy;
+  /// returns false only once the batcher is shut down AND every queue is
+  /// drained. Ready queues are served round-robin so one hot family
+  /// cannot starve the others.
   bool NextBatch(Batch* out);
 
-  /// Stops admission and wakes all waiting workers to drain the queue.
+  /// Stops admission and wakes all waiting workers to drain the queues.
   void Shutdown();
 
-  /// Rows currently queued (racy snapshot; for tests and stats).
+  /// Rows currently queued across all families (racy snapshot).
   size_t pending() const;
 
-  const Options& options() const { return opts_; }
+  QueueStats queue_stats(FamilyId family) const;
+  const Options& options(FamilyId family) const;
+  int num_queues() const;
 
  private:
-  const Options opts_;
+  struct FamilyQueue {
+    Options opts;
+    std::deque<ScoreRequest> queue;
+    uint64_t accepted = 0;
+    uint64_t rejected_full = 0;
+    uint64_t flush_size = 0;
+    uint64_t flush_deadline = 0;
+    uint64_t flush_drain = 0;
+  };
+
+  /// Pops up to max_batch_size rows of queue `f` into `out` (mu_ held).
+  void TakeBatch(FamilyId f, FlushReason reason, Batch* out);
+
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;
-  std::deque<ScoreRequest> queue_;
+  /// deque: stable references across AddQueue.
+  std::deque<FamilyQueue> queues_;
+  /// Round-robin cursor over queues for size/deadline flushes.
+  size_t next_queue_ = 0;
   bool shutdown_ = false;
 };
 

@@ -16,26 +16,30 @@ const char* ToString(ScoringMode m) {
   return m == ScoringMode::kBatched ? "Batched" : "Scalar";
 }
 
-// Per-worker mutable state. Workers update it under a spinlock taken once
-// per batch (cold relative to the scoring loop); Stats() aggregates under
-// the same locks.
+// Per-worker mutable state, one slot per family. Workers update it under
+// a spinlock taken once per batch (cold relative to the scoring loop);
+// Stats() aggregates under the same locks.
 struct ServingEngine::WorkerState {
+  struct PerFamily {
+    engine::LatencyRecorder latencies;
+    uint64_t batches = 0;
+    uint64_t rows = 0;
+    uint64_t local_replica_batches = 0;
+    uint64_t remote_replica_batches = 0;
+    double staleness_ms_sum = 0.0;
+    double staleness_ms_max = 0.0;
+    uint64_t versions_behind_sum = 0;
+    uint64_t versions_behind_max = 0;
+  };
   mutable SpinLock mu;
-  engine::LatencyRecorder latencies;
   numa::AccessCounters counters;
-  uint64_t batches = 0;
-  uint64_t rows = 0;
-  uint64_t local_replica_batches = 0;
-  uint64_t remote_replica_batches = 0;
+  std::vector<PerFamily> fam;
 };
 
-ServingEngine::ServingEngine(const models::ModelSpec* spec,
-                             ServingOptions options)
-    : spec_(spec),
-      options_(std::move(options)),
-      registry_(options_.topology, options_.replication),
-      batcher_(options_.batch) {
-  DW_CHECK(spec_ != nullptr);
+ServingEngine::ServingEngine(ServingOptions options)
+    : options_(std::move(options)),
+      registry_(options_.topology),
+      table_(std::make_shared<const FamilyTable>()) {
   const numa::Topology& topo = options_.topology;
   const int nw = options_.num_threads > 0 ? options_.num_threads
                                           : topo.total_cores();
@@ -61,16 +65,79 @@ ServingEngine::ServingEngine(const models::ModelSpec* spec,
 
 ServingEngine::~ServingEngine() { Stop(); }
 
-uint64_t ServingEngine::Publish(const std::string& name,
-                                const std::vector<double>& weights) {
-  return registry_.Publish(name, weights);
+std::shared_ptr<const ServingEngine::FamilyTable> ServingEngine::Table()
+    const {
+  return std::atomic_load_explicit(&table_, std::memory_order_acquire);
 }
 
-uint64_t ServingEngine::Publish(const engine::ModelExport& exported) {
-  return registry_.Publish(exported.spec_name, exported.weights);
+int ServingEngine::num_families() const {
+  return static_cast<int>(Table()->families.size());
+}
+
+Status ServingEngine::RegisterFamily(const std::string& family,
+                                     const models::ModelSpec* spec,
+                                     const ServingFamilyOptions& fopts) {
+  if (spec == nullptr) {
+    return Status::InvalidArgument("family needs a ModelSpec");
+  }
+  if (running_.load(std::memory_order_acquire) || stopped_) {
+    return Status::FailedPrecondition(
+        "families must be registered before Start()");
+  }
+  if (fopts.traffic.dim == 0) {
+    return Status::InvalidArgument("traffic estimate needs dim: " + family);
+  }
+  std::lock_guard<std::mutex> lk(register_mu_);
+  // Re-checked under the lock: Start() holds register_mu_ for its whole
+  // setup, so a registration racing Start() either lands before the
+  // worker pool snapshots the table or is refused here -- never between.
+  if (running_.load(std::memory_order_acquire) || stopped_) {
+    return Status::FailedPrecondition(
+        "families must be registered before Start()");
+  }
+  const auto current = Table();
+  if (current->ids.count(family) > 0) {
+    return Status::InvalidArgument("family already registered: " + family);
+  }
+  FamilyOptions reg_opts;
+  reg_opts.traffic = fopts.traffic;
+  reg_opts.replication_override = fopts.replication_override;
+  FamilyState fs;
+  fs.name = family;
+  fs.family = registry_.RegisterFamily(family, reg_opts);
+  fs.spec = spec;
+  fs.queue = batcher_.AddQueue(fopts.batch.value_or(options_.batch));
+  // Queue ids and family ids stay aligned: families[id].queue == id, so
+  // a popped Batch::family indexes the table directly.
+  DW_CHECK_EQ(fs.queue, static_cast<FamilyId>(current->families.size()));
+  auto next = std::make_shared<FamilyTable>(*current);
+  next->ids[family] = fs.queue;
+  next->families.push_back(std::move(fs));
+  std::atomic_store_explicit(
+      &table_, std::shared_ptr<const FamilyTable>(std::move(next)),
+      std::memory_order_release);
+  return Status::OK();
+}
+
+uint64_t ServingEngine::Publish(const std::string& family,
+                                const std::vector<double>& weights) {
+  ModelFamily* f = registry_.FindFamily(family);
+  DW_CHECK(f != nullptr) << "publish to unregistered family " << family;
+  return f->Publish(weights);
+}
+
+uint64_t ServingEngine::Publish(const std::string& family,
+                                const engine::ModelExport& exported) {
+  ModelFamily* f = registry_.FindFamily(family);
+  DW_CHECK(f != nullptr) << "publish to unregistered family " << family;
+  return f->Publish(exported.weights, exported.exported_at);
 }
 
 Status ServingEngine::Start() {
+  // Held through worker spawn and the running_ store: a RegisterFamily
+  // racing Start() must not slip a family in after the workers cached
+  // the table (their per-family state would be sized without it).
+  std::lock_guard<std::mutex> lk(register_mu_);
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("already started");
   }
@@ -79,9 +146,26 @@ Status ServingEngine::Start() {
     // engine cannot be revived -- construct a fresh one.
     return Status::FailedPrecondition("engine was stopped; not restartable");
   }
-  if (registry_.current_version() == 0) {
-    return Status::FailedPrecondition("no model published");
+  const auto table = Table();
+  if (table->families.empty()) {
+    return Status::FailedPrecondition("no families registered");
   }
+  for (const FamilyState& fs : table->families) {
+    if (fs.family->current_version() == 0) {
+      return Status::FailedPrecondition("no model published for family " +
+                                        fs.name);
+    }
+  }
+  // Per-family worker slots; sized under each worker's lock so a
+  // monitoring thread's Stats() never sees a half-grown vector.
+  for (auto& ws : worker_states_) {
+    std::lock_guard<SpinLock> g(ws->mu);
+    ws->fam.resize(table->families.size());
+  }
+  // The family set is final (RegisterFamily refuses once running_ is
+  // set, checked under register_mu_ which we hold): freeze a raw pointer
+  // for the admission hot path. table_ keeps the object alive.
+  frozen_table_.store(table.get(), std::memory_order_release);
   const int nw = num_workers();
   workers_.reserve(nw);
   for (int w = 0; w < nw; ++w) {
@@ -103,17 +187,32 @@ void ServingEngine::Stop() {
 }
 
 StatusOr<std::future<double>> ServingEngine::Score(
-    std::vector<Index> indices, std::vector<double> values) {
-  // Requests cross a trust boundary: an out-of-range feature index would
-  // read past the replica inside SparseVectorView::Dot. The registry
-  // enforces one dimension across all published versions, so this
-  // admission check holds for whichever version scores the batch -- and
-  // reading the lock-free dim() avoids a contended snapshot acquire per
-  // single-row submit.
-  const Index dim = registry_.dim();
-  if (dim == 0) {
-    return Status::FailedPrecondition("no model published");
+    const std::string& family, std::vector<Index> indices,
+    std::vector<double> values) {
+  // Post-Start the table is frozen and the raw pointer skips the
+  // shared_ptr machinery; pre-Start (cold setup/validation calls) fall
+  // back to the COW load that tolerates concurrent registration.
+  const FamilyTable* frozen = frozen_table_.load(std::memory_order_acquire);
+  std::shared_ptr<const FamilyTable> cold;
+  if (frozen == nullptr) {
+    cold = Table();
+    frozen = cold.get();
   }
+  const auto it = frozen->ids.find(family);
+  if (it == frozen->ids.end()) {
+    return Status::NotFound("unknown family: " + family);
+  }
+  const FamilyState& fs = frozen->families[it->second];
+  // The family's dimension is fixed at registration, so admission can
+  // validate feature indices once, and the check holds for whichever
+  // version eventually scores the batch. Requests cross a trust
+  // boundary: an out-of-range index would read past the replica inside
+  // SparseVectorView::Dot.
+  if (fs.family->current_version() == 0) {
+    return Status::FailedPrecondition("no model published for family " +
+                                      family);
+  }
+  const Index dim = fs.family->dim();
   if (indices.empty()) {
     // Explicit dense form: value k scores against coordinate k.
     if (values.size() > dim) {
@@ -140,12 +239,13 @@ StatusOr<std::future<double>> ServingEngine::Score(
   if (!running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("engine not started");
   }
-  return batcher_.Submit(std::move(indices), std::move(values));
+  return batcher_.Submit(fs.queue, std::move(indices), std::move(values));
 }
 
-StatusOr<double> ServingEngine::ScoreSync(std::vector<Index> indices,
+StatusOr<double> ServingEngine::ScoreSync(const std::string& family,
+                                          std::vector<Index> indices,
                                           std::vector<double> values) {
-  auto fut = Score(std::move(indices), std::move(values));
+  auto fut = Score(family, std::move(indices), std::move(values));
   if (!fut.ok()) return fut.status();
   return std::move(fut).value().get();
 }
@@ -161,6 +261,9 @@ void ServingEngine::WorkerLoop(int worker_id) {
   }
   WorkerState& ws = *worker_states_[worker_id];
   const bool batched = options_.scoring == ScoringMode::kBatched;
+  // One table load for the worker's whole life: the set is frozen once
+  // Start() succeeds (RegisterFamily refuses while running).
+  const auto table = Table();
 
   Batch batch;
   // Batched-mode scratch, reused across batches (no per-batch allocation
@@ -168,12 +271,32 @@ void ServingEngine::WorkerLoop(int worker_id) {
   std::vector<matrix::SparseVectorView> views;
   std::vector<double> scores;
   while (batcher_.NextBatch(&batch)) {
+    const FamilyState& fs = table->families[batch.family];
     // One registry acquire per BATCH: the snapshot is pinned for the whole
     // scan, so a concurrent Publish can never tear a batch across
-    // versions.
-    const auto snap = registry_.Acquire();
+    // versions. The null retry covers the first-publish window where the
+    // version counter is visible a beat before the snapshot pointer
+    // (admission gates on the counter).
+    auto snap = fs.family->Acquire();
+    while (snap == nullptr) {
+      std::this_thread::yield();
+      snap = fs.family->Acquire();
+    }
     const double* weights = snap->WeightsForNode(node);
     const bool replica_local = snap->ReplicaNodeFor(node) == node;
+    // Staleness of the version this batch serves: how long ago its
+    // weights left the trainer, and how many publishes have landed since.
+    const auto acquired_at = std::chrono::steady_clock::now();
+    const double staleness_ms =
+        std::chrono::duration<double, std::milli>(acquired_at -
+                                                  snap->exported_at())
+            .count();
+    // Clamped: Publish() orders counter-before-pointer, but a belt to
+    // that suspender keeps a reordering bug from poisoning the stats
+    // with a 2^64 underflow.
+    const uint64_t cur_version = fs.family->current_version();
+    const uint64_t versions_behind =
+        cur_version > snap->version() ? cur_version - snap->version() : 0;
 
     uint64_t batch_nnz = 0;
     if (batched) {
@@ -182,8 +305,8 @@ void ServingEngine::WorkerLoop(int worker_id) {
       views.reserve(rows);
       for (const ScoreRequest& req : batch.requests) views.push_back(req.View());
       scores.resize(rows);
-      spec_->PredictBatch(weights, snap->dim(), views.data(), rows,
-                          scores.data());
+      fs.spec->PredictBatch(weights, snap->dim(), views.data(), rows,
+                            scores.data());
       for (size_t r = 0; r < rows; ++r) {
         batch.requests[r].result.set_value(scores[r]);
       }
@@ -194,7 +317,7 @@ void ServingEngine::WorkerLoop(int worker_id) {
     latencies_ms.reserve(batch.rows());
     for (ScoreRequest& req : batch.requests) {
       if (!batched) {
-        req.result.set_value(spec_->Predict(weights, req.View()));
+        req.result.set_value(fs.spec->Predict(weights, req.View()));
       }
       // Stamped after set_value so the recorded latency covers the full
       // submit-to-resolution interval, including this batch's scoring.
@@ -226,7 +349,7 @@ void ServingEngine::WorkerLoop(int worker_id) {
       // The spec reports what its batched kernel actually streams: the
       // blocked GLM kernels read each model tile once per row chunk; the
       // reference default re-gathers per row like scalar mode.
-      const uint64_t model_bytes = spec_->PredictBatchModelBytes(
+      const uint64_t model_bytes = fs.spec->PredictBatchModelBytes(
           snap->dim(), batch_nnz, batch.rows());
       if (replica_local) {
         delta.model_read_bytes += model_bytes;
@@ -237,32 +360,85 @@ void ServingEngine::WorkerLoop(int worker_id) {
 
     std::lock_guard<SpinLock> g(ws.mu);
     ws.counters.Merge(delta);
-    ws.batches += 1;
-    ws.rows += batch.rows();
+    WorkerState::PerFamily& pf = ws.fam[batch.family];
+    pf.batches += 1;
+    pf.rows += batch.rows();
     if (replica_local) {
-      ws.local_replica_batches += 1;
+      pf.local_replica_batches += 1;
     } else {
-      ws.remote_replica_batches += 1;
+      pf.remote_replica_batches += 1;
     }
-    for (double ms : latencies_ms) ws.latencies.Record(ms);
+    pf.staleness_ms_sum += staleness_ms;
+    pf.staleness_ms_max = std::max(pf.staleness_ms_max, staleness_ms);
+    pf.versions_behind_sum += versions_behind;
+    pf.versions_behind_max =
+        std::max(pf.versions_behind_max, versions_behind);
+    for (double ms : latencies_ms) pf.latencies.Record(ms);
   }
 }
 
 ServingStats ServingEngine::Stats() const {
   ServingStats s;
+  const auto table = Table();
+  const size_t nf = table->families.size();
+  s.families.resize(nf);
+  std::vector<engine::LatencyRecorder> fam_lat(nf);
   engine::LatencyRecorder all;
   for (const auto& ws : worker_states_) {
     std::lock_guard<SpinLock> g(ws->mu);
-    s.requests += ws->rows;
-    s.batches += ws->batches;
-    s.local_replica_batches += ws->local_replica_batches;
-    s.remote_replica_batches += ws->remote_replica_batches;
     s.traffic.Merge(ws->counters);
-    all.Merge(ws->latencies);
+    for (size_t f = 0; f < ws->fam.size() && f < nf; ++f) {
+      const WorkerState::PerFamily& pf = ws->fam[f];
+      FamilyServingStats& out = s.families[f];
+      out.requests += pf.rows;
+      out.batches += pf.batches;
+      out.local_replica_batches += pf.local_replica_batches;
+      out.remote_replica_batches += pf.remote_replica_batches;
+      out.mean_staleness_ms += pf.staleness_ms_sum;  // sum for now
+      out.max_staleness_ms =
+          std::max(out.max_staleness_ms, pf.staleness_ms_max);
+      out.mean_versions_behind +=
+          static_cast<double>(pf.versions_behind_sum);  // sum for now
+      out.max_versions_behind =
+          std::max(out.max_versions_behind, pf.versions_behind_max);
+      fam_lat[f].Merge(pf.latencies);
+    }
   }
   s.wall_sec = running_.load(std::memory_order_acquire)
                    ? serve_timer_.Seconds()
                    : stopped_wall_sec_;
+  for (size_t f = 0; f < nf; ++f) {
+    const FamilyState& fs = table->families[f];
+    FamilyServingStats& out = s.families[f];
+    out.family = fs.name;
+    out.replication = fs.family->replication();
+    out.served_version = fs.family->current_version();
+    const RequestBatcher::QueueStats qs = batcher_.queue_stats(fs.queue);
+    out.accepted = qs.accepted;
+    out.rejected = qs.rejected_full;
+    out.queue_depth = qs.depth;
+    out.flush_size = qs.flush_size;
+    out.flush_deadline = qs.flush_deadline;
+    out.flush_drain = qs.flush_drain;
+    if (out.batches > 0) {
+      out.mean_batch_rows = static_cast<double>(out.requests) /
+                            static_cast<double>(out.batches);
+      out.mean_staleness_ms /= static_cast<double>(out.batches);
+      out.mean_versions_behind /= static_cast<double>(out.batches);
+    }
+    if (s.wall_sec > 0.0) {
+      out.rows_per_sec = static_cast<double>(out.requests) / s.wall_sec;
+    }
+    const std::vector<double> pct = fam_lat[f].Percentiles({50.0, 99.0});
+    out.p50_latency_ms = pct[0];
+    out.p99_latency_ms = pct[1];
+    out.max_latency_ms = fam_lat[f].MaxMs();
+    s.requests += out.requests;
+    s.batches += out.batches;
+    s.local_replica_batches += out.local_replica_batches;
+    s.remote_replica_batches += out.remote_replica_batches;
+    all.Merge(fam_lat[f]);
+  }
   if (s.wall_sec > 0.0) {
     s.rows_per_sec = static_cast<double>(s.requests) / s.wall_sec;
   }
@@ -288,13 +464,18 @@ numa::SimulationInput ServingEngine::SimInput() const {
   }
   // Read-only serving never writes shared lines, but a PerMachine replica
   // is still read by every socket; the memory model charges the remote
-  // reads accounted above.
-  in.model_sharing_sockets =
-      options_.replication == Replication::kPerMachine ? topo.num_nodes : 1;
-  const auto snap = registry_.Acquire();
-  if (snap) {
-    in.model_bytes = static_cast<uint64_t>(snap->dim()) * sizeof(double);
+  // reads accounted above. model_bytes is the served working set: one
+  // replica per family (what a node's LLC must hold to serve everything).
+  in.model_sharing_sockets = 1;
+  uint64_t served_bytes = 0;
+  const auto table = Table();
+  for (const FamilyState& fs : table->families) {
+    if (fs.family->replication() == Replication::kPerMachine) {
+      in.model_sharing_sockets = topo.num_nodes;
+    }
+    served_bytes += static_cast<uint64_t>(fs.family->dim()) * sizeof(double);
   }
+  in.model_bytes = served_bytes;
   return in;
 }
 

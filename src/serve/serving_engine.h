@@ -1,27 +1,35 @@
 // The model serving engine: a concurrent scoring service over trained
 // models (ROADMAP north star: heavy read traffic, as fast as the hardware
-// allows).
+// allows), serving many named model FAMILIES at once.
 //
-// Architecture: producers Submit() single-row requests; the RequestBatcher
-// coalesces them into mini-batches; a pool of worker threads -- pinned to
-// physical CPUs through the same virtual-topology map the trainer uses --
-// pops batches and scores every row with ModelSpec::Predict against the
-// replica of its own NUMA node (serve::ModelRegistry). Inference never
-// writes shared state, so with kPerNode replication the hot path touches
-// only node-local memory: the read-mostly endpoint of the paper's Sec. 3.3
-// tradeoff. kPerMachine routes every node to the node-0 copy and exists as
-// the bench baseline (remote reads cross the simulated interconnect).
+// Architecture: callers RegisterFamily() each model they serve (wide LR,
+// narrow SVM, ...), each with its own ModelSpec and traffic estimate; the
+// registry picks the family's replication through the opt:: cost model
+// (override for benches). Producers Score(family, row); the
+// RequestBatcher coalesces each family's requests in its own bounded
+// queue; a pool of worker threads -- pinned to physical CPUs through the
+// same virtual-topology map the trainer uses -- pops single-family
+// mini-batches round-robin and scores every row with that family's
+// ModelSpec against the family's replica on the worker's own NUMA node.
+// Inference never writes shared state, so with kPerNode replication the
+// hot path touches only node-local memory: the read-mostly endpoint of
+// the paper's Sec. 3.3 tradeoff.
 //
 // Workers account their logical traffic with numa::AccessCounters exactly
 // like training epochs do, so bench_serving can report both measured
-// rows/sec and memory-model throughput on the paper's topologies, and they
-// record per-request latency into engine::LatencyRecorder for p50/p99.
+// rows/sec and memory-model throughput on the paper's topologies; they
+// record per-request latency into engine::LatencyRecorder for p50/p99,
+// and per-batch snapshot staleness (ms since the served version left the
+// trainer, and publishes it is behind) for the async-refresh tradeoff.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/engine.h"
@@ -57,11 +65,54 @@ struct ServingOptions {
   /// Scoring threads; -1 means one per virtual core. Workers are assigned
   /// to nodes round-robin so every socket serves traffic at any count.
   int num_threads = -1;
-  Replication replication = Replication::kPerNode;
+  /// Default per-family queue options (overridable per family).
   RequestBatcher::Options batch;
   /// Pin workers to physical CPUs through the topology map.
   bool pin_threads = true;
   ScoringMode scoring = ScoringMode::kBatched;
+};
+
+/// Per-family knobs at registration. Replication is NOT one of them: the
+/// registry derives it from `traffic` through opt::ChooseServingReplication
+/// unless the bench-only override is set.
+struct ServingFamilyOptions {
+  /// Traffic estimate for the replication chooser; `traffic.dim` is
+  /// required (it also fixes the admission dimension check).
+  opt::ServingTrafficEstimate traffic;
+  /// Bench/ablation escape hatch; leave unset in production.
+  std::optional<Replication> replication_override;
+  /// Family-specific queue bounds; defaults to ServingOptions::batch.
+  std::optional<RequestBatcher::Options> batch;
+};
+
+/// Per-family serving counters since Start().
+struct FamilyServingStats {
+  std::string family;
+  Replication replication = Replication::kPerNode;
+  uint64_t requests = 0;  ///< rows scored (fulfilled futures)
+  uint64_t batches = 0;
+  double rows_per_sec = 0.0;
+  double mean_batch_rows = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  uint64_t local_replica_batches = 0;
+  uint64_t remote_replica_batches = 0;
+  // Admission counters (the groundwork for cost-aware admission).
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;     ///< back-pressure refusals (queue full)
+  uint64_t queue_depth = 0;  ///< rows queued right now
+  uint64_t flush_size = 0;
+  uint64_t flush_deadline = 0;
+  uint64_t flush_drain = 0;
+  // Snapshot staleness at scoring time (per batch): ms since the served
+  // version's weights left the trainer, and how many newer publishes
+  // existed when the batch was scored.
+  double mean_staleness_ms = 0.0;
+  double max_staleness_ms = 0.0;
+  double mean_versions_behind = 0.0;
+  uint64_t max_versions_behind = 0;
+  uint64_t served_version = 0;  ///< current version at Stats() time
 };
 
 /// Aggregated serving counters since Start().
@@ -77,44 +128,60 @@ struct ServingStats {
   uint64_t local_replica_batches = 0;   ///< routed to the worker's node
   uint64_t remote_replica_batches = 0;  ///< crossed the interconnect
   numa::AccessCounters traffic;         ///< logical totals across workers
+  std::vector<FamilyServingStats> families;  ///< registration order
 };
 
-/// Construct, Publish() at least one model, Start(), then Score().
+/// Construct, RegisterFamily() + Publish() each model, Start(), then
+/// Score(family, row).
 class ServingEngine {
  public:
-  /// `spec` must outlive the engine; it supplies Predict().
-  ServingEngine(const models::ModelSpec* spec, ServingOptions options);
+  explicit ServingEngine(ServingOptions options);
   ~ServingEngine();
 
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
 
-  /// Publishes a model version (atomic hot-swap; callable any time, also
-  /// while serving). Returns the new version.
-  uint64_t Publish(const std::string& name,
+  /// Registers a named family served by `spec` (must outlive the engine).
+  /// The registry chooses its replication from the traffic estimate.
+  /// Fails after Start() and on duplicate names.
+  Status RegisterFamily(const std::string& family,
+                        const models::ModelSpec* spec,
+                        const ServingFamilyOptions& fopts);
+
+  /// Publishes a model version into `family` (atomic hot-swap; callable
+  /// any time, also while serving). The family must be registered
+  /// (checked). Returns the new version.
+  uint64_t Publish(const std::string& family,
                    const std::vector<double>& weights);
 
-  /// Publishes a trainer export: `server.Publish(engine.Export())`.
-  uint64_t Publish(const engine::ModelExport& exported);
+  /// Publishes a trainer export: `server.Publish("ctr", engine.Export())`.
+  /// Carries the export timestamp through for staleness accounting.
+  uint64_t Publish(const std::string& family,
+                   const engine::ModelExport& exported);
 
-  /// Starts the worker pool. Fails if no model has been published.
+  /// Starts the worker pool. Fails unless at least one family is
+  /// registered and every registered family has a published version.
   Status Start();
 
-  /// Drains the queue (every accepted request is still scored), then
+  /// Drains the queues (every accepted request is still scored), then
   /// stops and joins the workers. Idempotent and final: a stopped engine
   /// cannot be Start()ed again.
   void Stop();
 
-  /// Enqueues one sparse row for scoring. The future resolves with
-  /// ModelSpec::Predict of the row under the current model.
-  StatusOr<std::future<double>> Score(std::vector<matrix::Index> indices,
+  /// Enqueues one sparse row for scoring against `family`. The future
+  /// resolves with that family's ModelSpec::Predict of the row under the
+  /// family's current model.
+  StatusOr<std::future<double>> Score(const std::string& family,
+                                      std::vector<matrix::Index> indices,
                                       std::vector<double> values);
 
   /// Convenience: Score() and wait for the result.
-  StatusOr<double> ScoreSync(std::vector<matrix::Index> indices,
+  StatusOr<double> ScoreSync(const std::string& family,
+                             std::vector<matrix::Index> indices,
                              std::vector<double> values);
 
-  /// Counters aggregated across workers (callable while serving).
+  /// Counters aggregated across workers (callable while serving),
+  /// globally and per family.
   ServingStats Stats() const;
 
   /// Serving traffic shaped for numa::MemoryModel::SimulateEpoch -- the
@@ -124,16 +191,46 @@ class ServingEngine {
   const ModelRegistry& registry() const { return registry_; }
   const ServingOptions& options() const { return options_; }
   int num_workers() const { return static_cast<int>(worker_nodes_.size()); }
+  int num_families() const;
 
  private:
   struct WorkerState;
 
+  /// One registered family's serving handle (index == its FamilyId).
+  struct FamilyState {
+    std::string name;
+    ModelFamily* family = nullptr;
+    const models::ModelSpec* spec = nullptr;
+    FamilyId queue = 0;
+  };
+
+  /// The registered families plus their name index, published as one
+  /// immutable unit: Score() may race RegisterFamily() before Start()
+  /// (two services booting), so the hot-path lookup reads a COW table
+  /// with a single atomic load, mirroring ModelRegistry::families_.
+  struct FamilyTable {
+    std::vector<FamilyState> families;
+    std::unordered_map<std::string, FamilyId> ids;
+  };
+
   void WorkerLoop(int worker_id);
 
-  const models::ModelSpec* spec_;
+  /// Current table (atomic_load; never nullptr).
+  std::shared_ptr<const FamilyTable> Table() const;
+
   ServingOptions options_;
   ModelRegistry registry_;
   RequestBatcher batcher_;
+
+  /// Serializes RegisterFamily (copy + swap of table_) and Start().
+  std::mutex register_mu_;
+  /// Accessed only through std::atomic_load/atomic_store.
+  std::shared_ptr<const FamilyTable> table_;
+  /// Set once by Start() to the final table (frozen from then on, and
+  /// kept alive by table_): Score() reads this raw pointer instead of
+  /// paying a shared_ptr atomic load + refcount bounce per single-row
+  /// submit on the admission hot path. nullptr before Start().
+  std::atomic<const FamilyTable*> frozen_table_{nullptr};
 
   std::vector<numa::CoreId> worker_cores_;
   std::vector<numa::NodeId> worker_nodes_;

@@ -1,0 +1,97 @@
+#include "serve/snapshot_exporter.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/thread_util.h"
+#include "util/timer.h"
+
+namespace dw::serve {
+
+SnapshotExporter::SnapshotExporter(engine::Engine* trainer,
+                                   ServingEngine* server, std::string family,
+                                   Options options)
+    : trainer_(trainer),
+      server_(server),
+      family_(std::move(family)),
+      options_(options) {
+  DW_CHECK(trainer_ != nullptr);
+  DW_CHECK(server_ != nullptr);
+  DW_CHECK_GT(options_.period.count(), 0);
+}
+
+SnapshotExporter::~SnapshotExporter() { Stop(); }
+
+void SnapshotExporter::Start() {
+  DW_CHECK(server_->registry().FindFamily(family_) != nullptr)
+      << "exporter family not registered: " << family_;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    DW_CHECK(!started_) << "exporter started twice";
+    started_ = true;
+  }
+  if (options_.publish_on_start) PublishOnce();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void SnapshotExporter::Stop() {
+  // Claim the join under the lock: concurrent Stop() calls (owner
+  // destructor vs an explicit shutdown path) must not both reach
+  // thread_.join() -- only the claimant joins and flushes.
+  std::thread claimed;
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    if (thread_.joinable()) {
+      claimed = std::move(thread_);
+      flush = started_ && options_.publish_on_stop;
+    }
+  }
+  stop_cv_.notify_all();
+  if (!claimed.joinable()) return;
+  claimed.join();
+  // One last flush AFTER the loop is gone: the final trained model must
+  // not be lost to a period boundary, and with the thread joined there is
+  // no publisher left to race with.
+  if (flush) PublishOnce();
+}
+
+void SnapshotExporter::PublishOnce() {
+  WallTimer timer;
+  // Export() reads the engine's mutex-guarded export buffer (refreshed by
+  // the averager/epoch boundary); Publish() copies it into fresh replicas
+  // and hot-swaps. Neither step touches the training hot path.
+  const engine::ModelExport exported = trainer_->Export();
+  const uint64_t version = server_->Publish(family_, exported);
+  const double ms = timer.Seconds() * 1e3;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.publishes;
+  stats_.last_version = version;
+  stats_.max_publish_ms = std::max(stats_.max_publish_ms, ms);
+  // Running mean: cheap and exact enough for a publish-rate counter.
+  stats_.mean_publish_ms +=
+      (ms - stats_.mean_publish_ms) / static_cast<double>(stats_.publishes);
+}
+
+SnapshotExporter::Stats SnapshotExporter::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void SnapshotExporter::Loop() {
+  SetCurrentThreadName("dw-exporter");
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (stop_cv_.wait_for(lk, options_.period, [this] { return stop_; })) {
+      break;
+    }
+    lk.unlock();
+    PublishOnce();
+    lk.lock();
+  }
+}
+
+}  // namespace dw::serve

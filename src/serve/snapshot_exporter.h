@@ -1,0 +1,92 @@
+// Background training->serving snapshot pipeline: the serving twin of the
+// paper's Sec. 3.3 asynchronous model averager.
+//
+// Training exports used to reach serving by hand: the caller ran some
+// epochs, called engine::Engine::Export(), and published the result. The
+// exporter automates this on a period, DURING training: a background
+// thread wakes every `period`, pulls the engine's export buffer (a
+// thread-safe consensus copy refreshed at every averaging round and epoch
+// boundary -- epochs never block on it), and publishes the snapshot into
+// the serving registry's family. Serving traffic then scores against
+// weights at most ~period + one averaging interval behind the trainer,
+// and ServingStats' per-family staleness columns measure exactly that
+// lag, so bench_serving can chart the staleness-vs-throughput tradeoff.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "engine/engine.h"
+#include "serve/serving_engine.h"
+
+namespace dw::serve {
+
+/// Periodically publishes `trainer`'s export into one serving family.
+class SnapshotExporter {
+ public:
+  struct Options {
+    /// Export-and-publish cadence. Shorter = fresher models, more publish
+    /// bandwidth (every publish copies the model once per replica).
+    std::chrono::milliseconds period{50};
+    /// Publish one export immediately on Start(), so the family is
+    /// servable before the first period elapses (ServingEngine::Start()
+    /// requires every family published).
+    bool publish_on_start = true;
+    /// Publish one final export inside Stop(), so the last trained model
+    /// is never lost to an unlucky period boundary (training that ends
+    /// mid-period would otherwise serve a snapshot up to `period` old
+    /// forever).
+    bool publish_on_stop = true;
+  };
+
+  /// Publish-side counters (registry publish latency, NOT serving-side
+  /// staleness -- that lives in FamilyServingStats).
+  struct Stats {
+    uint64_t publishes = 0;
+    uint64_t last_version = 0;     ///< last version this exporter installed
+    double mean_publish_ms = 0.0;  ///< Export()+Publish() wall latency
+    double max_publish_ms = 0.0;
+  };
+
+  /// `trainer` and `server` must outlive the exporter; `family` must be
+  /// registered on `server` (checked at Start).
+  SnapshotExporter(engine::Engine* trainer, ServingEngine* server,
+                   std::string family, Options options);
+  ~SnapshotExporter();
+
+  SnapshotExporter(const SnapshotExporter&) = delete;
+  SnapshotExporter& operator=(const SnapshotExporter&) = delete;
+
+  /// Starts the background publisher (idempotent-hostile: once).
+  void Start();
+
+  /// Stops and joins the publisher thread, flushing one final export
+  /// first (publish_on_stop). Idempotent; also run by the destructor.
+  /// The last installed snapshot stays served.
+  void Stop();
+
+  Stats stats() const;
+
+ private:
+  void Loop();
+  void PublishOnce();
+
+  engine::Engine* trainer_;
+  ServingEngine* server_;
+  const std::string family_;
+  const Options options_;
+
+  std::thread thread_;
+  mutable std::mutex mu_;  ///< guards stop_ for the cv + the stats
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  Stats stats_;
+};
+
+}  // namespace dw::serve

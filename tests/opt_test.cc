@@ -6,8 +6,10 @@
 #include "data/paper_datasets.h"
 #include "models/glm.h"
 #include "models/graph_opt.h"
+#include "numa/memory_model.h"
 #include "opt/cost_model.h"
 #include "opt/optimizer.h"
+#include "opt/serving_replication.h"
 
 namespace dw::opt {
 namespace {
@@ -189,6 +191,88 @@ TEST_P(CostConsistency, ChosenMethodHasMinimalCost) {
 
 INSTANTIATE_TEST_SUITE_P(Alphas, CostConsistency,
                          ::testing::Values(1.0, 4.0, 8.0, 12.0, 50.0, 100.0));
+
+// --- serving replication chooser (paper Sec. 3.2-3.3, serving side) -------
+
+ServingTrafficEstimate Traffic(matrix::Index dim, double reads_per_publish) {
+  ServingTrafficEstimate t;
+  t.dim = dim;
+  t.reads_per_publish = reads_per_publish;
+  return t;
+}
+
+TEST(ServingReplicationTest, Local8ReadHeavyPicksPerNode) {
+  // The acceptance case, checked against the memory model's own numbers:
+  // on the paper's 8-socket local8, a read-heavy family under kPerMachine
+  // funnels 7/8 of all model reads through one interconnect, so its
+  // period cost has a hard QPI lower bound that kPerNode (all-local
+  // reads) beats outright.
+  const numa::Topology topo = numa::Local8();
+  const ServingTrafficEstimate t = Traffic(4096, /*reads_per_publish=*/4096);
+  const ServingReplicationChoice c = ChooseServingReplication(topo, t);
+  EXPECT_EQ(c.replication, serve::Replication::kPerNode);
+  EXPECT_LT(c.per_node_cost_sec, c.per_machine_cost_sec);
+  EXPECT_FALSE(c.rationale.empty());
+
+  // The kPerMachine cost is bounded below by the interconnect transfer
+  // the memory model charges: reads from the 7 remote sockets, one model
+  // stream per flushed batch.
+  const double model_bytes = 4096.0 * sizeof(double);
+  const double batches = t.reads_per_publish / t.expected_batch_rows;
+  const double remote_bytes = batches * (7.0 / 8.0) * model_bytes;
+  const double qpi_floor_sec = remote_bytes / (topo.qpi_gbps * 1e9);
+  EXPECT_GE(c.per_machine_cost_sec, qpi_floor_sec * 0.999);
+  // And kPerNode dodges it entirely: its cost stays well under the floor.
+  EXPECT_LT(c.per_node_cost_sec, qpi_floor_sec);
+}
+
+TEST(ServingReplicationTest, RepublishDominatedPicksPerMachine) {
+  // A family that republishes constantly and serves almost no reads:
+  // replicating every publish 8x costs 8x the write bandwidth for no
+  // read-locality payoff.
+  const ServingReplicationChoice c = ChooseServingReplication(
+      numa::Local8(), Traffic(1 << 20, /*reads_per_publish=*/0.0));
+  EXPECT_EQ(c.replication, serve::Replication::kPerMachine);
+  EXPECT_LT(c.per_machine_cost_sec, c.per_node_cost_sec);
+}
+
+TEST(ServingReplicationTest, SingleSocketKeepsOneCopy) {
+  numa::Topology topo = numa::Local2();
+  topo.num_nodes = 1;  // one socket: the strategies are byte-identical
+  const ServingReplicationChoice c =
+      ChooseServingReplication(topo, Traffic(1024, 4096.0));
+  EXPECT_EQ(c.replication, serve::Replication::kPerMachine);
+  EXPECT_NE(c.rationale.find("single socket"), std::string::npos);
+}
+
+TEST(ServingReplicationTest, OversizedModelCannotDoubleBuffer) {
+  // local2 has 32 GB per node; a 24 GB replica cannot hot-swap (old +
+  // new both live) under kPerNode, whatever the traffic says.
+  const ServingReplicationChoice c = ChooseServingReplication(
+      numa::Local2(), Traffic(3'000'000'000u, /*reads_per_publish=*/1e6));
+  EXPECT_EQ(c.replication, serve::Replication::kPerMachine);
+  EXPECT_NE(c.rationale.find("double-buffer"), std::string::npos);
+}
+
+TEST(ServingReplicationTest, ReadShareMovesTheDecision) {
+  // Sweeping the read/write asymmetry flips the choice exactly once:
+  // once a family is read-heavy enough for kPerNode, more reads can only
+  // reinforce it (the QPI term grows linearly while the publish term is
+  // fixed).
+  const numa::Topology topo = numa::Local8();
+  bool seen_per_node = false;
+  for (const double rpp : {0.0, 1.0, 64.0, 1024.0, 65536.0}) {
+    const ServingReplicationChoice c =
+        ChooseServingReplication(topo, Traffic(4096, rpp));
+    if (c.replication == serve::Replication::kPerNode) {
+      seen_per_node = true;
+    } else {
+      EXPECT_FALSE(seen_per_node)
+          << "choice flipped back to PerMachine at " << rpp;
+    }
+  }
+  EXPECT_TRUE(seen_per_node) << "no read share ever justified replication";
+}
 
 }  // namespace
 }  // namespace dw::opt

@@ -10,6 +10,7 @@
 
 #include "models/glm.h"
 #include "models/graph_opt.h"
+#include "serve/serving_engine.h"
 #include "util/rng.h"
 
 namespace dw::models {
@@ -237,6 +238,47 @@ TEST(PredictBatchLinkTest, LogisticBatchAppliesSigmoid) {
     for (Index j = 0; j < dim; ++j) margin += rs.values[r][j];
     EXPECT_NEAR(out[r], Sigmoid(margin), 1e-12);
   }
+}
+
+TEST(PredictBatchServingTest, BatchedKernelsServeEachFamilysOwnSpec) {
+  // End-to-end through the multi-family serving engine in batched mode:
+  // every flushed mini-batch is routed to ITS family's PredictBatch, so
+  // two families with different link functions must each reproduce their
+  // own scalar Predict on the same payloads.
+  LogisticSpec lr;
+  LeastSquaresSpec ls;
+  const Index dim = 96;
+  const std::vector<double> lr_model = RandomModel(dim, 31);
+  const std::vector<double> ls_model = RandomModel(dim, 32);
+  RowSet rs = SparseRows(40, dim, 12, 33);
+
+  serve::ServingOptions opts;
+  opts.topology = numa::Local2();
+  opts.scoring = serve::ScoringMode::kBatched;
+  opts.batch.max_batch_size = 8;
+  opts.batch.max_delay = std::chrono::microseconds(100);
+  serve::ServingEngine server(opts);
+  serve::ServingFamilyOptions fam;
+  fam.traffic.dim = dim;
+  fam.replication_override = serve::Replication::kPerNode;
+  ASSERT_TRUE(server.RegisterFamily("lr", &lr, fam).ok());
+  ASSERT_TRUE(server.RegisterFamily("ls", &ls, fam).ok());
+  server.Publish("lr", lr_model);
+  server.Publish("ls", ls_model);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<SparseVectorView> views = rs.Views();
+  for (size_t r = 0; r < views.size(); ++r) {
+    auto from_lr = server.ScoreSync("lr", rs.indices[r], rs.values[r]);
+    auto from_ls = server.ScoreSync("ls", rs.indices[r], rs.values[r]);
+    ASSERT_TRUE(from_lr.ok());
+    ASSERT_TRUE(from_ls.ok());
+    EXPECT_NEAR(from_lr.value(), lr.Predict(lr_model.data(), views[r]), 1e-12)
+        << "lr row " << r;
+    EXPECT_NEAR(from_ls.value(), ls.Predict(ls_model.data(), views[r]), 1e-12)
+        << "ls row " << r;
+  }
+  server.Stop();
 }
 
 }  // namespace
