@@ -1,4 +1,4 @@
-// Serving benchmarks, four experiments in one binary:
+// Serving benchmarks, five experiments in one binary:
 //
 //  1. Throughput vs thread count x replication strategy -- the serving
 //     analogue of Fig. 8, run with an explicit per-family replication
@@ -19,6 +19,14 @@
 //     load. Reports per-family rows/sec, p50/p99, admission counters,
 //     and measured snapshot staleness (ms + versions behind) -- the
 //     staleness-vs-throughput tradeoff of the async refresh pipeline.
+//  5. Collocated fetch vs request-carried features -- the wide-model
+//     serving analogue of Fig. 9's data-replication study. The same
+//     dense scoring load runs three ways: id-keyed against a kReplicated
+//     serve::FeatureStore (every gather node-local), id-keyed against a
+//     kSharded store (a (n-1)/n share of gathers crosses the
+//     interconnect), and carried-feature requests (the client ships
+//     every row). The memory-model numbers expose the locality gap the
+//     wall clock can't show on this single-domain host.
 //
 // Measured rows/sec comes from the host wall clock; memory-model rows/sec
 // applies the calibrated topology model to the logically-counted serving
@@ -36,8 +44,10 @@
 // DW_BENCH_SLO_P99_MS (p99 target, default 2.0), DW_BENCH_SLO_TRIALS
 // (search iterations, default 5), DW_BENCH_SLO_TRIAL_SEC (seconds per
 // trial, default 0.4), DW_BENCH_STALE_SEC (live-serving window, default
-// 1.0), DW_BENCH_JSON (path: write the machine-readable result artifact
-// CI archives per commit).
+// 1.0), DW_BENCH_STORE_ROWS / DW_BENCH_STORE_DIM (feature-store workload,
+// default 4096 x 2048), DW_BENCH_JSON (path: write the machine-readable
+// result artifact CI archives per commit; schema v3 adds the
+// feature_store section).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -584,6 +594,157 @@ std::vector<FamilyRun> RunLiveServing(const data::Dataset& wide_data,
   return out;
 }
 
+// --- experiment 5: collocated fetch vs request-carried features -----------
+
+struct StoreRun {
+  std::string mode;       ///< "id-replicated" | "id-sharded" | "carried"
+  std::string placement;  ///< store placement; "-" for carried
+  std::string rationale;
+  double measured_rows_per_sec = 0.0;
+  double sim_rows_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double local_feature_mb = 0.0;
+  double remote_feature_mb = 0.0;
+};
+
+/// The balanced-routing memory-model input for the store comparison: the
+/// same convention as BalancedSimInput, but here the axis under study is
+/// where the FEATURE bytes come from. Every active node serves an equal
+/// share of the rows; under the sharded store 1/nodes of a node's
+/// gathers hit its own shard and the rest cross the interconnect, while
+/// the replicated store and carried payloads are node-local everywhere.
+/// The model side is pinned kPerNode in every run, so it cancels out.
+numa::SimulationInput BalancedStoreSimInput(const serve::ServingStats& stats,
+                                            const numa::Topology& topo,
+                                            bool sharded_features,
+                                            int threads,
+                                            uint64_t model_bytes) {
+  const int nodes_used = std::min(threads, topo.num_nodes);
+  numa::SimulationInput in(topo.num_nodes);
+  const numa::AccessCounters& t = stats.traffic;
+  // All data-side bytes are feature bytes in this experiment (id gathers
+  // or carried payload; both total rows * dim * 8).
+  const uint64_t feature_total = t.local_read_bytes + t.remote_read_bytes;
+  for (int n = 0; n < nodes_used; ++n) {
+    numa::AccessCounters c;
+    const uint64_t share = feature_total / nodes_used;
+    if (sharded_features) {
+      c.local_read_bytes = share / nodes_used;
+      c.remote_read_bytes = share - share / nodes_used;
+    } else {
+      c.local_read_bytes = share;
+    }
+    c.model_read_bytes = t.model_read_bytes / nodes_used;
+    c.flops = t.flops / nodes_used;
+    c.updates = t.updates / nodes_used;
+    in.traffic.per_node[n] = c;
+    in.active_workers[n] = std::max(1, threads / nodes_used);
+  }
+  in.model_sharing_sockets = 1;
+  in.model_bytes = model_bytes;
+  return in;
+}
+
+/// One store-comparison run: `total_rows` dense wide-model requests in
+/// `mode`, batched scoring, model replication pinned kPerNode so the only
+/// variable is the feature source.
+StoreRun RunStoreServing(const std::vector<double>& table, Index store_rows,
+                         Index dim, const models::ModelSpec& spec,
+                         const std::vector<double>& weights,
+                         const numa::Topology& topo, const std::string& mode,
+                         int threads, int total_rows) {
+  serve::ServingOptions opts;
+  opts.topology = topo;
+  opts.num_threads = threads;
+  opts.batch.max_batch_size = 64;
+  opts.batch.max_delay = std::chrono::microseconds(200);
+  opts.scoring = serve::ScoringMode::kBatched;
+  serve::ServingEngine server(opts);
+  DW_CHECK(server
+               .RegisterFamily("wide", &spec,
+                               PinnedFamily(dim, serve::Replication::kPerNode))
+               .ok());
+  const bool by_id = mode != "carried";
+  if (by_id) {
+    serve::StoreOptions sopts;
+    sopts.placement_override = mode == "id-replicated"
+                                   ? serve::StorePlacement::kReplicated
+                                   : serve::StorePlacement::kSharded;
+    const Status reg = server.RegisterStore("wide", store_rows, dim, sopts);
+    DW_CHECK(reg.ok()) << reg.ToString();
+  }
+  server.Publish("wide", weights);
+  if (by_id) server.PublishStore("wide", table);
+  const Status st = server.Start();
+  DW_CHECK(st.ok()) << st.ToString();
+
+  const int kProducers = 4;
+  WallTimer timer;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<std::future<double>> futures;
+      futures.reserve(total_rows / kProducers + 1);
+      std::vector<double> vals;
+      for (int r = p; r < total_rows; r += kProducers) {
+        const Index row = static_cast<Index>(r) % store_rows;
+        if (!by_id) {
+          // The carried form ships the whole row with every request --
+          // the payload cost the id-keyed form exists to avoid.
+          vals.assign(table.begin() + static_cast<size_t>(row) * dim,
+                      table.begin() + static_cast<size_t>(row + 1) * dim);
+        }
+        for (;;) {
+          auto fut = by_id ? server.Score("wide", row)
+                           : server.Score("wide", {}, vals);
+          if (fut.ok()) {
+            futures.push_back(std::move(fut).value());
+            break;
+          }
+          DW_CHECK(fut.status().code() == Status::Code::kResourceExhausted)
+              << fut.status().ToString();
+          std::this_thread::yield();
+        }
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : producers) t.join();
+  const double wall = timer.Seconds();
+  server.Stop();
+
+  const serve::ServingStats stats = server.Stats();
+  DW_CHECK_EQ(stats.requests, static_cast<uint64_t>(total_rows));
+
+  StoreRun out;
+  out.mode = mode;
+  const serve::FeatureStore* store = server.FindStore("wide");
+  out.placement = by_id ? ToString(store->placement()) : "-";
+  out.rationale = by_id ? store->rationale() : "-";
+  out.measured_rows_per_sec = total_rows / wall;
+  out.p50_ms = stats.p50_latency_ms;
+  out.p99_ms = stats.p99_latency_ms;
+  const serve::FamilyServingStats& fam = stats.families[0];
+  const double row_mb = dim * sizeof(double) / (1024.0 * 1024.0);
+  if (by_id) {
+    out.local_feature_mb = fam.local_store_rows * row_mb;
+    out.remote_feature_mb = fam.remote_store_rows * row_mb;
+  } else {
+    out.local_feature_mb = static_cast<double>(total_rows) * row_mb;
+  }
+  const numa::MemoryModel model(topo);
+  const double sim_sec =
+      model
+          .SimulateEpoch(BalancedStoreSimInput(
+              stats, topo, mode == "id-sharded", threads,
+              static_cast<uint64_t>(dim) * sizeof(double)))
+          .total_sec;
+  out.sim_rows_per_sec = sim_sec > 0.0 ? total_rows / sim_sec : 0.0;
+  return out;
+}
+
 }  // namespace
 }  // namespace dw
 
@@ -738,13 +899,62 @@ int main(int argc, char** argv) {
                 ToString(f.stats.replication), f.rationale.c_str());
   }
 
+  // --- experiment 5: collocated fetch vs request-carried features --------
+  const int store_rows =
+      smoke ? 512 : bench::EnvInt("DW_BENCH_STORE_ROWS", 4096);
+  const int store_dim =
+      smoke ? 256 : bench::EnvInt("DW_BENCH_STORE_DIM", 2048);
+  std::vector<double> store_table(static_cast<size_t>(store_rows) *
+                                  store_dim);
+  {
+    Rng rng(41);
+    for (auto& v : store_table) v = rng.Gaussian(0.0, 1.0);
+  }
+  std::vector<double> store_weights(store_dim);
+  {
+    Rng rng(43);
+    for (auto& w : store_weights) w = rng.Gaussian(0.0, 1.0);
+  }
+  const std::vector<std::string> store_modes = {"id-replicated", "id-sharded",
+                                                "carried"};
+  std::vector<StoreRun> store_runs;
+  Table srtable("Feature fetch: collocated store vs request-carried (" +
+                std::to_string(total_rows) + " requests, dense " +
+                std::to_string(store_rows) + " x " +
+                std::to_string(store_dim) + ", " + topo.name + ")");
+  srtable.SetHeader({"mode", "placement", "measured rows/s", "model rows/s",
+                     "p50 ms", "p99 ms", "local MB", "remote MB"});
+  for (const std::string& mode : store_modes) {
+    const StoreRun r = RunStoreServing(
+        store_table, static_cast<Index>(store_rows),
+        static_cast<Index>(store_dim), lr, store_weights, topo, mode,
+        topo.total_cores(), total_rows);
+    srtable.AddRow({r.mode, r.placement,
+                    Table::Num(r.measured_rows_per_sec, 0),
+                    Table::Num(r.sim_rows_per_sec, 0), Table::Num(r.p50_ms, 3),
+                    Table::Num(r.p99_ms, 3),
+                    Table::Num(r.local_feature_mb, 1),
+                    Table::Num(r.remote_feature_mb, 1)});
+    store_runs.push_back(std::move(r));
+  }
+  srtable.Print();
+  const double collocated_sim = store_runs[0].sim_rows_per_sec;
+  const double sharded_sim = store_runs[1].sim_rows_per_sec;
+  std::printf(
+      "\nmodel throughput, collocated (replicated) %.0f rows/s vs sharded "
+      "%.0f rows/s (%s)\n",
+      collocated_sim, sharded_sim,
+      collocated_sim >= sharded_sim
+          ? "collocated >= sharded, as predicted"
+          : "UNEXPECTED: sharded ahead");
+
   // --- machine-readable artifact -----------------------------------------
   const char* json_path = std::getenv("DW_BENCH_JSON");
   if (json_path != nullptr && json_path[0] != '\0') {
     JsonWriter j;
     j.BeginObject();
     j.Field("bench", "serving");
-    j.Field("schema_version", 2);
+    j.Field("schema_version", 3);
     j.Field("smoke", smoke);
     j.Field("unix_time", static_cast<int64_t>(std::time(nullptr)));
     j.Field("topology", topo.name);
@@ -820,6 +1030,26 @@ int main(int argc, char** argv) {
       j.EndObject();
     }
     j.EndArray();
+    j.Key("feature_store").BeginObject();
+    j.Field("store_rows", store_rows);
+    j.Field("dim", store_dim);
+    j.Field("requests", total_rows);
+    j.Key("runs").BeginArray();
+    for (const StoreRun& r : store_runs) {
+      j.BeginObject();
+      j.Field("mode", r.mode);
+      j.Field("placement", r.placement);
+      j.Field("placement_rationale", r.rationale);
+      j.Field("measured_rows_per_sec", r.measured_rows_per_sec);
+      j.Field("model_rows_per_sec", r.sim_rows_per_sec);
+      j.Field("p50_ms", r.p50_ms);
+      j.Field("p99_ms", r.p99_ms);
+      j.Field("local_feature_mb", r.local_feature_mb);
+      j.Field("remote_feature_mb", r.remote_feature_mb);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.EndObject();
     j.EndObject();
     if (!j.WriteFile(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path);
@@ -830,17 +1060,22 @@ int main(int argc, char** argv) {
 
   const bool replication_ok = per_node_max >= per_machine_max;
   const bool speedup_ok = kc.speedup >= min_speedup;
+  // Fig. 9 analogue: collocated (replicated) feature fetch must model at
+  // least as fast as the sharded store once gathers span sockets.
+  const bool store_ok = collocated_sim >= sharded_sim;
   if (smoke) {
     // Smoke mode exists to validate the artifact schema per commit, not
     // to gate perf on a noisy shared runner.
-    std::printf("smoke run complete (gates: replication %s, speedup %s)\n",
-                replication_ok ? "ok" : "MISSED",
-                speedup_ok ? "ok" : "MISSED");
+    std::printf(
+        "smoke run complete (gates: replication %s, speedup %s, "
+        "collocated fetch %s)\n",
+        replication_ok ? "ok" : "MISSED", speedup_ok ? "ok" : "MISSED",
+        store_ok ? "ok" : "MISSED");
     return 0;
   }
   if (!speedup_ok) {
     std::printf("FAIL: batched kernel speedup %.2fx under the %.2fx gate\n",
                 kc.speedup, min_speedup);
   }
-  return replication_ok && speedup_ok ? 0 : 1;
+  return replication_ok && speedup_ok && store_ok ? 0 : 1;
 }

@@ -4,10 +4,17 @@
 //   1. train a wide logistic-regression model and a narrow SVM,
 //   2. register both as named families -- the registry picks each
 //      family's replication with the opt:: cost model (no hard-coding),
-//   3. wire each trainer to its family through a SnapshotExporter, which
+//   3. register a serving-time FeatureStore for the wide family: known
+//      entities' feature rows live WITH the scoring workers (placement
+//      chosen by the cost model too), so requests can be id-keyed --
+//      Score(family, row_id) ships one integer instead of a feature
+//      vector, and the worker gathers the row from its own node,
+//   4. wire each trainer to its family through a SnapshotExporter, which
 //      publishes fresh snapshots on a period WHILE training runs,
-//   4. score single rows against either family through the batcher,
-//   5. read per-family stats: throughput, latency, snapshot staleness.
+//   5. score rows against either family -- id-keyed for stored entities,
+//      carried-feature for novel ones -- through the same batcher,
+//   6. read per-family stats: throughput, latency, snapshot staleness,
+//      and where the id-keyed feature gathers landed.
 //
 // Build & run:  ./examples/serving_quickstart
 #include <cstdio>
@@ -63,8 +70,9 @@ int main() {
   serve_opts.batch.max_delay = std::chrono::microseconds(200);
   serve::ServingEngine server(serve_opts);
 
+  const Index wide_dim = wide_data.a.cols();
   serve::ServingFamilyOptions wide_family;
-  wide_family.traffic.dim = wide_data.a.cols();
+  wide_family.traffic.dim = wide_dim;
   wide_family.traffic.expected_batch_rows = 32.0;
   wide_family.traffic.reads_per_publish = 2048.0;  // read-heavy
   serve::ServingFamilyOptions narrow_family;
@@ -83,7 +91,37 @@ int main() {
                 f->rationale().c_str());
   }
 
-  // 3. One exporter per family: publish_on_start seeds version 1, then
+  // 3. A FeatureStore for the wide family: the first kStoreRows of the
+  //    corpus stand in for known entities (users, documents) whose
+  //    features the serving tier already holds. Like replication, the
+  //    PLACEMENT (full copy per socket vs rows sharded across sockets)
+  //    is chosen by the cost model from a traffic estimate; stores
+  //    hot-swap atomically, so a nightly rebuild could PublishStore()
+  //    under live traffic. The store dim must equal the model dim: an
+  //    id-keyed row feeds PredictBatch directly, with zero copies.
+  const Index kStoreRows = 64;
+  st = server.RegisterStore("ctr-wide-lr", kStoreRows, wide_dim);
+  if (!st.ok()) {
+    std::fprintf(stderr, "RegisterStore failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::vector<double> table(static_cast<size_t>(kStoreRows) * wide_dim, 0.0);
+  for (Index r = 0; r < kStoreRows; ++r) {
+    const auto row = wide_data.a.Row(r);
+    for (uint32_t k = 0; k < row.nnz; ++k) {
+      table[static_cast<size_t>(r) * wide_dim + row.indices[k]] =
+          row.values[k];
+    }
+  }
+  server.PublishStore("ctr-wide-lr", table);
+  {
+    const serve::FeatureStore* store = server.FindStore("ctr-wide-lr");
+    std::printf("%-17s store %ux%u -> %s (%s)\n", "ctr-wide-lr",
+                store->rows(), store->dim(), serve::ToString(store->placement()),
+                store->rationale().c_str());
+  }
+
+  // 4. One exporter per family: publish_on_start seeds version 1, then
   //    each publishes mid-training on its own period. Export() is
   //    thread-safe (it reads the engine's consensus export buffer), so
   //    epochs never block on serving.
@@ -105,7 +143,7 @@ int main() {
   std::printf("serving %d families on %d threads\n", server.num_families(),
               server.num_workers());
 
-  // 4. Train both models while serving; the exporters hot-swap improved
+  //    Train both models while serving; the exporters hot-swap improved
   //    snapshots underneath the in-flight traffic.
   engine::RunConfig cfg;
   cfg.max_epochs = 10;
@@ -120,21 +158,33 @@ int main() {
   wide_exporter.Stop();
   narrow_exporter.Stop();
 
-  //    Score a few rows against each family (in production these would
-  //    be fresh requests). LogisticSpec::Predict returns P(y = +1 | row).
+  // 5. Score stored entities BY ID against the wide family: the request
+  //    is one integer, the worker gathers the features from its own
+  //    node's copy of the store, and the score is identical to shipping
+  //    the row by hand (shown by scoring both ways).
   for (Index i = 0; i < 3; ++i) {
+    const auto by_id = server.ScoreSync("ctr-wide-lr", i);
+    if (!by_id.ok()) {
+      std::fprintf(stderr, "Score failed: %s\n",
+                   by_id.status().ToString().c_str());
+      return 1;
+    }
     const auto row = wide_data.a.Row(i);
     std::vector<Index> idx(row.indices, row.indices + row.nnz);
     std::vector<double> vals(row.values, row.values + row.nnz);
-    const auto score = server.ScoreSync("ctr-wide-lr", idx, vals);
-    if (!score.ok()) {
+    const auto carried = server.ScoreSync("ctr-wide-lr", idx, vals);
+    if (!carried.ok()) {
       std::fprintf(stderr, "Score failed: %s\n",
-                   score.status().ToString().c_str());
+                   carried.status().ToString().c_str());
       return 1;
     }
-    std::printf("ctr-wide-lr row %u: P(y=+1) = %.3f (label %+.0f)\n", i,
-                score.value(), wide_data.b[i]);
+    std::printf(
+        "ctr-wide-lr row %u: P(y=+1) = %.3f by id, %.3f carried (label "
+        "%+.0f)\n",
+        i, by_id.value(), carried.value(), wide_data.b[i]);
   }
+  //    Novel rows (not in any store) still take the carried form, here
+  //    against the narrow family.
   for (Index i = 0; i < 3; ++i) {
     const auto row = narrow_data.a.Row(i);
     std::vector<Index> idx(row.indices, row.indices + row.nnz);
@@ -149,8 +199,10 @@ int main() {
                 score.value(), narrow_data.b[i]);
   }
 
-  // 5. Stop serving; per-family stats include the staleness the async
-  //    pipeline traded for never blocking an epoch.
+  // 6. Stop serving; per-family stats include the staleness the async
+  //    pipeline traded for never blocking an epoch, and where the
+  //    id-keyed feature gathers landed (all node-local under a
+  //    replicated store -- the collocation the store exists for).
   server.Stop();
   const serve::ServingStats stats = server.Stats();
   std::printf("served %llu requests in %llu batches total\n",
@@ -158,12 +210,16 @@ int main() {
               static_cast<unsigned long long>(stats.batches));
   for (const serve::FamilyServingStats& f : stats.families) {
     std::printf(
-        "%-17s v%llu: %llu rows, p50 %.3f ms, p99 %.3f ms, "
-        "staleness mean %.1f ms (max %.1f), rejected %llu\n",
+        "%-17s v%llu: %llu rows (%llu by id: %llu local / %llu remote "
+        "gathers), p50 %.3f ms, p99 %.3f ms, staleness mean %.1f ms "
+        "(max %.1f), rejected %llu\n",
         f.family.c_str(), static_cast<unsigned long long>(f.served_version),
-        static_cast<unsigned long long>(f.requests), f.p50_latency_ms,
-        f.p99_latency_ms, f.mean_staleness_ms, f.max_staleness_ms,
-        static_cast<unsigned long long>(f.rejected));
+        static_cast<unsigned long long>(f.requests),
+        static_cast<unsigned long long>(f.id_rows),
+        static_cast<unsigned long long>(f.local_store_rows),
+        static_cast<unsigned long long>(f.remote_store_rows),
+        f.p50_latency_ms, f.p99_latency_ms, f.mean_staleness_ms,
+        f.max_staleness_ms, static_cast<unsigned long long>(f.rejected));
   }
   return 0;
 }

@@ -86,6 +86,25 @@ SLO_TRIAL = {
     "meets_slo": bool,
 }
 
+FEATURE_STORE = {
+    "store_rows": NUM,
+    "dim": NUM,
+    "requests": NUM,
+    "runs": list,
+}
+
+STORE_RUN = {
+    "mode": str,
+    "placement": str,
+    "placement_rationale": str,
+    "measured_rows_per_sec": NUM,
+    "model_rows_per_sec": NUM,
+    "p50_ms": NUM,
+    "p99_ms": NUM,
+    "local_feature_mb": NUM,
+    "remote_feature_mb": NUM,
+}
+
 FAMILY = {
     "family": str,
     "replication": str,
@@ -154,9 +173,31 @@ def main():
     if not reps <= {"PerNode", "PerMachine"}:
         fail(f"unknown replication strings: {reps}")
 
+    # Schema v3: the collocated-fetch experiment (id-keyed scoring through
+    # a FeatureStore vs request-carried features, the Fig. 9 serving
+    # analogue).
+    store_runs = 0
+    if doc["schema_version"] >= 3:
+        fs = require(doc, "feature_store", dict, "top level")
+        check_all(fs, FEATURE_STORE, "feature_store")
+        if not fs["runs"]:
+            fail("feature_store.runs is empty")
+        for i, run in enumerate(fs["runs"]):
+            check_all(run, STORE_RUN, f"feature_store.runs[{i}]")
+        modes = {r["mode"] for r in fs["runs"]}
+        want_modes = {"id-replicated", "id-sharded", "carried"}
+        if not want_modes <= modes:
+            fail(f"feature_store.runs missing modes: {want_modes - modes} "
+                 "(the collocated-vs-carried comparison is the point)")
+        placements = {r["placement"] for r in fs["runs"]}
+        if not placements <= {"Replicated", "Sharded", "-"}:
+            fail(f"unknown store placement strings: {placements}")
+        store_runs = len(fs["runs"])
+
     print(f"schema OK: {sys.argv[1]} "
           f"({len(doc['replication_runs'])} replication runs, "
-          f"{len(doc['families'])} families)")
+          f"{len(doc['families'])} families, "
+          f"{store_runs} feature-store runs)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,129 @@
+#include "opt/store_placement.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dw::opt {
+
+using serve::StorePlacement;
+
+namespace {
+
+/// Builds the memory-model input for one refresh period
+/// (`reads_per_refresh` row gathers + one table refresh) under
+/// `placement`. Model-replica bytes are omitted: they are identical under
+/// both placements and would only dilute the quantity being compared
+/// (where the FEATURE bytes come from).
+numa::SimulationInput PeriodInput(const numa::Topology& topo,
+                                  const StoreTrafficEstimate& t,
+                                  StorePlacement placement) {
+  const int nodes = topo.num_nodes;
+  const double row_bytes = static_cast<double>(t.dim) * sizeof(double);
+  const double table_bytes = static_cast<double>(t.rows) * row_bytes;
+  // Traffic is balanced: every socket scores an equal share of the
+  // gathers (the same balanced-routing regime the serving benches
+  // simulate). Requests spray row ids uniformly, so under kSharded a
+  // node's own shard serves exactly 1/nodes of its gathers.
+  const double gather_bytes_per_node =
+      std::max(0.0, t.reads_per_refresh) * row_bytes /
+      static_cast<double>(nodes);
+
+  numa::SimulationInput in(nodes);
+  for (int n = 0; n < nodes; ++n) {
+    numa::AccessCounters c;
+    if (placement == StorePlacement::kReplicated) {
+      // Gathers are node-local everywhere. The refresh is one thread
+      // copying the table into EVERY node's replica back to back, so its
+      // full nodes * table_bytes cost lands on the publisher's node
+      // (charging it per target node would wrongly model the copies as
+      // parallel and hide the replication factor).
+      c.local_read_bytes = static_cast<uint64_t>(gather_bytes_per_node);
+      if (n == 0) {
+        c.local_write_bytes = static_cast<uint64_t>(
+            table_bytes * static_cast<double>(nodes));
+      }
+    } else {
+      // Interleaved shards: 1/nodes of a node's gathers hit its own
+      // shard, the rest cross the shared interconnect; the refresh
+      // writes the table once (each row lands on exactly one shard).
+      c.local_read_bytes = static_cast<uint64_t>(
+          gather_bytes_per_node / static_cast<double>(nodes));
+      c.remote_read_bytes = static_cast<uint64_t>(
+          gather_bytes_per_node * static_cast<double>(nodes - 1) /
+          static_cast<double>(nodes));
+      if (n == 0) {
+        c.local_write_bytes = static_cast<uint64_t>(table_bytes);
+      }
+    }
+    in.traffic.per_node[n] = c;
+    in.active_workers[n] = topo.cores_per_node;
+  }
+  // The feature table is data, not the model: no LLC-resident replica
+  // speedup, and readers never store to it, so no coherence term either.
+  in.model_bytes = 0;
+  in.model_sharing_sockets = 1;
+  return in;
+}
+
+}  // namespace
+
+StorePlacementChoice ChooseStorePlacement(
+    const numa::Topology& topo, const StoreTrafficEstimate& traffic,
+    const numa::MemoryModelParams& params) {
+  DW_CHECK_GT(traffic.rows, 0u) << "store traffic estimate needs rows";
+  DW_CHECK_GT(traffic.dim, 0u) << "store traffic estimate needs dim";
+  const numa::MemoryModel model(topo, params);
+
+  StorePlacementChoice out;
+  out.table_bytes = static_cast<double>(traffic.rows) *
+                    static_cast<double>(traffic.dim) * sizeof(double);
+  out.replicated_cost_sec =
+      model
+          .SimulateEpoch(
+              PeriodInput(topo, traffic, StorePlacement::kReplicated))
+          .total_sec;
+  out.sharded_cost_sec =
+      model.SimulateEpoch(PeriodInput(topo, traffic, StorePlacement::kSharded))
+          .total_sec;
+
+  std::ostringstream why;
+  // Hot swap double-buffers: while a Publish is in flight both the old
+  // and the new snapshot are live, so kReplicated needs 2 full tables of
+  // headroom on EVERY node (the Sec. 3.4 "if there is available memory"
+  // rule, applied to the data side). Sharding caps the per-node footprint
+  // at ~2/nodes of a table, so it is the forced choice for tables too big
+  // to double-buffer whole.
+  const double node_ram_bytes =
+      topo.ram_per_node_gb * 1024.0 * 1024.0 * 1024.0;
+  if (2.0 * out.table_bytes > node_ram_bytes) {
+    out.placement = StorePlacement::kSharded;
+    why << "table (" << out.table_bytes * 1e-9
+        << " GB) cannot double-buffer in per-node RAM; sharding caps the "
+           "per-node footprint at 1/"
+        << topo.num_nodes << " of a copy";
+    out.rationale = why.str();
+    return out;
+  }
+  if (topo.num_nodes <= 1) {
+    // One socket: the single shard IS the whole table and every gather is
+    // already node-local; replication would only double the footprint.
+    out.placement = StorePlacement::kSharded;
+    why << "single socket: one shard is the whole table and already "
+           "node-local";
+    out.rationale = why.str();
+    return out;
+  }
+  out.placement = out.replicated_cost_sec < out.sharded_cost_sec
+                      ? StorePlacement::kReplicated
+                      : StorePlacement::kSharded;
+  why << "period cost Replicated " << out.replicated_cost_sec
+      << "s vs Sharded " << out.sharded_cost_sec << "s at "
+      << traffic.reads_per_refresh << " gathers/refresh of "
+      << traffic.dim << "-wide rows on " << topo.num_nodes << " sockets";
+  out.rationale = why.str();
+  return out;
+}
+
+}  // namespace dw::opt

@@ -1,0 +1,68 @@
+// Placement chooser for serving-time feature stores (the data-side twin
+// of serving_replication.h's model-side chooser).
+//
+// DimmWitted's Fig. 9 studies DATA replication for training: fully
+// replicating the dataset per node makes every row read local at the cost
+// of footprint and load-time copies; sharding keeps one copy but makes a
+// (n-1)/n share of reads remote. Id-keyed serving re-creates exactly that
+// tradeoff at scoring time: a request names a row in the family's
+// FeatureStore, and the worker that scores it gathers the features from
+// wherever the store put them.
+//
+//   kReplicated: full table copy on every socket. Every gather is
+//                node-local DRAM, but each refresh (Publish) writes the
+//                table once per socket and the footprint is
+//                num_nodes * table bytes.
+//   kSharded:    rows interleaved round-robin across sockets. A refresh
+//                writes the table once and the footprint is one table,
+//                but only ~1/num_nodes of a node's gathers hit its own
+//                shard; the rest cross the shared interconnect.
+//
+// ChooseStorePlacement() decides by simulating one "refresh period" --
+// `reads_per_refresh` row gathers spread evenly over the sockets,
+// followed by one table refresh -- under both placements with the same
+// calibrated numa::MemoryModel, and picking the cheaper one. Read-heavy
+// wide-row stores on multi-socket topologies come out kReplicated (the
+// Fig. 9 FullReplication regime); refresh-dominated or oversized tables
+// come out kSharded.
+#pragma once
+
+#include <string>
+
+#include "matrix/sparse_vector.h"
+#include "numa/memory_model.h"
+#include "numa/topology.h"
+#include "serve/replication.h"
+
+namespace dw::opt {
+
+/// Per-store traffic estimate the chooser costs at registration time.
+/// `rows` and `dim` are required (they fix the table footprint and the
+/// bytes one gather streams).
+struct StoreTrafficEstimate {
+  /// Feature table shape: `rows` feature rows of `dim` doubles each.
+  matrix::Index rows = 0;
+  matrix::Index dim = 0;
+  /// Read/write asymmetry: row GATHERS per table refresh (Publish).
+  /// Serving stores are read-mostly, so the default is high; a table
+  /// rebuilt every few seconds against light traffic can be far lower.
+  double reads_per_refresh = 65536.0;
+};
+
+/// The chooser's decision plus its reasoning (mirrors
+/// ServingReplicationChoice).
+struct StorePlacementChoice {
+  serve::StorePlacement placement = serve::StorePlacement::kReplicated;
+  double replicated_cost_sec = 0.0;  ///< simulated period cost, kReplicated
+  double sharded_cost_sec = 0.0;     ///< simulated period cost, kSharded
+  double table_bytes = 0.0;          ///< footprint of ONE full table
+  std::string rationale;
+};
+
+/// Picks the placement for one feature store on `topo` by costing both
+/// strategies through the calibrated memory model.
+StorePlacementChoice ChooseStorePlacement(
+    const numa::Topology& topo, const StoreTrafficEstimate& traffic,
+    const numa::MemoryModelParams& params = {});
+
+}  // namespace dw::opt

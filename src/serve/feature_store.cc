@@ -1,0 +1,102 @@
+#include "serve/feature_store.h"
+
+#include <cstring>
+#include <utility>
+
+namespace dw::serve {
+
+const char* ToString(StorePlacement p) {
+  switch (p) {
+    case StorePlacement::kReplicated:
+      return "Replicated";
+    case StorePlacement::kSharded:
+      return "Sharded";
+  }
+  return "?";
+}
+
+FeatureStore::FeatureStore(std::string family,
+                           std::shared_ptr<numa::NumaAllocator> allocator,
+                           matrix::Index rows, matrix::Index dim,
+                           const StoreOptions& options)
+    : family_(std::move(family)),
+      allocator_(std::move(allocator)),
+      rows_(rows),
+      dim_(dim) {
+  DW_CHECK(allocator_ != nullptr) << "store needs an allocator";
+  DW_CHECK_GT(rows_, 0u) << "store " << family_ << " needs rows";
+  DW_CHECK_GT(dim_, 0u) << "store " << family_ << " needs dim";
+  if (options.placement_override.has_value()) {
+    placement_ = *options.placement_override;
+    rationale_ = "explicit override";
+  } else {
+    opt::StoreTrafficEstimate traffic;
+    traffic.rows = rows_;
+    traffic.dim = dim_;
+    traffic.reads_per_refresh = options.reads_per_refresh;
+    const opt::StorePlacementChoice choice =
+        opt::ChooseStorePlacement(allocator_->topology(), traffic);
+    placement_ = choice.placement;
+    rationale_ = choice.rationale;
+  }
+}
+
+uint64_t FeatureStore::Publish(const std::vector<double>& row_major) {
+  DW_CHECK_EQ(row_major.size(),
+              static_cast<size_t>(rows_) * static_cast<size_t>(dim_))
+      << "feature table shape mismatch for store " << family_;
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  const uint64_t version = next_version_++;
+
+  // Build the replacement entirely off to the side; workers keep
+  // gathering from the old snapshot until the single pointer store below.
+  auto snap = std::shared_ptr<FeatureStoreSnapshot>(new FeatureStoreSnapshot());
+  snap->version_ = version;
+  snap->family_ = family_;
+  snap->rows_ = rows_;
+  snap->dim_ = dim_;
+  snap->placement_ = placement_;
+  snap->num_nodes_ = allocator_->topology().num_nodes;
+  snap->allocator_ = allocator_;
+  const int nodes = snap->num_nodes_;
+  if (placement_ == StorePlacement::kReplicated) {
+    snap->shards_.reserve(nodes);
+    for (int n = 0; n < nodes; ++n) {
+      auto replica = allocator_->AllocateOnNode<double>(n, row_major.size());
+      std::memcpy(replica.data(), row_major.data(),
+                  row_major.size() * sizeof(double));
+      snap->shards_.push_back(std::move(replica));
+    }
+  } else {
+    // Round-robin interleave: shard n compacts rows n, n+nodes, ... so a
+    // spray of row ids balances gather load across sockets.
+    snap->shards_.reserve(nodes);
+    for (int n = 0; n < nodes; ++n) {
+      const size_t shard_rows =
+          (static_cast<size_t>(rows_) + nodes - 1 - n) / nodes;
+      auto shard = allocator_->AllocateOnNode<double>(
+          n, shard_rows * static_cast<size_t>(dim_));
+      for (size_t slot = 0; slot < shard_rows; ++slot) {
+        const size_t row = slot * nodes + n;
+        std::memcpy(shard.data() + slot * dim_,
+                    row_major.data() + row * dim_, dim_ * sizeof(double));
+      }
+      snap->shards_.push_back(std::move(shard));
+    }
+  }
+
+  // Counter first, pointer second, mirroring ModelFamily::Publish: a
+  // worker that acquires the NEW snapshot must never see a
+  // current_version() older than it.
+  current_version_.store(version, std::memory_order_release);
+  std::atomic_store_explicit(
+      &current_, std::shared_ptr<const FeatureStoreSnapshot>(std::move(snap)),
+      std::memory_order_release);
+  return version;
+}
+
+std::shared_ptr<const FeatureStoreSnapshot> FeatureStore::Acquire() const {
+  return std::atomic_load_explicit(&current_, std::memory_order_acquire);
+}
+
+}  // namespace dw::serve

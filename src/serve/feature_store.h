@@ -1,0 +1,178 @@
+// NUMA-placed, versioned, read-only feature tables for id-keyed serving.
+//
+// Carried-feature requests make the CLIENT the feature source: every
+// Score(family, indices, values) ships the row over the wire and the
+// worker streams it from wherever the request buffer landed. For wide
+// models that is the anti-pattern the paper's Fig. 9 data-replication
+// study warns about -- the serving path ignores the data/worker
+// collocation that governs main-memory throughput. A FeatureStore flips
+// the source: the table of feature rows is registered per model family,
+// placed across sockets through the same numa::NumaAllocator machinery
+// the trainer uses, and a request names only a row id; the scoring
+// worker gathers the features from its node's placement at scoring time.
+//
+// Placement is not passed in by the caller: it is chosen at construction
+// by opt::ChooseStorePlacement() from the calibrated memory model, the
+// topology, and the store's traffic estimate (table shape, gathers per
+// refresh) -- mirroring how opt::ChooseServingReplication picks the model
+// side. Benches that need a fixed strategy set
+// StoreOptions::placement_override.
+//
+// Hot-swap: Publish() builds the new table version entirely off to the
+// side and installs it with one atomic pointer store, exactly like
+// ModelFamily. Workers Acquire() one immutable FeatureStoreSnapshot per
+// batch, so a refresh never tears the rows of an in-flight batch across
+// versions. The table SHAPE (rows x dim) is fixed at construction so
+// request admission can validate row ids once, ahead of whichever
+// version eventually serves the batch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "matrix/sparse_vector.h"
+#include "numa/numa_allocator.h"
+#include "opt/store_placement.h"
+#include "serve/replication.h"
+#include "util/logging.h"
+
+namespace dw::serve {
+
+/// One immutable, versioned feature table. Readers hold it via
+/// shared_ptr, so a snapshot stays valid for as long as any in-flight
+/// batch references it, even after newer versions are published.
+class FeatureStoreSnapshot {
+ public:
+  uint64_t version() const { return version_; }
+  /// Family this table serves.
+  const std::string& family() const { return family_; }
+  matrix::Index rows() const { return rows_; }
+  matrix::Index dim() const { return dim_; }
+  StorePlacement placement() const { return placement_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Node owning row `row`'s bytes for a reader on `node`: the reader's
+  /// own node under kReplicated (its local copy), the interleaved shard
+  /// owner under kSharded. Drives the worker's local/remote gather
+  /// accounting. Both indices are validated: an out-of-range row under
+  /// kSharded would otherwise read past a shard (and silently serve a
+  /// neighboring row's features, or worse).
+  numa::NodeId OwnerNodeFor(numa::NodeId node, matrix::Index row) const {
+    CheckIndices(node, row);
+    if (placement_ == StorePlacement::kReplicated) return node;
+    return static_cast<numa::NodeId>(row % static_cast<matrix::Index>(
+                                               num_nodes_));
+  }
+
+  /// Feature row `row` (dim() doubles) for a reader on `node`: the
+  /// node-local copy under kReplicated, the owner shard (possibly
+  /// remote) under kSharded. Same index validation as OwnerNodeFor.
+  const double* RowForNode(numa::NodeId node, matrix::Index row) const {
+    CheckIndices(node, row);
+    if (placement_ == StorePlacement::kReplicated) {
+      return shards_[node].data() + static_cast<size_t>(row) * dim_;
+    }
+    const matrix::Index nodes = static_cast<matrix::Index>(num_nodes_);
+    return shards_[row % nodes].data() +
+           static_cast<size_t>(row / nodes) * dim_;
+  }
+
+ private:
+  friend class FeatureStore;
+  FeatureStoreSnapshot() = default;
+
+  void CheckIndices(numa::NodeId node, matrix::Index row) const {
+    DW_CHECK_GE(node, 0) << "negative node for store " << family_;
+    DW_CHECK_LT(node, num_nodes_) << "node out of range for store "
+                                  << family_;
+    DW_CHECK_LT(row, rows_) << "row out of range for store " << family_;
+  }
+
+  uint64_t version_ = 0;
+  std::string family_;
+  matrix::Index rows_ = 0;
+  matrix::Index dim_ = 0;
+  StorePlacement placement_ = StorePlacement::kReplicated;
+  int num_nodes_ = 1;
+  /// Keeps the ledger the shards report into alive even if a reader
+  /// outlives the store. Declared before shards_ so it is destroyed
+  /// after them (their destructors post to the ledger).
+  std::shared_ptr<numa::NumaAllocator> allocator_;
+  /// kReplicated: one full table per node. kSharded: shard n holds rows
+  /// r with r % num_nodes == n, compacted at slot r / num_nodes.
+  std::vector<numa::NodeArray<double>> shards_;
+};
+
+/// Construction-time description of a store. The traffic estimate feeds
+/// the placement chooser (its rows/dim are filled in from the
+/// constructor arguments, so only the read/refresh asymmetry needs
+/// stating).
+struct StoreOptions {
+  /// Expected row gathers per table refresh.
+  double reads_per_refresh = 65536.0;
+  /// Explicit placement for benches/ablations; leave unset in production
+  /// so the cost model decides.
+  std::optional<StorePlacement> placement_override;
+};
+
+/// One family's feature store: a versioned immutable table chain plus the
+/// placement strategy fixed at construction. Obtained from
+/// ServingEngine::RegisterStore (or constructed directly for tests).
+class FeatureStore {
+ public:
+  /// Chooses the placement through opt::ChooseStorePlacement unless
+  /// options.placement_override pins it. `rows`/`dim` fix the table
+  /// shape for every future version.
+  FeatureStore(std::string family,
+               std::shared_ptr<numa::NumaAllocator> allocator,
+               matrix::Index rows, matrix::Index dim,
+               const StoreOptions& options);
+
+  const std::string& family() const { return family_; }
+  /// Table shape, fixed at construction. Lock-free; safe on the request
+  /// admission hot path (row-id validation).
+  matrix::Index rows() const { return rows_; }
+  matrix::Index dim() const { return dim_; }
+  StorePlacement placement() const { return placement_; }
+  /// Why the chooser picked the placement ("explicit override" when the
+  /// caller pinned it instead).
+  const std::string& rationale() const { return rationale_; }
+
+  /// Copies the row-major table (`rows() * dim()` doubles, row r at
+  /// offset r * dim()) into fresh per-node placements and installs them
+  /// as the store's current version (monotonic from 1). The size must
+  /// match the fixed shape: admission validates row ids against rows()
+  /// once, which is only sound if every version agrees.
+  uint64_t Publish(const std::vector<double>& row_major);
+
+  /// Acquires the current table (nullptr before the first Publish).
+  std::shared_ptr<const FeatureStoreSnapshot> Acquire() const;
+
+  /// Version of the current table (0 before the first Publish).
+  /// Lock-free: admission gates id-keyed requests on it.
+  uint64_t current_version() const {
+    return current_version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::string family_;
+  std::shared_ptr<numa::NumaAllocator> allocator_;
+  const matrix::Index rows_;
+  const matrix::Index dim_;
+  StorePlacement placement_ = StorePlacement::kReplicated;
+  std::string rationale_;
+  /// Serializes publishers so installation order matches version order
+  /// (same discipline as ModelFamily::publish_mu_).
+  std::mutex publish_mu_;
+  uint64_t next_version_ = 1;
+  std::atomic<uint64_t> current_version_{0};
+  /// Accessed only through std::atomic_load/atomic_store.
+  std::shared_ptr<const FeatureStoreSnapshot> current_;
+};
+
+}  // namespace dw::serve

@@ -14,4 +14,14 @@ enum class Replication {
 
 const char* ToString(Replication r);
 
+/// Placement of a family's read-only serving-time feature table (the
+/// serving analogue of engine::DataReplication -- Fig. 9's axis applied
+/// to id-keyed scoring, where the WORKERS gather the features).
+enum class StorePlacement {
+  kReplicated,  ///< full table copy on every node; every gather is local
+  kSharded,     ///< rows interleaved across nodes; 1/n of gathers local
+};
+
+const char* ToString(StorePlacement p);
+
 }  // namespace dw::serve

@@ -37,6 +37,19 @@ StatusOr<std::future<double>> RequestBatcher::Submit(
   ScoreRequest req;
   req.indices = std::move(indices);
   req.values = std::move(values);
+  return Enqueue(family, std::move(req));
+}
+
+StatusOr<std::future<double>> RequestBatcher::SubmitId(FamilyId family,
+                                                       matrix::Index row_id) {
+  ScoreRequest req;
+  req.by_id = true;
+  req.row_id = row_id;
+  return Enqueue(family, std::move(req));
+}
+
+StatusOr<std::future<double>> RequestBatcher::Enqueue(FamilyId family,
+                                                      ScoreRequest req) {
   req.enqueued_at = std::chrono::steady_clock::now();
   std::future<double> fut = req.result.get_future();
 

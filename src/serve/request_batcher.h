@@ -45,9 +45,19 @@ using FamilyId = int;
 /// promise the scoring worker fulfills. Empty `indices` with nonempty
 /// `values` is the explicit DENSE form (value k at coordinate k) -- half
 /// the payload, and the batched kernels skip index loads entirely.
+///
+/// The ID-KEYED form (`by_id`) carries no features at all: `row_id`
+/// names a row in the family's FeatureStore and the scoring worker
+/// gathers the features from its node's placement at scoring time, so
+/// the payload is one integer regardless of model width.
 struct ScoreRequest {
   std::vector<matrix::Index> indices;
   std::vector<double> values;
+  /// Id-keyed form (Score(family, row_id)): indices/values stay empty and
+  /// View() must not be used -- the worker builds the view from the
+  /// store snapshot it acquired for the batch.
+  bool by_id = false;
+  matrix::Index row_id = 0;
   std::promise<double> result;
   std::chrono::steady_clock::time_point enqueued_at;
 
@@ -105,13 +115,22 @@ class RequestBatcher {
   /// path but uncontended).
   FamilyId AddQueue(const Options& opts);
 
-  /// Enqueues one row on `family`'s queue. The future resolves once a
-  /// worker scores the batch containing it. Fails with ResourceExhausted
-  /// when that family's queue is full and FailedPrecondition after
-  /// Shutdown().
+  /// Enqueues one carried-feature row on `family`'s queue. The future
+  /// resolves once a worker scores the batch containing it. Fails with
+  /// ResourceExhausted when that family's queue is full and
+  /// FailedPrecondition after Shutdown().
   StatusOr<std::future<double>> Submit(FamilyId family,
                                        std::vector<matrix::Index> indices,
                                        std::vector<double> values);
+
+  /// Enqueues one id-keyed request on `family`'s queue. Admission is
+  /// UNIFIED with Submit(): the same ResourceExhausted/FailedPrecondition
+  /// codes apply (the caller validates row_id against the family's store
+  /// bounds, exactly as it validates carried feature indices against the
+  /// model dim, so both request forms report identical Status codes for
+  /// analogous failures).
+  StatusOr<std::future<double>> SubmitId(FamilyId family,
+                                         matrix::Index row_id);
 
   /// Blocks until some family has a batch ready under the flush policy;
   /// returns false only once the batcher is shut down AND every queue is
@@ -139,6 +158,11 @@ class RequestBatcher {
     uint64_t flush_deadline = 0;
     uint64_t flush_drain = 0;
   };
+
+  /// Shared admission tail of Submit/SubmitId: bounds-checks the queue,
+  /// applies back-pressure, and enqueues. Both request forms go through
+  /// here so their admission Status codes can never diverge.
+  StatusOr<std::future<double>> Enqueue(FamilyId family, ScoreRequest req);
 
   /// Pops up to max_batch_size rows of queue `f` into `out` (mu_ held).
   void TakeBatch(FamilyId f, FlushReason reason, Batch* out);

@@ -30,6 +30,9 @@ struct ServingEngine::WorkerState {
     double staleness_ms_max = 0.0;
     uint64_t versions_behind_sum = 0;
     uint64_t versions_behind_max = 0;
+    uint64_t id_rows = 0;
+    uint64_t local_store_rows = 0;
+    uint64_t remote_store_rows = 0;
   };
   mutable SpinLock mu;
   numa::AccessCounters counters;
@@ -39,6 +42,8 @@ struct ServingEngine::WorkerState {
 ServingEngine::ServingEngine(ServingOptions options)
     : options_(std::move(options)),
       registry_(options_.topology),
+      store_allocator_(
+          std::make_shared<numa::NumaAllocator>(options_.topology)),
       table_(std::make_shared<const FamilyTable>()) {
   const numa::Topology& topo = options_.topology;
   const int nw = options_.num_threads > 0 ? options_.num_threads
@@ -119,6 +124,63 @@ Status ServingEngine::RegisterFamily(const std::string& family,
   return Status::OK();
 }
 
+Status ServingEngine::RegisterStore(const std::string& family,
+                                    matrix::Index rows, matrix::Index dim,
+                                    const StoreOptions& sopts) {
+  if (rows == 0 || dim == 0) {
+    return Status::InvalidArgument("feature store needs rows and dim: " +
+                                   family);
+  }
+  std::lock_guard<std::mutex> lk(register_mu_);
+  // Same freeze discipline as RegisterFamily: the COW table is immutable
+  // once workers snapshot it, so stores attach before Start() only.
+  if (running_.load(std::memory_order_acquire) || stopped_) {
+    return Status::FailedPrecondition(
+        "stores must be registered before Start()");
+  }
+  const auto current = Table();
+  const auto it = current->ids.find(family);
+  if (it == current->ids.end()) {
+    return Status::NotFound("unknown family: " + family);
+  }
+  const FamilyState& fs = current->families[it->second];
+  if (fs.store != nullptr) {
+    return Status::InvalidArgument("store already registered for family " +
+                                   family);
+  }
+  if (dim != fs.family->dim()) {
+    return Status::InvalidArgument(
+        "store dim " + std::to_string(dim) + " does not match family dim " +
+        std::to_string(fs.family->dim()) + " for " + family);
+  }
+  stores_.push_back(std::make_unique<FeatureStore>(family, store_allocator_,
+                                                   rows, dim, sopts));
+  auto next = std::make_shared<FamilyTable>(*current);
+  next->families[it->second].store = stores_.back().get();
+  std::atomic_store_explicit(
+      &table_, std::shared_ptr<const FamilyTable>(std::move(next)),
+      std::memory_order_release);
+  return Status::OK();
+}
+
+uint64_t ServingEngine::PublishStore(const std::string& family,
+                                     const std::vector<double>& row_major) {
+  const auto table = Table();
+  const auto it = table->ids.find(family);
+  DW_CHECK(it != table->ids.end())
+      << "publish to unregistered family " << family;
+  FeatureStore* store = table->families[it->second].store;
+  DW_CHECK(store != nullptr)
+      << "no feature store registered for family " << family;
+  return store->Publish(row_major);
+}
+
+const FeatureStore* ServingEngine::FindStore(const std::string& family) const {
+  const auto table = Table();
+  const auto it = table->ids.find(family);
+  return it == table->ids.end() ? nullptr : table->families[it->second].store;
+}
+
 uint64_t ServingEngine::Publish(const std::string& family,
                                 const std::vector<double>& weights) {
   ModelFamily* f = registry_.FindFamily(family);
@@ -155,6 +217,13 @@ Status ServingEngine::Start() {
       return Status::FailedPrecondition("no model published for family " +
                                         fs.name);
     }
+    // A registered store promises the id-keyed form works; starting with
+    // an empty table would make every Score(family, row_id) fail until
+    // the first refresh lands.
+    if (fs.store != nullptr && fs.store->current_version() == 0) {
+      return Status::FailedPrecondition(
+          "no feature table published for family " + fs.name);
+    }
   }
   // Per-family worker slots; sized under each worker's lock so a
   // monitoring thread's Stats() never sees a half-grown vector.
@@ -186,23 +255,30 @@ void ServingEngine::Stop() {
   stopped_ = true;
 }
 
-StatusOr<std::future<double>> ServingEngine::Score(
-    const std::string& family, std::vector<Index> indices,
-    std::vector<double> values) {
+const ServingEngine::FamilyState* ServingEngine::FindFamilyState(
+    const std::string& family,
+    std::shared_ptr<const FamilyTable>* keepalive) const {
   // Post-Start the table is frozen and the raw pointer skips the
   // shared_ptr machinery; pre-Start (cold setup/validation calls) fall
   // back to the COW load that tolerates concurrent registration.
   const FamilyTable* frozen = frozen_table_.load(std::memory_order_acquire);
-  std::shared_ptr<const FamilyTable> cold;
   if (frozen == nullptr) {
-    cold = Table();
-    frozen = cold.get();
+    *keepalive = Table();
+    frozen = keepalive->get();
   }
   const auto it = frozen->ids.find(family);
-  if (it == frozen->ids.end()) {
+  return it == frozen->ids.end() ? nullptr : &frozen->families[it->second];
+}
+
+StatusOr<std::future<double>> ServingEngine::Score(
+    const std::string& family, std::vector<Index> indices,
+    std::vector<double> values) {
+  std::shared_ptr<const FamilyTable> keepalive;
+  const FamilyState* fsp = FindFamilyState(family, &keepalive);
+  if (fsp == nullptr) {
     return Status::NotFound("unknown family: " + family);
   }
-  const FamilyState& fs = frozen->families[it->second];
+  const FamilyState& fs = *fsp;
   // The family's dimension is fixed at registration, so admission can
   // validate feature indices once, and the check holds for whichever
   // version eventually scores the batch. Requests cross a trust
@@ -242,10 +318,51 @@ StatusOr<std::future<double>> ServingEngine::Score(
   return batcher_.Submit(fs.queue, std::move(indices), std::move(values));
 }
 
+StatusOr<std::future<double>> ServingEngine::Score(const std::string& family,
+                                                   Index row_id) {
+  std::shared_ptr<const FamilyTable> keepalive;
+  const FamilyState* fsp = FindFamilyState(family, &keepalive);
+  if (fsp == nullptr) {
+    return Status::NotFound("unknown family: " + family);
+  }
+  const FamilyState& fs = *fsp;
+  if (fs.store == nullptr) {
+    return Status::FailedPrecondition(
+        "no feature store registered for family " + family);
+  }
+  if (fs.family->current_version() == 0) {
+    return Status::FailedPrecondition("no model published for family " +
+                                      family);
+  }
+  // Same trust boundary as the carried form's index scan, same Status
+  // code: the table shape is fixed at registration, so this one check
+  // holds for whichever version eventually serves the batch (an
+  // out-of-range id would read past a shard in RowForNode).
+  if (row_id >= fs.store->rows()) {
+    return Status::InvalidArgument("row id out of range for family " +
+                                   family);
+  }
+  if (fs.store->current_version() == 0) {
+    return Status::FailedPrecondition(
+        "no feature table published for family " + family);
+  }
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine not started");
+  }
+  return batcher_.SubmitId(fs.queue, row_id);
+}
+
 StatusOr<double> ServingEngine::ScoreSync(const std::string& family,
                                           std::vector<Index> indices,
                                           std::vector<double> values) {
   auto fut = Score(family, std::move(indices), std::move(values));
+  if (!fut.ok()) return fut.status();
+  return std::move(fut).value().get();
+}
+
+StatusOr<double> ServingEngine::ScoreSync(const std::string& family,
+                                          Index row_id) {
+  auto fut = Score(family, row_id);
   if (!fut.ok()) return fut.status();
   return std::move(fut).value().get();
 }
@@ -266,10 +383,11 @@ void ServingEngine::WorkerLoop(int worker_id) {
   const auto table = Table();
 
   Batch batch;
-  // Batched-mode scratch, reused across batches (no per-batch allocation
+  // Per-batch scratch, reused across batches (no per-batch allocation
   // once warm).
   std::vector<matrix::SparseVectorView> views;
   std::vector<double> scores;
+  std::vector<double> latencies_ms;
   while (batcher_.NextBatch(&batch)) {
     const FamilyState& fs = table->families[batch.family];
     // One registry acquire per BATCH: the snapshot is pinned for the whole
@@ -281,6 +399,21 @@ void ServingEngine::WorkerLoop(int worker_id) {
     while (snap == nullptr) {
       std::this_thread::yield();
       snap = fs.family->Acquire();
+    }
+    // One STORE acquire per batch, same discipline: every id-keyed row in
+    // the batch gathers from a single table version, so a concurrent
+    // PublishStore can refresh the store mid-flight without ever tearing
+    // a batch across feature versions.
+    std::shared_ptr<const FeatureStoreSnapshot> store_snap;
+    for (const ScoreRequest& req : batch.requests) {
+      if (req.by_id) {
+        store_snap = fs.store->Acquire();
+        while (store_snap == nullptr) {
+          std::this_thread::yield();
+          store_snap = fs.store->Acquire();
+        }
+        break;
+      }
     }
     const double* weights = snap->WeightsForNode(node);
     const bool replica_local = snap->ReplicaNodeFor(node) == node;
@@ -298,12 +431,42 @@ void ServingEngine::WorkerLoop(int worker_id) {
     const uint64_t versions_behind =
         cur_version > snap->version() ? cur_version - snap->version() : 0;
 
+    // Views for every row: carried rows view their own payload; id-keyed
+    // rows view the store snapshot directly in the explicit dense form --
+    // zero copies, and the feature bytes come from wherever the store's
+    // placement put the row (the quantity the Fig. 9-style bench varies).
+    const size_t rows = batch.rows();
+    views.clear();
+    views.reserve(rows);
+    numa::AccessCounters delta;
+    uint64_t id_rows = 0;
+    uint64_t local_store_rows = 0;
+    uint64_t remote_store_rows = 0;
+    for (const ScoreRequest& req : batch.requests) {
+      if (req.by_id) {
+        const size_t fdim = store_snap->dim();
+        views.push_back(
+            {nullptr, store_snap->RowForNode(node, req.row_id), fdim});
+        ++id_rows;
+        const uint64_t feature_bytes = fdim * sizeof(double);
+        if (store_snap->OwnerNodeFor(node, req.row_id) == node) {
+          ++local_store_rows;
+          delta.local_read_bytes += feature_bytes;
+        } else {
+          ++remote_store_rows;
+          delta.remote_read_bytes += feature_bytes;
+        }
+      } else {
+        views.push_back(req.View());
+        // Carried payload arrives node-local (the batch was just
+        // written). Dense requests carry no index array.
+        delta.local_read_bytes += req.values.size() * sizeof(double) +
+                                  req.indices.size() * sizeof(Index);
+      }
+    }
+
     uint64_t batch_nnz = 0;
     if (batched) {
-      const size_t rows = batch.rows();
-      views.clear();
-      views.reserve(rows);
-      for (const ScoreRequest& req : batch.requests) views.push_back(req.View());
       scores.resize(rows);
       fs.spec->PredictBatch(weights, snap->dim(), views.data(), rows,
                             scores.data());
@@ -312,23 +475,18 @@ void ServingEngine::WorkerLoop(int worker_id) {
       }
     }
 
-    numa::AccessCounters delta;
-    std::vector<double> latencies_ms;
-    latencies_ms.reserve(batch.rows());
-    for (ScoreRequest& req : batch.requests) {
+    latencies_ms.clear();
+    latencies_ms.reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      ScoreRequest& req = batch.requests[r];
       if (!batched) {
-        req.result.set_value(fs.spec->Predict(weights, req.View()));
+        req.result.set_value(fs.spec->Predict(weights, views[r]));
       }
       // Stamped after set_value so the recorded latency covers the full
       // submit-to-resolution interval, including this batch's scoring.
       const auto resolved_at = std::chrono::steady_clock::now();
-      const uint64_t nnz = req.values.size();
+      const uint64_t nnz = views[r].nnz;
       batch_nnz += nnz;
-      // Request payload arrives node-local (the batch was just written);
-      // model reads hit the routed replica. Dense requests carry no index
-      // array.
-      delta.local_read_bytes +=
-          nnz * sizeof(double) + req.indices.size() * sizeof(Index);
       if (!batched) {
         // Scalar mode re-gathers the replica per row.
         const uint64_t model_bytes = nnz * sizeof(double);
@@ -373,6 +531,9 @@ void ServingEngine::WorkerLoop(int worker_id) {
     pf.versions_behind_sum += versions_behind;
     pf.versions_behind_max =
         std::max(pf.versions_behind_max, versions_behind);
+    pf.id_rows += id_rows;
+    pf.local_store_rows += local_store_rows;
+    pf.remote_store_rows += remote_store_rows;
     for (double ms : latencies_ms) pf.latencies.Record(ms);
   }
 }
@@ -401,6 +562,9 @@ ServingStats ServingEngine::Stats() const {
           static_cast<double>(pf.versions_behind_sum);  // sum for now
       out.max_versions_behind =
           std::max(out.max_versions_behind, pf.versions_behind_max);
+      out.id_rows += pf.id_rows;
+      out.local_store_rows += pf.local_store_rows;
+      out.remote_store_rows += pf.remote_store_rows;
       fam_lat[f].Merge(pf.latencies);
     }
   }
@@ -413,6 +577,8 @@ ServingStats ServingEngine::Stats() const {
     out.family = fs.name;
     out.replication = fs.family->replication();
     out.served_version = fs.family->current_version();
+    out.store_version =
+        fs.store != nullptr ? fs.store->current_version() : 0;
     const RequestBatcher::QueueStats qs = batcher_.queue_stats(fs.queue);
     out.accepted = qs.accepted;
     out.rejected = qs.rejected_full;

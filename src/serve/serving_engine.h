@@ -15,6 +15,16 @@
 // hot path touches only node-local memory: the read-mostly endpoint of
 // the paper's Sec. 3.3 tradeoff.
 //
+// Requests come in two forms. CARRIED requests ship their own feature
+// vector (Score(family, indices, values)). ID-KEYED requests name a row
+// in the family's registered serve::FeatureStore (Score(family, row_id)):
+// the payload is one integer, and the worker gathers the features at
+// scoring time from the store's placement on its own node -- the
+// data/worker collocation of the paper's Fig. 9 applied to serving-time
+// feature fetch. Stores hot-swap atomically like model snapshots, and a
+// worker acquires ONE store snapshot per batch, so a refresh can never
+// tear the rows of an in-flight batch across table versions.
+//
 // Workers account their logical traffic with numa::AccessCounters exactly
 // like training epochs do, so bench_serving can report both measured
 // rows/sec and memory-model throughput on the paper's topologies; they
@@ -38,6 +48,7 @@
 #include "numa/access_counters.h"
 #include "numa/memory_model.h"
 #include "numa/topology.h"
+#include "serve/feature_store.h"
 #include "serve/model_registry.h"
 #include "serve/request_batcher.h"
 #include "util/barrier.h"
@@ -113,6 +124,12 @@ struct FamilyServingStats {
   double mean_versions_behind = 0.0;
   uint64_t max_versions_behind = 0;
   uint64_t served_version = 0;  ///< current version at Stats() time
+  // Serving-time feature store (id-keyed requests); all zero for a
+  // family without a registered store.
+  uint64_t id_rows = 0;           ///< rows scored via Score(family, row_id)
+  uint64_t local_store_rows = 0;  ///< gathered from the worker's own node
+  uint64_t remote_store_rows = 0; ///< gathered across the interconnect
+  uint64_t store_version = 0;     ///< current table version at Stats() time
 };
 
 /// Aggregated serving counters since Start().
@@ -148,6 +165,27 @@ class ServingEngine {
                         const models::ModelSpec* spec,
                         const ServingFamilyOptions& fopts);
 
+  /// Registers a read-only feature table of `rows` x `dim` doubles for
+  /// `family`, enabling the id-keyed request form Score(family, row_id).
+  /// The table's placement across sockets (replicated vs sharded) is
+  /// chosen by opt::ChooseStorePlacement from `sopts.reads_per_refresh`
+  /// and the table shape unless the bench-only
+  /// `sopts.placement_override` pins it. `dim` must equal the family's
+  /// model dimension (an id-keyed row feeds the family's PredictBatch
+  /// directly). Fails after Start(), on unknown families, on duplicate
+  /// stores, and on shape mismatches.
+  Status RegisterStore(const std::string& family, matrix::Index rows,
+                       matrix::Index dim, const StoreOptions& sopts = {});
+
+  /// Publishes a new feature table version into `family`'s store
+  /// (atomic hot-swap; callable any time, also while serving -- a batch
+  /// in flight keeps gathering from the snapshot it acquired, so a
+  /// refresh never tears a batch). `row_major` is rows x dim doubles,
+  /// row r at offset r * dim. The store must be registered (checked).
+  /// Returns the new table version.
+  uint64_t PublishStore(const std::string& family,
+                        const std::vector<double>& row_major);
+
   /// Publishes a model version into `family` (atomic hot-swap; callable
   /// any time, also while serving). The family must be registered
   /// (checked). Returns the new version.
@@ -175,10 +213,29 @@ class ServingEngine {
                                       std::vector<matrix::Index> indices,
                                       std::vector<double> values);
 
+  /// Enqueues one ID-KEYED request: the features for `row_id` come from
+  /// the family's registered FeatureStore, gathered by the scoring
+  /// worker from its node's placement -- the data/worker collocation of
+  /// the paper's Fig. 9, applied to serving. Admission mirrors the
+  /// carried form's Status codes: NotFound for an unknown family,
+  /// InvalidArgument for an out-of-range row id (as for an out-of-range
+  /// feature index), FailedPrecondition when no store is registered or
+  /// nothing is published yet, ResourceExhausted on back-pressure.
+  StatusOr<std::future<double>> Score(const std::string& family,
+                                      matrix::Index row_id);
+
   /// Convenience: Score() and wait for the result.
   StatusOr<double> ScoreSync(const std::string& family,
                              std::vector<matrix::Index> indices,
                              std::vector<double> values);
+
+  /// Convenience: id-keyed Score() and wait for the result.
+  StatusOr<double> ScoreSync(const std::string& family,
+                             matrix::Index row_id);
+
+  /// Looks up a family's registered feature store; nullptr when the
+  /// family is unknown or has no store. Valid for the engine's lifetime.
+  const FeatureStore* FindStore(const std::string& family) const;
 
   /// Counters aggregated across workers (callable while serving),
   /// globally and per family.
@@ -201,6 +258,9 @@ class ServingEngine {
     std::string name;
     ModelFamily* family = nullptr;
     const models::ModelSpec* spec = nullptr;
+    /// Feature table for id-keyed requests; nullptr when none is
+    /// registered (owned by stores_, so COW table copies share it).
+    FeatureStore* store = nullptr;
     FamilyId queue = 0;
   };
 
@@ -218,9 +278,22 @@ class ServingEngine {
   /// Current table (atomic_load; never nullptr).
   std::shared_ptr<const FamilyTable> Table() const;
 
+  /// Admission-path family lookup shared by both Score forms: frozen raw
+  /// pointer post-Start, COW load pre-Start (`keepalive` pins the cold
+  /// table for the caller's use). nullptr for unknown families.
+  const FamilyState* FindFamilyState(
+      const std::string& family,
+      std::shared_ptr<const FamilyTable>* keepalive) const;
+
   ServingOptions options_;
   ModelRegistry registry_;
   RequestBatcher batcher_;
+  /// Places feature-store shards/replicas (its ledger is the stores'
+  /// placement record, separate from the registry's model ledger).
+  std::shared_ptr<numa::NumaAllocator> store_allocator_;
+  /// Owns the feature stores; append-only under register_mu_, so the raw
+  /// pointers in FamilyState stay stable.
+  std::vector<std::unique_ptr<FeatureStore>> stores_;
 
   /// Serializes RegisterFamily (copy + swap of table_) and Start().
   std::mutex register_mu_;

@@ -10,6 +10,7 @@
 #include "opt/cost_model.h"
 #include "opt/optimizer.h"
 #include "opt/serving_replication.h"
+#include "opt/store_placement.h"
 
 namespace dw::opt {
 namespace {
@@ -272,6 +273,88 @@ TEST(ServingReplicationTest, ReadShareMovesTheDecision) {
     }
   }
   EXPECT_TRUE(seen_per_node) << "no read share ever justified replication";
+}
+
+// --- feature-store placement chooser (Fig. 9's axis, serving side) --------
+
+StoreTrafficEstimate StoreTraffic(matrix::Index rows, matrix::Index dim,
+                                  double reads_per_refresh) {
+  StoreTrafficEstimate t;
+  t.rows = rows;
+  t.dim = dim;
+  t.reads_per_refresh = reads_per_refresh;
+  return t;
+}
+
+TEST(StorePlacementTest, Local8ReadHeavyPicksReplicated) {
+  // The Fig. 9 FullReplication regime, serving side: under kSharded a
+  // balanced spray of row gathers sends 7/8 of all feature bytes over
+  // the one shared interconnect, so the period cost has a hard QPI lower
+  // bound that kReplicated (all-local gathers) beats outright.
+  const numa::Topology topo = numa::Local8();
+  const StoreTrafficEstimate t =
+      StoreTraffic(4096, 2048, /*reads_per_refresh=*/65536.0);
+  const StorePlacementChoice c = ChooseStorePlacement(topo, t);
+  EXPECT_EQ(c.placement, serve::StorePlacement::kReplicated);
+  EXPECT_LT(c.replicated_cost_sec, c.sharded_cost_sec);
+  EXPECT_FALSE(c.rationale.empty());
+  EXPECT_DOUBLE_EQ(c.table_bytes, 4096.0 * 2048.0 * sizeof(double));
+
+  // The kSharded cost is bounded below by the interconnect transfer the
+  // memory model charges for the remote 7/8 share of gathers.
+  const double remote_bytes =
+      t.reads_per_refresh * 2048.0 * sizeof(double) * (7.0 / 8.0);
+  const double qpi_floor_sec = remote_bytes / (topo.qpi_gbps * 1e9);
+  EXPECT_GE(c.sharded_cost_sec, qpi_floor_sec * 0.999);
+  EXPECT_LT(c.replicated_cost_sec, qpi_floor_sec);
+}
+
+TEST(StorePlacementTest, RefreshDominatedPicksSharded) {
+  // A table rebuilt constantly against almost no gathers: replicating
+  // every refresh 8x costs 8x the write bandwidth for no payoff.
+  const StorePlacementChoice c = ChooseStorePlacement(
+      numa::Local8(), StoreTraffic(1 << 16, 1024, /*reads_per_refresh=*/0.0));
+  EXPECT_EQ(c.placement, serve::StorePlacement::kSharded);
+  EXPECT_LT(c.sharded_cost_sec, c.replicated_cost_sec);
+}
+
+TEST(StorePlacementTest, SingleSocketKeepsOneShard) {
+  numa::Topology topo = numa::Local2();
+  topo.num_nodes = 1;  // one socket: one shard is the whole table
+  const StorePlacementChoice c =
+      ChooseStorePlacement(topo, StoreTraffic(1024, 64, 65536.0));
+  EXPECT_EQ(c.placement, serve::StorePlacement::kSharded);
+  EXPECT_NE(c.rationale.find("single socket"), std::string::npos);
+}
+
+TEST(StorePlacementTest, OversizedTableCannotDoubleBuffer) {
+  // local2 has 32 GB per node; a ~24 GB table cannot hot-swap whole
+  // (old + new both live) under kReplicated, whatever the traffic says.
+  const StorePlacementChoice c = ChooseStorePlacement(
+      numa::Local2(),
+      StoreTraffic(3'000'000u, 1000u, /*reads_per_refresh=*/1e7));
+  EXPECT_EQ(c.placement, serve::StorePlacement::kSharded);
+  EXPECT_NE(c.rationale.find("double-buffer"), std::string::npos);
+}
+
+TEST(StorePlacementTest, GatherShareMovesTheDecision) {
+  // Sweeping gathers-per-refresh flips the choice exactly once: once the
+  // store is read-heavy enough to replicate, more gathers can only
+  // reinforce it (the QPI term grows linearly, the refresh term is
+  // fixed).
+  const numa::Topology topo = numa::Local8();
+  bool seen_replicated = false;
+  for (const double rpr : {0.0, 1.0, 64.0, 4096.0, 1e6}) {
+    const StorePlacementChoice c =
+        ChooseStorePlacement(topo, StoreTraffic(4096, 2048, rpr));
+    if (c.placement == serve::StorePlacement::kReplicated) {
+      seen_replicated = true;
+    } else {
+      EXPECT_FALSE(seen_replicated)
+          << "choice flipped back to Sharded at " << rpr;
+    }
+  }
+  EXPECT_TRUE(seen_replicated) << "no gather share ever justified replication";
 }
 
 }  // namespace

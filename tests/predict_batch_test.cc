@@ -212,6 +212,69 @@ TYPED_TEST(GlmPredictBatchTest, ExplicitDenseViewsFullAndShort) {
   ExpectBatchMatchesScalar(this->spec, RandomModel(dim, 32), dim, rs);
 }
 
+TYPED_TEST(GlmPredictBatchTest, RandomizedFuzzedBatchesMatchScalar) {
+  // Property test over fuzzed batches: any mix of row shapes the serving
+  // path can produce -- empty rows, explicit dense (full and short),
+  // identity-indexed, sorted sparse, unsorted, duplicate indices -- must
+  // match row-by-row Predict, at any dim/batch size across the kernel's
+  // blocking seams. Seeded: a failure reproduces from kSeed and the
+  // SCOPED_TRACE coordinates alone.
+  constexpr uint64_t kSeed = 0xba7c4ed5eedULL;
+  Rng rng(kSeed);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Index dim = 1 + static_cast<Index>(rng.Below(
+                              2 * GlmSpec::kPredictBlockCols + 500));
+    const size_t n = 1 + rng.Below(GlmSpec::kPredictRowChunk + 33);
+    RowSet rs;
+    for (size_t r = 0; r < n; ++r) {
+      std::vector<Index> idx;
+      std::vector<double> val;
+      switch (rng.Below(6)) {
+        case 0:  // empty row: scores Link(0)
+          break;
+        case 1:  // explicit dense, full width (the register-tiled path)
+          val.resize(dim);
+          break;
+        case 2:  // explicit dense, short prefix
+          val.resize(1 + rng.Below(dim));
+          break;
+        case 3: {  // identity-indexed prefix (densified by real admission,
+                   // but the kernel must also take it raw)
+          const size_t len = 1 + rng.Below(dim);
+          idx.resize(len);
+          for (size_t k = 0; k < len; ++k) idx[k] = static_cast<Index>(k);
+          val.resize(len);
+          break;
+        }
+        case 4: {  // sorted sparse, unique indices
+          const size_t want = 1 + rng.Below(64);
+          idx.resize(want);
+          for (auto& i : idx) i = static_cast<Index>(rng.Below(dim));
+          std::sort(idx.begin(), idx.end());
+          idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+          val.resize(idx.size());
+          break;
+        }
+        default: {  // unsorted and/or duplicate indices: the reference
+                    // fallback, interleaved with kernel-path rows
+          const size_t len = 1 + rng.Below(64);
+          idx.resize(len);
+          for (auto& i : idx) i = static_cast<Index>(rng.Below(dim));
+          val.resize(len);
+          break;
+        }
+      }
+      for (auto& v : val) v = rng.Gaussian(0.0, 1.0);
+      rs.indices.push_back(std::move(idx));
+      rs.values.push_back(std::move(val));
+    }
+    SCOPED_TRACE("iter " + std::to_string(iter) + " dim " +
+                 std::to_string(dim) + " n " + std::to_string(n));
+    ExpectBatchMatchesScalar(this->spec, RandomModel(dim, rng.Next()), dim,
+                             rs);
+  }
+}
+
 TEST(PredictBatchDefaultTest, NonGlmSpecUsesRowByRowReference) {
   // LpSpec does not override PredictBatch: the ModelSpec default must
   // delegate to the spec's own Predict row by row.

@@ -458,6 +458,54 @@ TEST(RequestBatcherTest, RejectsMismatchedRow) {
             Status::Code::kInvalidArgument);
 }
 
+TEST(RequestBatcherTest, CarriedAndIdFormsShareAdmissionCodes) {
+  // The unification satellite, batcher side: both request forms go
+  // through one Enqueue tail, so back-pressure and shutdown refusals
+  // must carry identical Status codes whichever form hits them.
+  RequestBatcher b;
+  const FamilyId f =
+      b.AddQueue(BatchOpts(1000, std::chrono::seconds(10), /*max_rows=*/1));
+  MustSubmit(b, f, 1.0);  // fills the one-row queue
+  EXPECT_EQ(b.Submit(f, {0}, {2.0}).status().code(),
+            Status::Code::kResourceExhausted);
+  EXPECT_EQ(b.SubmitId(f, 0).status().code(),
+            Status::Code::kResourceExhausted);
+  const auto qs = b.queue_stats(f);
+  EXPECT_EQ(qs.accepted, 1u);
+  EXPECT_EQ(qs.rejected_full, 2u);  // both refusals counted alike
+  b.Shutdown();
+  EXPECT_EQ(b.Submit(f, {0}, {3.0}).status().code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(b.SubmitId(f, 0).status().code(),
+            Status::Code::kFailedPrecondition);
+}
+
+TEST(RequestBatcherTest, IdRequestsBatchWithCarriedNeighbors) {
+  // Both forms interleave FIFO in one family queue; a flushed batch
+  // preserves order and the id form's row ids.
+  RequestBatcher b;
+  const FamilyId f = b.AddQueue(BatchOpts(4, std::chrono::seconds(10)));
+  MustSubmit(b, f, 1.0);
+  {
+    auto fut = b.SubmitId(f, 7);
+    ASSERT_TRUE(fut.ok()) << fut.status().ToString();
+  }
+  MustSubmit(b, f, 2.0);
+  {
+    auto fut = b.SubmitId(f, 9);
+    ASSERT_TRUE(fut.ok()) << fut.status().ToString();
+  }
+  Batch batch;
+  ASSERT_TRUE(b.NextBatch(&batch));
+  ASSERT_EQ(batch.rows(), 4u);
+  EXPECT_FALSE(batch.requests[0].by_id);
+  EXPECT_TRUE(batch.requests[1].by_id);
+  EXPECT_EQ(batch.requests[1].row_id, 7u);
+  EXPECT_FALSE(batch.requests[2].by_id);
+  EXPECT_TRUE(batch.requests[3].by_id);
+  EXPECT_EQ(batch.requests[3].row_id, 9u);
+}
+
 TEST(RequestBatcherTest, OversizedBurstSplitsIntoFullBatches) {
   RequestBatcher b;
   const FamilyId f = b.AddQueue(BatchOpts(4, std::chrono::seconds(10)));
@@ -844,6 +892,72 @@ TEST(ServingEngineTest, RejectsOutOfRangeFeatureIndex) {
   auto ok = server.ScoreSync("lr", {23}, {1.0});
   EXPECT_TRUE(ok.ok());
   server.Stop();
+}
+
+TEST(ServingEngineTest, BothRequestFormsReportSameAdmissionCodes) {
+  // The unification satellite, engine side: for every admission failure
+  // the id-keyed form (Score(family, row_id)) must report the SAME
+  // Status code as the analogous carried-feature failure.
+  models::LeastSquaresSpec ls;
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  opts.num_threads = 1;
+  ServingFamilyOptions fam = ServePinned(8, Replication::kPerNode);
+  RequestBatcher::Options q;
+  q.max_batch_size = 4;
+  q.max_delay = std::chrono::microseconds(50);
+  q.max_queue_rows = 1;
+  fam.batch = q;
+  ServingEngine server(opts);
+  ASSERT_TRUE(server.RegisterFamily("ls", &ls, fam).ok());
+  ASSERT_TRUE(server.RegisterStore("ls", 16, 8).ok());
+
+  // Unknown family: NotFound either way.
+  EXPECT_EQ(server.Score("nope", {0}, {1.0}).status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(server.Score("nope", 0).status().code(),
+            Status::Code::kNotFound);
+  // Unpublished model: FailedPrecondition either way.
+  EXPECT_EQ(server.Score("ls", {0}, {1.0}).status().code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(server.Score("ls", 0).status().code(),
+            Status::Code::kFailedPrecondition);
+  server.Publish("ls", ConstantWeights(8, 0.5));
+  server.PublishStore("ls", std::vector<double>(16 * 8, 1.0));
+  // Out of range: a feature index past the model dim and a row id past
+  // the store bound are the same trust-boundary breach -- one code.
+  EXPECT_EQ(server.Score("ls", {8}, {1.0}).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server.Score("ls", 16).status().code(),
+            Status::Code::kInvalidArgument);
+  // Not started: FailedPrecondition either way.
+  EXPECT_EQ(server.Score("ls", {0}, {1.0}).status().code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(server.Score("ls", 0).status().code(),
+            Status::Code::kFailedPrecondition);
+
+  // Back-pressure under a live flood: every refusal of either form is
+  // kResourceExhausted (the one-row queue makes refusals certain).
+  ASSERT_TRUE(server.Start().ok());
+  uint64_t rejected = 0;
+  std::vector<std::future<double>> futures;
+  for (int i = 0; i < 400; ++i) {
+    auto fut = (i % 2 == 0) ? server.Score("ls", {0}, {1.0})
+                            : server.Score("ls", static_cast<Index>(i % 16));
+    if (fut.ok()) {
+      futures.push_back(std::move(fut).value());
+    } else {
+      EXPECT_EQ(fut.status().code(), Status::Code::kResourceExhausted)
+          << (i % 2 == 0 ? "carried" : "id-keyed") << " form";
+      ++rejected;
+    }
+  }
+  for (auto& f : futures) f.get();
+  server.Stop();
+  EXPECT_GT(rejected, 0u);
+  const ServingStats stats = server.Stats();
+  ASSERT_EQ(stats.families.size(), 1u);
+  EXPECT_EQ(stats.families[0].rejected, rejected);
 }
 
 TEST(ServingEngineTest, DenseRequestsScoreValidateAndDensify) {
