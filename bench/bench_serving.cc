@@ -1,4 +1,4 @@
-// Serving benchmarks, five experiments in one binary:
+// Serving benchmarks, six experiments in one binary:
 //
 //  1. Throughput vs thread count x replication strategy -- the serving
 //     analogue of Fig. 8, run with an explicit per-family replication
@@ -27,6 +27,17 @@
 //     interconnect), and carried-feature requests (the client ships
 //     every row). The memory-model numbers expose the locality gap the
 //     wall clock can't show on this single-domain host.
+//  6. Cost-aware admission + per-client fair queuing under overload: one
+//     unthrottled hog client floods a deliberately under-provisioned
+//     (one-worker) engine while several mice trickle paced synchronous
+//     requests, twice -- once with the per-family FIFO baseline
+//     (fair_queuing=false) and once with deficit-round-robin fair
+//     queuing. Admission runs against a queueing-delay budget costed by
+//     opt::AdmissionController (memory-model prior calibrated online by
+//     the workers' measured batch times). Gated on the mice's p99 AND
+//     served fraction being strictly better under fair queuing, and on
+//     the calibrated service-time estimate converging to within 2x of
+//     the measured EWMA.
 //
 // Measured rows/sec comes from the host wall clock; memory-model rows/sec
 // applies the calibrated topology model to the logically-counted serving
@@ -45,9 +56,12 @@
 // (search iterations, default 5), DW_BENCH_SLO_TRIAL_SEC (seconds per
 // trial, default 0.4), DW_BENCH_STALE_SEC (live-serving window, default
 // 1.0), DW_BENCH_STORE_ROWS / DW_BENCH_STORE_DIM (feature-store workload,
-// default 4096 x 2048), DW_BENCH_JSON (path: write the machine-readable
-// result artifact CI archives per commit; schema v3 adds the
-// feature_store section).
+// default 4096 x 2048), DW_BENCH_ADM_SEC / DW_BENCH_ADM_DIM /
+// DW_BENCH_ADM_BUDGET_MS (admission overload window, row width, and
+// queueing-delay budget; defaults 1.0 / 4096 / 4.0), DW_BENCH_JSON
+// (path: write the machine-readable result artifact CI archives per
+// commit; schema v4 adds the admission section and the per-family
+// admission-estimate/client fields).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -66,6 +80,7 @@
 #include "serve/snapshot_exporter.h"
 #include "util/json_writer.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace dw {
 namespace {
@@ -745,6 +760,190 @@ StoreRun RunStoreServing(const std::vector<double>& table, Index store_rows,
   return out;
 }
 
+// --- experiment 6: cost-aware admission + per-client fair queuing ---------
+
+struct AdmissionClientResult {
+  std::string name;
+  bool hog = false;
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  double p50_ms = 0.0;  ///< client-side sync latency (mice only)
+  double p99_ms = 0.0;
+};
+
+struct AdmissionRun {
+  std::string mode;  ///< "fifo" | "fair"
+  std::vector<AdmissionClientResult> clients;
+  double mice_p99_ms = 0.0;           ///< worst mouse p99
+  double mice_served_fraction = 0.0;  ///< accepted/submitted over all mice
+  double hog_served_fraction = 0.0;
+  uint64_t rejected_cost = 0;  ///< delay-budget refusals (family total)
+  serve::FamilyServingStats fam;
+};
+
+/// One overload run: `n_hogs` unthrottled hog threads flood a one-worker
+/// engine with id-keyed requests (payload = one integer, so the flood
+/// outruns the drain by construction) while `n_mice` mice each send one
+/// synchronous id-keyed request every `mice_interval_us`, measuring
+/// latency client-side. `fair` toggles DRR fair queuing against the
+/// FIFO baseline; everything else is identical, so the mice's p99 and
+/// served fraction isolate what fair queuing buys under a hog.
+AdmissionRun RunAdmissionOverload(const std::vector<double>& table,
+                                  Index store_rows, Index dim,
+                                  const models::ModelSpec& spec,
+                                  const std::vector<double>& weights,
+                                  const numa::Topology& topo, bool fair,
+                                  double duration_sec, double budget_ms,
+                                  int n_hogs, int n_mice,
+                                  int mice_interval_us) {
+  serve::ServingOptions opts;
+  opts.topology = topo;
+  opts.num_threads = 1;  // deliberately under-provisioned: overload
+  opts.batch.max_batch_size = 64;
+  opts.batch.max_delay = std::chrono::microseconds(200);
+  opts.batch.fair_queuing = fair;
+  // The hard cap stays generous; the DELAY BUDGET is the admission bound
+  // under test (the controller converts it into a backlog bound at its
+  // calibrated per-row estimate).
+  opts.batch.max_queue_rows = 1 << 13;
+  opts.batch.queue_delay_budget = std::chrono::microseconds(
+      static_cast<int64_t>(budget_ms * 1000.0));
+  serve::ServingEngine server(opts);
+  serve::ServingFamilyOptions fam =
+      PinnedFamily(dim, serve::Replication::kPerNode);
+  fam.client_weights.push_back({serve::ClientId("hog"), 1.0});
+  for (int m = 0; m < n_mice; ++m) {
+    fam.client_weights.push_back(
+        {serve::ClientId("mouse-" + std::to_string(m)), 1.0});
+  }
+  DW_CHECK(server.RegisterFamily("adm", &spec, fam).ok());
+  DW_CHECK(server.RegisterStore("adm", store_rows, dim).ok());
+  server.Publish("adm", weights);
+  server.PublishStore("adm", table);
+  DW_CHECK(server.Start().ok());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(duration_sec));
+
+  std::vector<std::atomic<uint64_t>> hog_submitted(n_hogs);
+  std::vector<std::atomic<uint64_t>> hog_rejected(n_hogs);
+  std::vector<std::thread> hogs;
+  hogs.reserve(n_hogs);
+  for (int h = 0; h < n_hogs; ++h) {
+    hogs.emplace_back([&, h] {
+      const serve::ClientId me("hog");
+      std::vector<std::future<double>> futures;
+      futures.reserve(4096);
+      Index row = static_cast<Index>(h);
+      uint64_t submitted = 0;
+      uint64_t rejected = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        auto fut = server.Score("adm", row++ % store_rows, me);
+        ++submitted;
+        if (fut.ok()) {
+          futures.push_back(std::move(fut).value());
+          if (futures.size() >= 4096) {
+            for (auto& f : futures) f.get();
+            futures.clear();
+          }
+        } else {
+          DW_CHECK(fut.status().code() == Status::Code::kResourceExhausted)
+              << fut.status().ToString();
+          ++rejected;
+          std::this_thread::yield();
+        }
+      }
+      for (auto& f : futures) f.get();
+      hog_submitted[h].store(submitted);
+      hog_rejected[h].store(rejected);
+    });
+  }
+
+  struct MouseResult {
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;
+    std::vector<double> latencies_ms;
+  };
+  std::vector<MouseResult> mouse_results(n_mice);
+  std::vector<std::thread> mice;
+  mice.reserve(n_mice);
+  for (int m = 0; m < n_mice; ++m) {
+    mice.emplace_back([&, m] {
+      const serve::ClientId me("mouse-" + std::to_string(m));
+      MouseResult& res = mouse_results[m];
+      Index row = static_cast<Index>(m * 37);
+      while (std::chrono::steady_clock::now() < deadline) {
+        WallTimer timer;
+        ++res.submitted;
+        auto s = server.ScoreSync("adm", row++ % store_rows, me);
+        if (s.ok()) {
+          res.latencies_ms.push_back(timer.Seconds() * 1e3);
+        } else {
+          DW_CHECK(s.status().code() == Status::Code::kResourceExhausted)
+              << s.status().ToString();
+          ++res.rejected;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(mice_interval_us));
+      }
+    });
+  }
+  for (auto& t : hogs) t.join();
+  for (auto& t : mice) t.join();
+  server.Stop();
+
+  const serve::ServingStats stats = server.Stats();
+  AdmissionRun out;
+  out.mode = fair ? "fair" : "fifo";
+  out.fam = stats.families[0];
+  AdmissionClientResult hog;
+  hog.name = "hog";
+  hog.hog = true;
+  for (int h = 0; h < n_hogs; ++h) {
+    hog.submitted += hog_submitted[h].load();
+    hog.rejected += hog_rejected[h].load();
+  }
+  hog.accepted = hog.submitted - hog.rejected;
+  out.hog_served_fraction =
+      hog.submitted > 0
+          ? static_cast<double>(hog.accepted) / hog.submitted
+          : 0.0;
+  out.clients.push_back(hog);
+  uint64_t mice_submitted = 0;
+  uint64_t mice_accepted = 0;
+  for (int m = 0; m < n_mice; ++m) {
+    const MouseResult& res = mouse_results[m];
+    AdmissionClientResult c;
+    c.name = "mouse-" + std::to_string(m);
+    c.submitted = res.submitted;
+    c.rejected = res.rejected;
+    c.accepted = res.submitted - res.rejected;
+    // A mouse starved of EVERY request has no latency sample;
+    // Percentile() would report 0 and invert the fair-vs-FIFO gate
+    // exactly when FIFO is at its worst, so total starvation counts as
+    // the whole window instead.
+    if (res.latencies_ms.empty()) {
+      c.p50_ms = c.p99_ms = duration_sec * 1e3;
+    } else {
+      c.p50_ms = Percentile(res.latencies_ms, 50.0);
+      c.p99_ms = Percentile(res.latencies_ms, 99.0);
+    }
+    out.mice_p99_ms = std::max(out.mice_p99_ms, c.p99_ms);
+    mice_submitted += c.submitted;
+    mice_accepted += c.accepted;
+    out.clients.push_back(std::move(c));
+  }
+  out.mice_served_fraction =
+      mice_submitted > 0
+          ? static_cast<double>(mice_accepted) / mice_submitted
+          : 0.0;
+  out.rejected_cost = out.fam.rejected_cost;
+  return out;
+}
+
 }  // namespace
 }  // namespace dw
 
@@ -948,13 +1147,88 @@ int main(int argc, char** argv) {
           ? "collocated >= sharded, as predicted"
           : "UNEXPECTED: sharded ahead");
 
+  // --- experiment 6: cost-aware admission + per-client fair queuing ------
+  const double adm_sec =
+      smoke ? 0.25 : bench::EnvDouble("DW_BENCH_ADM_SEC", 1.0);
+  const int adm_dim = smoke ? 1024 : bench::EnvInt("DW_BENCH_ADM_DIM", 4096);
+  const double adm_budget_ms = bench::EnvDouble("DW_BENCH_ADM_BUDGET_MS", 4.0);
+  const int adm_store_rows = 1024;
+  const int adm_hogs = 2;
+  const int adm_mice = 3;
+  const int adm_mice_interval_us = 300;
+  std::vector<double> adm_table(static_cast<size_t>(adm_store_rows) *
+                                adm_dim);
+  {
+    Rng rng(59);
+    for (auto& v : adm_table) v = rng.Gaussian(0.0, 1.0);
+  }
+  std::vector<double> adm_weights(adm_dim);
+  {
+    Rng rng(61);
+    for (auto& w : adm_weights) w = rng.Gaussian(0.0, 0.5);
+  }
+  std::vector<AdmissionRun> adm_runs;
+  for (const bool fair : {false, true}) {
+    adm_runs.push_back(RunAdmissionOverload(
+        adm_table, static_cast<Index>(adm_store_rows),
+        static_cast<Index>(adm_dim), lr, adm_weights, topo, fair, adm_sec,
+        adm_budget_ms, adm_hogs, adm_mice, adm_mice_interval_us));
+  }
+  const AdmissionRun& adm_fifo = adm_runs[0];
+  const AdmissionRun& adm_fair = adm_runs[1];
+  Table atable("Admission under overload (" + std::to_string(adm_hogs) +
+               " hogs vs " + std::to_string(adm_mice) + " mice, dim " +
+               std::to_string(adm_dim) + ", budget " +
+               Table::Num(adm_budget_ms, 1) + " ms, " +
+               Table::Num(adm_sec, 2) + " s, " + topo.name + ")");
+  atable.SetHeader({"mode", "client", "submitted", "served frac", "p50 ms",
+                    "p99 ms"});
+  for (const AdmissionRun& run : adm_runs) {
+    for (const AdmissionClientResult& c : run.clients) {
+      const double frac =
+          c.submitted > 0
+              ? static_cast<double>(c.accepted) / c.submitted
+              : 0.0;
+      atable.AddRow({run.mode, c.name, std::to_string(c.submitted),
+                     Table::Num(frac, 3),
+                     c.hog ? "-" : Table::Num(c.p50_ms, 3),
+                     c.hog ? "-" : Table::Num(c.p99_ms, 3)});
+    }
+  }
+  atable.Print();
+  // Estimate convergence from the FAIR run (both runs feed the same kind
+  // of controller; one suffices for the gate).
+  const serve::FamilyServingStats& adm_fam = adm_fair.fam;
+  const double est_over_measured =
+      adm_fam.measured_row_us_ewma > 0.0
+          ? adm_fam.est_row_us / adm_fam.measured_row_us_ewma
+          : 0.0;
+  const bool adm_converged =
+      est_over_measured >= 0.5 && est_over_measured <= 2.0;
+  const bool adm_fair_beats_fifo =
+      adm_fair.mice_p99_ms < adm_fifo.mice_p99_ms &&
+      adm_fair.mice_served_fraction > adm_fifo.mice_served_fraction;
+  std::printf(
+      "\nmice under overload: p99 %.3f ms (fair) vs %.3f ms (fifo), served "
+      "fraction %.3f (fair) vs %.3f (fifo) -- %s\n",
+      adm_fair.mice_p99_ms, adm_fifo.mice_p99_ms,
+      adm_fair.mice_served_fraction, adm_fifo.mice_served_fraction,
+      adm_fair_beats_fifo ? "fair queuing protects the mice"
+                          : "UNEXPECTED: fifo no worse");
+  std::printf(
+      "admission estimate: prior %.2f us/row, calibrated %.2f us/row, "
+      "measured EWMA %.2f us/row over %llu batches (est/measured %.2f, %s)\n",
+      adm_fam.prior_row_us, adm_fam.est_row_us, adm_fam.measured_row_us_ewma,
+      static_cast<unsigned long long>(adm_fam.cost_reports),
+      est_over_measured, adm_converged ? "converged" : "NOT converged");
+
   // --- machine-readable artifact -----------------------------------------
   const char* json_path = std::getenv("DW_BENCH_JSON");
   if (json_path != nullptr && json_path[0] != '\0') {
     JsonWriter j;
     j.BeginObject();
     j.Field("bench", "serving");
-    j.Field("schema_version", 3);
+    j.Field("schema_version", 4);
     j.Field("smoke", smoke);
     j.Field("unix_time", static_cast<int64_t>(std::time(nullptr)));
     j.Field("topology", topo.name);
@@ -1015,10 +1289,26 @@ int main(int argc, char** argv) {
       j.Field("max_ms", s.max_latency_ms);
       j.Field("accepted", s.accepted);
       j.Field("rejected", s.rejected);
+      j.Field("rejected_cost", s.rejected_cost);
       j.Field("queue_depth", s.queue_depth);
       j.Field("flush_size", s.flush_size);
       j.Field("flush_deadline", s.flush_deadline);
       j.Field("flush_drain", s.flush_drain);
+      j.Field("prior_row_us", s.prior_row_us);
+      j.Field("est_row_us", s.est_row_us);
+      j.Field("measured_row_us_ewma", s.measured_row_us_ewma);
+      j.Field("cost_reports", s.cost_reports);
+      j.Key("clients").BeginArray();
+      for (const serve::ClientServingStats& c : s.clients) {
+        j.BeginObject();
+        j.Field("client", c.client);
+        j.Field("weight", c.weight);
+        j.Field("accepted", c.accepted);
+        j.Field("rejected", c.rejected);
+        j.Field("served", c.served);
+        j.EndObject();
+      }
+      j.EndArray();
       j.Field("mean_staleness_ms", s.mean_staleness_ms);
       j.Field("max_staleness_ms", s.max_staleness_ms);
       j.Field("mean_versions_behind", s.mean_versions_behind);
@@ -1027,9 +1317,52 @@ int main(int argc, char** argv) {
       j.Field("exporter_publishes", f.exporter.publishes);
       j.Field("publish_mean_ms", f.exporter.mean_publish_ms);
       j.Field("publish_max_ms", f.exporter.max_publish_ms);
+      j.Field("exporter_effective_period_ms",
+              f.exporter.effective_period_ms);
+      j.Field("exporter_paced_periods", f.exporter.paced_periods);
       j.EndObject();
     }
     j.EndArray();
+    j.Key("admission").BeginObject();
+    j.Field("dim", adm_dim);
+    j.Field("store_rows", adm_store_rows);
+    j.Field("duration_sec", adm_sec);
+    j.Field("delay_budget_ms", adm_budget_ms);
+    j.Field("hogs", adm_hogs);
+    j.Field("mice", adm_mice);
+    j.Field("mice_interval_us", adm_mice_interval_us);
+    j.Key("runs").BeginArray();
+    for (const AdmissionRun& run : adm_runs) {
+      j.BeginObject();
+      j.Field("mode", run.mode);
+      j.Field("mice_p99_ms", run.mice_p99_ms);
+      j.Field("mice_served_fraction", run.mice_served_fraction);
+      j.Field("hog_served_fraction", run.hog_served_fraction);
+      j.Field("rejected_cost", run.rejected_cost);
+      j.Key("clients").BeginArray();
+      for (const AdmissionClientResult& c : run.clients) {
+        j.BeginObject();
+        j.Field("client", c.name);
+        j.Field("hog", c.hog);
+        j.Field("submitted", c.submitted);
+        j.Field("accepted", c.accepted);
+        j.Field("rejected", c.rejected);
+        j.Field("p50_ms", c.p50_ms);
+        j.Field("p99_ms", c.p99_ms);
+        j.EndObject();
+      }
+      j.EndArray();
+      j.EndObject();
+    }
+    j.EndArray();
+    j.Field("prior_row_us", adm_fam.prior_row_us);
+    j.Field("est_row_us", adm_fam.est_row_us);
+    j.Field("measured_row_us_ewma", adm_fam.measured_row_us_ewma);
+    j.Field("cost_reports", adm_fam.cost_reports);
+    j.Field("est_over_measured", est_over_measured);
+    j.Field("estimate_converged", adm_converged);
+    j.Field("fair_beats_fifo", adm_fair_beats_fifo);
+    j.EndObject();
     j.Key("feature_store").BeginObject();
     j.Field("store_rows", store_rows);
     j.Field("dim", store_dim);
@@ -1063,19 +1396,30 @@ int main(int argc, char** argv) {
   // Fig. 9 analogue: collocated (replicated) feature fetch must model at
   // least as fast as the sharded store once gathers span sockets.
   const bool store_ok = collocated_sim >= sharded_sim;
+  // Experiment 6 gates: fair queuing must keep the mice strictly better
+  // than FIFO on BOTH p99 and served fraction under the hog overload,
+  // and the calibrated service-time estimate must converge to within 2x
+  // of the workers' measured EWMA.
+  const bool admission_ok = adm_fair_beats_fifo && adm_converged;
   if (smoke) {
     // Smoke mode exists to validate the artifact schema per commit, not
     // to gate perf on a noisy shared runner.
     std::printf(
         "smoke run complete (gates: replication %s, speedup %s, "
-        "collocated fetch %s)\n",
+        "collocated fetch %s, admission %s)\n",
         replication_ok ? "ok" : "MISSED", speedup_ok ? "ok" : "MISSED",
-        store_ok ? "ok" : "MISSED");
+        store_ok ? "ok" : "MISSED", admission_ok ? "ok" : "MISSED");
     return 0;
   }
   if (!speedup_ok) {
     std::printf("FAIL: batched kernel speedup %.2fx under the %.2fx gate\n",
                 kc.speedup, min_speedup);
   }
-  return replication_ok && speedup_ok && store_ok ? 0 : 1;
+  if (!admission_ok) {
+    std::printf(
+        "FAIL: admission gate (fair beats fifo: %s, estimate converged: "
+        "%s)\n",
+        adm_fair_beats_fifo ? "yes" : "no", adm_converged ? "yes" : "no");
+  }
+  return replication_ok && speedup_ok && store_ok && admission_ok ? 0 : 1;
 }

@@ -75,6 +75,13 @@ int main() {
   wide_family.traffic.dim = wide_dim;
   wide_family.traffic.expected_batch_rows = 32.0;
   wide_family.traffic.reads_per_publish = 2048.0;  // read-heavy
+  // Two tenants share the wide family 3:1. Admission and batch formation
+  // are per client (deficit-round-robin fair queuing), so a bursty
+  // tenant exhausts only its own share of the family's queue -- and the
+  // queue bound itself is a queueing-DELAY budget costed by
+  // opt::AdmissionController, not a blind row count.
+  wide_family.client_weights = {{serve::ClientId("ranker"), 3.0},
+                                {serve::ClientId("explorer"), 1.0}};
   serve::ServingFamilyOptions narrow_family;
   narrow_family.traffic.dim = narrow_dim;
   narrow_family.traffic.expected_batch_rows = 32.0;
@@ -163,7 +170,10 @@ int main() {
   //    node's copy of the store, and the score is identical to shipping
   //    the row by hand (shown by scoring both ways).
   for (Index i = 0; i < 3; ++i) {
-    const auto by_id = server.ScoreSync("ctr-wide-lr", i);
+    //    The trailing ClientId attributes the request for fair queuing;
+    //    the client-less overload lands on serve::kDefaultClient.
+    const auto by_id =
+        server.ScoreSync("ctr-wide-lr", i, serve::ClientId("ranker"));
     if (!by_id.ok()) {
       std::fprintf(stderr, "Score failed: %s\n",
                    by_id.status().ToString().c_str());
@@ -220,6 +230,18 @@ int main() {
         static_cast<unsigned long long>(f.remote_store_rows),
         f.p50_latency_ms, f.p99_latency_ms, f.mean_staleness_ms,
         f.max_staleness_ms, static_cast<unsigned long long>(f.rejected));
+    for (const serve::ClientServingStats& c : f.clients) {
+      std::printf("                  client %-9s (weight %.1f): %llu "
+                  "accepted, %llu served, %llu rejected\n",
+                  c.client.c_str(), c.weight,
+                  static_cast<unsigned long long>(c.accepted),
+                  static_cast<unsigned long long>(c.served),
+                  static_cast<unsigned long long>(c.rejected));
+    }
+    std::printf("                  service estimate %.2f us/row (prior "
+                "%.2f, measured EWMA %.2f over %llu batches)\n",
+                f.est_row_us, f.prior_row_us, f.measured_row_us_ewma,
+                static_cast<unsigned long long>(f.cost_reports));
   }
   return 0;
 }

@@ -130,6 +130,65 @@ FAMILY = {
     "publish_max_ms": NUM,
 }
 
+# Schema v4: cost-aware admission. Families additionally carry the
+# controller's estimates, the cost-rejection split, per-client counters,
+# and the exporter's latency-derived pacing.
+FAMILY_V4_EXTRA = {
+    "rejected_cost": NUM,
+    "prior_row_us": NUM,
+    "est_row_us": NUM,
+    "measured_row_us_ewma": NUM,
+    "cost_reports": NUM,
+    "clients": list,
+    "exporter_effective_period_ms": NUM,
+    "exporter_paced_periods": NUM,
+}
+
+FAMILY_CLIENT = {
+    "client": str,
+    "weight": NUM,
+    "accepted": NUM,
+    "rejected": NUM,
+    "served": NUM,
+}
+
+ADMISSION = {
+    "dim": NUM,
+    "store_rows": NUM,
+    "duration_sec": NUM,
+    "delay_budget_ms": NUM,
+    "hogs": NUM,
+    "mice": NUM,
+    "mice_interval_us": NUM,
+    "runs": list,
+    "prior_row_us": NUM,
+    "est_row_us": NUM,
+    "measured_row_us_ewma": NUM,
+    "cost_reports": NUM,
+    "est_over_measured": NUM,
+    "estimate_converged": bool,
+    "fair_beats_fifo": bool,
+}
+
+ADMISSION_RUN = {
+    "mode": str,
+    "mice_p99_ms": NUM,
+    "mice_served_fraction": NUM,
+    "hog_served_fraction": NUM,
+    "rejected_cost": NUM,
+    "clients": list,
+}
+
+ADMISSION_CLIENT = {
+    "client": str,
+    "hog": bool,
+    "submitted": NUM,
+    "accepted": NUM,
+    "rejected": NUM,
+    "p50_ms": NUM,
+    "p99_ms": NUM,
+}
+
 
 def check_all(obj, spec, where):
     for key, typ in spec.items():
@@ -167,8 +226,15 @@ def main():
     if len(doc["families"]) < 2:
         fail(f"families has {len(doc['families'])} entries, want >= 2 "
              "(multi-family serving is the point)")
+    family_spec = dict(FAMILY)
+    if doc["schema_version"] >= 4:
+        family_spec.update(FAMILY_V4_EXTRA)
     for i, fam in enumerate(doc["families"]):
-        check_all(fam, FAMILY, f"families[{i}]")
+        check_all(fam, family_spec, f"families[{i}]")
+        if doc["schema_version"] >= 4:
+            for k, client in enumerate(fam["clients"]):
+                check_all(client, FAMILY_CLIENT,
+                          f"families[{i}].clients[{k}]")
     reps = {f["replication"] for f in doc["families"]}
     if not reps <= {"PerNode", "PerMachine"}:
         fail(f"unknown replication strings: {reps}")
@@ -194,10 +260,32 @@ def main():
             fail(f"unknown store placement strings: {placements}")
         store_runs = len(fs["runs"])
 
+    # Schema v4: the admission overload experiment (cost-aware admission
+    # + per-client fair queuing vs the FIFO baseline).
+    admission_runs = 0
+    if doc["schema_version"] >= 4:
+        adm = require(doc, "admission", dict, "top level")
+        check_all(adm, ADMISSION, "admission")
+        if not adm["runs"]:
+            fail("admission.runs is empty")
+        for i, run in enumerate(adm["runs"]):
+            check_all(run, ADMISSION_RUN, f"admission.runs[{i}]")
+            if not run["clients"]:
+                fail(f"admission.runs[{i}].clients is empty")
+            for k, client in enumerate(run["clients"]):
+                check_all(client, ADMISSION_CLIENT,
+                          f"admission.runs[{i}].clients[{k}]")
+        modes = {r["mode"] for r in adm["runs"]}
+        if not {"fifo", "fair"} <= modes:
+            fail(f"admission.runs missing modes: {({'fifo', 'fair'}) - modes} "
+                 "(the fair-vs-FIFO comparison is the point)")
+        admission_runs = len(adm["runs"])
+
     print(f"schema OK: {sys.argv[1]} "
           f"({len(doc['replication_runs'])} replication runs, "
           f"{len(doc['families'])} families, "
-          f"{store_runs} feature-store runs)")
+          f"{store_runs} feature-store runs, "
+          f"{admission_runs} admission runs)")
 
 
 if __name__ == "__main__":

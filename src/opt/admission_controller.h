@@ -1,0 +1,147 @@
+// Cost-aware admission estimates for the serving request path (the
+// admission-side sibling of serving_replication.h / store_placement.h).
+//
+// The paper's discipline is that a memory-model cost analysis, not a
+// fixed heuristic, should decide how work maps onto the machine. The
+// serving queue bound used to be exactly such a heuristic: RequestBatcher
+// rejected past a hard-coded max_queue_rows, blind to what a queued row
+// actually costs to serve -- 64 queued rows of a 16k-dim dense family are
+// milliseconds of work, 64 rows of an 8-dim family are noise. The
+// AdmissionController replaces the row count with TIME: it estimates a
+// family's per-row batch service cost and admission rejects when the
+// estimated time-to-drain of the backlog ahead of a request exceeds the
+// family's queueing-delay budget.
+//
+// The estimate has two layers:
+//
+//   prior    -- numa::MemoryModel applied to one expected mini-batch
+//               (rows x dim feature payload, one model stream per batch,
+//               remote-read share when the replica is shared across
+//               sockets). Available from registration time, before any
+//               traffic, so a cold family is never admitted blind.
+//   measured -- an EWMA of per-batch scoring wall times reported by the
+//               serving workers (ReportBatch). This is the DINAMITE-style
+//               feedback loop: measured service behavior corrects the
+//               registration-time estimate online, so the admission
+//               decision tracks what batches actually cost on THIS host,
+//               not what the calibrated topology model predicted.
+//
+// EstimatedRowSeconds() is the prior scaled by the measured/prior ratio
+// (clamped, so one garbage measurement cannot blow up admission); until
+// the first report it is the prior itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "matrix/sparse_vector.h"
+#include "numa/memory_model.h"
+#include "numa/topology.h"
+
+namespace dw::opt {
+
+/// Controller-wide knobs.
+struct AdmissionControllerOptions {
+  /// Workers concurrently draining the queues (the serving pool size).
+  /// Time-to-drain divides by this: N workers retire a backlog N times
+  /// faster than one.
+  int drain_workers = 1;
+  /// Weight of the newest measured batch in the EWMA. High enough to
+  /// track a drifting host, low enough that one descheduled batch does
+  /// not swing admission.
+  double ewma_alpha = 0.2;
+  /// Clamp on the measured/prior calibration ratio: a single absurd
+  /// measurement (clock glitch, page-fault storm) may pull the estimate
+  /// at most this far from the memory-model prior in either direction.
+  double max_calibration = 64.0;
+  /// Memory-model constants for the prior.
+  numa::MemoryModelParams model_params{};
+};
+
+/// Per-family cost profile, fixed at registration (mirrors the fields of
+/// opt::ServingTrafficEstimate the batch cost actually depends on).
+struct AdmissionFamilyProfile {
+  /// Model/feature width in doubles (required, > 0).
+  matrix::Index dim = 0;
+  /// Expected rows per flushed mini-batch.
+  double expected_batch_rows = 64.0;
+  /// Fraction of the model one batched scoring pass streams.
+  double model_touch_fraction = 1.0;
+  /// Sockets sharing one model replica (1 under kPerNode; num_nodes
+  /// under kPerMachine, where most workers' model reads cross the
+  /// interconnect).
+  int model_sharing_sockets = 1;
+};
+
+/// Snapshot of one family's current estimate (all per-row seconds).
+struct AdmissionEstimate {
+  double prior_row_sec = 0.0;     ///< uncalibrated memory-model prior
+  double est_row_sec = 0.0;       ///< prior x clamped measured/prior ratio
+  double measured_row_sec_ewma = 0.0;  ///< 0 until the first report
+  uint64_t reported_batches = 0;  ///< worker reports folded into the EWMA
+};
+
+/// Estimates batch service times per family and converts queue backlogs
+/// into expected queueing delay. Thread-safe: registration is rare,
+/// EstimatedRowSeconds runs under the batcher's admission lock, and
+/// ReportBatch is one short critical section per scored batch.
+class AdmissionController {
+ public:
+  explicit AdmissionController(numa::Topology topo,
+                               AdmissionControllerOptions opts = {});
+
+  /// Registers a family; returns its id (dense, from 0 -- the caller
+  /// keeps it aligned with the batcher's FamilyId). Checks dim > 0.
+  int AddFamily(const AdmissionFamilyProfile& profile);
+
+  /// Folds one measured batch (rows scored in `measured_sec` wall
+  /// seconds by one worker) into the family's EWMA. Reports with no rows
+  /// or a non-positive duration are dropped (clock granularity).
+  void ReportBatch(int family, size_t rows, double measured_sec);
+
+  /// Current calibrated per-row service estimate (always > 0).
+  double EstimatedRowSeconds(int family) const;
+
+  /// Expected seconds until `queued_rows` backlog rows are all scored,
+  /// with the drain parallelism of the worker pool.
+  double EstimatedDrainSeconds(int family, size_t queued_rows) const;
+
+  /// The family's queueing-delay budget in seconds. An explicit budget
+  /// (> 0) wins; otherwise the legacy row bound is CONVERTED into time
+  /// at the current estimate -- max_queue_rows rows of backlog at
+  /// EstimatedRowSeconds() across the drain workers -- so by default the
+  /// delay test degenerates to exactly the old row-count bound.
+  double BudgetSeconds(int family, size_t max_queue_rows,
+                       double explicit_budget_sec) const;
+
+  AdmissionEstimate Estimate(int family) const;
+
+  int num_families() const;
+  const AdmissionControllerOptions& options() const { return opts_; }
+  const numa::Topology& topology() const { return model_.topology(); }
+
+ private:
+  struct FamilyState {
+    AdmissionFamilyProfile profile;
+    double prior_row_sec = 0.0;
+    double ewma_row_sec = 0.0;  ///< guarded by mu_
+    uint64_t reports = 0;       ///< guarded by mu_
+  };
+
+  /// Memory-model service time of one expected batch, per row.
+  double PriorRowSeconds(const AdmissionFamilyProfile& profile) const;
+  const FamilyState& StateFor(int family) const;
+
+  const AdmissionControllerOptions opts_;
+  const numa::MemoryModel model_;
+  /// One lock for registration and the EWMA state: every critical
+  /// section is a handful of arithmetic ops, far too short to contend at
+  /// batch (not row) frequency.
+  mutable std::mutex mu_;
+  /// deque: stable references across AddFamily.
+  std::deque<FamilyState> families_;
+};
+
+}  // namespace dw::opt

@@ -19,17 +19,72 @@ const char* ToString(FlushReason r) {
   return "?";
 }
 
+Status ValidateClientId(const ClientId& client) {
+  if (client.empty()) {
+    return Status::InvalidArgument("client id must not be empty");
+  }
+  if (client.size() > kMaxClientIdBytes) {
+    return Status::InvalidArgument("client id longer than " +
+                                   std::to_string(kMaxClientIdBytes) +
+                                   " bytes");
+  }
+  return Status::OK();
+}
+
+void RequestBatcher::AttachController(
+    const opt::AdmissionController* controller) {
+  std::lock_guard<std::mutex> lk(mu_);
+  controller_ = controller;
+}
+
 FamilyId RequestBatcher::AddQueue(const Options& opts) {
   DW_CHECK_GT(opts.max_batch_size, 0u);
   DW_CHECK_GT(opts.max_queue_rows, 0u);
+  DW_CHECK_GT(opts.drr_quantum_rows, 0u);
+  DW_CHECK_GT(opts.max_clients, 0u);
   std::lock_guard<std::mutex> lk(mu_);
-  queues_.push_back(FamilyQueue{opts, {}, 0, 0, 0, 0, 0});
+  FamilyQueue q;
+  q.opts = opts;
+  queues_.push_back(std::move(q));
   return static_cast<FamilyId>(queues_.size() - 1);
+}
+
+RequestBatcher::ClientQueue& RequestBatcher::GetOrAddClient(
+    FamilyQueue& q, const ClientId& client) {
+  const auto it = q.client_index.find(client.str());
+  if (it != q.client_index.end()) return q.clients[it->second];
+  ClientQueue cq;
+  cq.id = client;
+  q.client_index[client.str()] = q.clients.size();
+  q.clients.push_back(std::move(cq));
+  q.total_weight += q.clients.back().weight;
+  return q.clients.back();
+}
+
+void RequestBatcher::SetClientWeight(FamilyId family, const ClientId& client,
+                                     double weight) {
+  // Operator configuration, not request-path input: a bad id or weight
+  // here is a programming error, so it dies instead of returning Status.
+  const Status v = ValidateClientId(client);
+  DW_CHECK(v.ok()) << v.ToString();
+  DW_CHECK_GT(weight, 0.0) << "client weight must be positive: "
+                           << client.str();
+  std::lock_guard<std::mutex> lk(mu_);
+  DW_CHECK_GE(family, 0);
+  DW_CHECK_LT(family, static_cast<FamilyId>(queues_.size()));
+  FamilyQueue& q = queues_[family];
+  DW_CHECK(q.client_index.count(client.str()) > 0 ||
+           q.clients.size() < q.opts.max_clients)
+      << "client roster full for family (max_clients="
+      << q.opts.max_clients << "): " << client.str();
+  ClientQueue& cq = GetOrAddClient(q, client);
+  q.total_weight += weight - cq.weight;
+  cq.weight = weight;
 }
 
 StatusOr<std::future<double>> RequestBatcher::Submit(
     FamilyId family, std::vector<matrix::Index> indices,
-    std::vector<double> values) {
+    std::vector<double> values, ClientId client) {
   // Empty indices with nonempty values is the explicit dense form.
   if (indices.size() != values.size() && !indices.empty()) {
     return Status::InvalidArgument("indices/values length mismatch");
@@ -37,19 +92,39 @@ StatusOr<std::future<double>> RequestBatcher::Submit(
   ScoreRequest req;
   req.indices = std::move(indices);
   req.values = std::move(values);
-  return Enqueue(family, std::move(req));
+  return Enqueue(family, std::move(client), std::move(req));
+}
+
+StatusOr<std::future<double>> RequestBatcher::Submit(
+    FamilyId family, std::vector<matrix::Index> indices,
+    std::vector<double> values) {
+  return Submit(family, std::move(indices), std::move(values),
+                kDefaultClient);
+}
+
+StatusOr<std::future<double>> RequestBatcher::SubmitId(FamilyId family,
+                                                       matrix::Index row_id,
+                                                       ClientId client) {
+  ScoreRequest req;
+  req.by_id = true;
+  req.row_id = row_id;
+  return Enqueue(family, std::move(client), std::move(req));
 }
 
 StatusOr<std::future<double>> RequestBatcher::SubmitId(FamilyId family,
                                                        matrix::Index row_id) {
-  ScoreRequest req;
-  req.by_id = true;
-  req.row_id = row_id;
-  return Enqueue(family, std::move(req));
+  return SubmitId(family, row_id, kDefaultClient);
 }
 
 StatusOr<std::future<double>> RequestBatcher::Enqueue(FamilyId family,
+                                                      ClientId client,
                                                       ScoreRequest req) {
+  // The id crosses a trust boundary (it becomes a stats key and a queue
+  // map key), so it is bounds-checked like a feature index, with a
+  // Status the caller can surface.
+  const Status v = ValidateClientId(client);
+  if (!v.ok()) return v;
+  req.client = std::move(client);
   req.enqueued_at = std::chrono::steady_clock::now();
   std::future<double> fut = req.result.get_future();
 
@@ -61,12 +136,70 @@ StatusOr<std::future<double>> RequestBatcher::Enqueue(FamilyId family,
       return Status::FailedPrecondition("batcher is shut down");
     }
     FamilyQueue& q = queues_[family];
-    if (q.queue.size() >= q.opts.max_queue_rows) {
+    // The client roster is bounded BEFORE anything is allocated: each
+    // distinct id holds a permanent subqueue and dilutes every tenant's
+    // share, so a caller misusing per-request ids as client ids must be
+    // refused, not accumulated.
+    if (q.client_index.count(req.client.str()) == 0 &&
+        q.clients.size() >= q.opts.max_clients) {
       ++q.rejected_full;
+      return Status::ResourceExhausted("client roster full for family");
+    }
+    ClientQueue& cq = GetOrAddClient(q, req.client);
+    // A client's admission share: its weight over the weights of ALL
+    // KNOWN clients (pre-registered through SetClientWeight or seen at
+    // least once). Known-but-idle clients keep their reservation on
+    // purpose: if a flooding client could absorb an idle neighbor's
+    // share, the neighbor's next request would find the family-wide cap
+    // already exhausted and fair queuing would protect nobody. The cost
+    // is that a one-shot client dilutes shares until the operator resets
+    // -- acceptable for a bounded roster of long-lived tenants.
+    const bool split_shares = q.opts.fair_queuing && q.clients.size() > 1;
+    const double share =
+        split_shares ? cq.weight / q.total_weight : 1.0;
+    // Hard row cap: the family-wide memory bound, and under fair queuing
+    // the client's weighted slice of it (at least one row, so a light
+    // client is never locked out entirely by rounding).
+    if (q.rows >= q.opts.max_queue_rows) {
+      ++q.rejected_full;
+      ++cq.rejected;
       return Status::ResourceExhausted("serving queue full");
     }
+    if (split_shares) {
+      const size_t client_cap = std::max<size_t>(
+          1, static_cast<size_t>(
+                 static_cast<double>(q.opts.max_queue_rows) * share));
+      if (cq.queue.size() >= client_cap) {
+        ++q.rejected_full;
+        ++cq.rejected;
+        return Status::ResourceExhausted("client queue share full");
+      }
+    }
+    // Cost-aware admission: reject when the backlog AHEAD of this
+    // request would take longer to drain than the family's delay budget.
+    // Under fair queuing the client sees only its own backlog, but also
+    // only its weighted share of the drain bandwidth. An empty queue is
+    // always admissible: zero wait can never exceed a budget.
+    if (controller_ != nullptr) {
+      const double budget_sec = controller_->BudgetSeconds(
+          family, q.opts.max_queue_rows,
+          std::chrono::duration<double>(q.opts.queue_delay_budget).count());
+      const double wait_sec =
+          split_shares
+              ? controller_->EstimatedDrainSeconds(family, cq.queue.size()) /
+                    share
+              : controller_->EstimatedDrainSeconds(family, q.rows);
+      if (wait_sec > budget_sec) {
+        ++q.rejected_cost;
+        ++cq.rejected;
+        return Status::ResourceExhausted(
+            "estimated queueing delay over budget");
+      }
+    }
     ++q.accepted;
-    q.queue.push_back(std::move(req));
+    ++cq.accepted;
+    cq.queue.push_back(std::move(req));
+    ++q.rows;
   }
   // One waiter is enough: either a batch is full and it takes it, or it
   // re-arms its deadline timer on the (possibly first) queued request.
@@ -74,17 +207,76 @@ StatusOr<std::future<double>> RequestBatcher::Enqueue(FamilyId family,
   return fut;
 }
 
+bool RequestBatcher::OldestFront(
+    const FamilyQueue& q, std::chrono::steady_clock::time_point* when) const {
+  bool any = false;
+  for (const ClientQueue& cq : q.clients) {
+    if (cq.queue.empty()) continue;
+    if (!any || cq.queue.front().enqueued_at < *when) {
+      any = true;
+      *when = cq.queue.front().enqueued_at;
+    }
+  }
+  return any;
+}
+
 void RequestBatcher::TakeBatch(FamilyId f, FlushReason reason, Batch* out) {
   FamilyQueue& q = queues_[f];
-  const size_t take = std::min(q.queue.size(), q.opts.max_batch_size);
+  const size_t take = std::min(q.rows, q.opts.max_batch_size);
   out->family = f;
   out->reason = reason;
   out->requests.clear();
   out->requests.reserve(take);
-  for (size_t k = 0; k < take; ++k) {
-    out->requests.push_back(std::move(q.queue.front()));
-    q.queue.pop_front();
+  size_t taken = 0;
+  if (reason == FlushReason::kSize && q.opts.fair_queuing &&
+      q.clients.size() > 1) {
+    // Size flushes are the throughput path: deficit round robin across
+    // clients, so a flooding client fills only its weighted share of
+    // each batch. Every visit credits the client quantum * weight rows
+    // (at least one, so tiny weights still make progress); rows it
+    // cannot spend carry over as deficit until its subqueue empties.
+    while (taken < take) {
+      ClientQueue& cq = q.clients[q.drr_cursor % q.clients.size()];
+      ++q.drr_cursor;
+      if (cq.queue.empty()) {
+        cq.deficit = 0;
+        continue;
+      }
+      cq.deficit += std::max<size_t>(
+          1, static_cast<size_t>(
+                 static_cast<double>(q.opts.drr_quantum_rows) * cq.weight));
+      size_t n = std::min({cq.deficit, cq.queue.size(), take - taken});
+      cq.deficit -= n;
+      cq.served += n;
+      taken += n;
+      while (n-- > 0) {
+        out->requests.push_back(std::move(cq.queue.front()));
+        cq.queue.pop_front();
+      }
+      if (cq.queue.empty()) cq.deficit = 0;
+    }
+  } else {
+    // Deadline and drain flushes are the latency path: rows leave
+    // oldest-first across clients, so the aged request that triggered
+    // the flush is in the batch, not stranded behind a rotation cursor.
+    // (FIFO mode takes this arrival-ordered merge for every reason.)
+    while (taken < take) {
+      ClientQueue* oldest = nullptr;
+      for (ClientQueue& cq : q.clients) {
+        if (cq.queue.empty()) continue;
+        if (oldest == nullptr || cq.queue.front().enqueued_at <
+                                     oldest->queue.front().enqueued_at) {
+          oldest = &cq;
+        }
+      }
+      DW_CHECK(oldest != nullptr);
+      out->requests.push_back(std::move(oldest->queue.front()));
+      oldest->queue.pop_front();
+      ++oldest->served;
+      ++taken;
+    }
   }
+  q.rows -= take;
   switch (reason) {
     case FlushReason::kSize:
       ++q.flush_size;
@@ -103,19 +295,20 @@ bool RequestBatcher::NextBatch(Batch* out) {
   for (;;) {
     const size_t nq = queues_.size();
     // Expired deadlines outrank everything, INCLUDING size-ready
-    // neighbors: a family whose oldest request has aged past max_delay
-    // already blew its latency promise, while a full batch merely became
-    // eligible -- under sustained load on one hot family the size branch
-    // is always ready, and checking it first would starve everyone
-    // else's deadlines without bound.
+    // neighbors and the round-robin cursor: a family whose oldest
+    // request has aged past max_delay already blew its latency promise,
+    // while a full batch merely became eligible -- under sustained load
+    // on one hot family the size branch is always ready, and checking it
+    // first would starve everyone else's deadlines without bound. The
+    // scan covers EVERY family and picks the earliest deadline, so
+    // multiple expired families drain in expiry order, not cursor order.
     bool any_waiting = false;
     auto earliest = std::chrono::steady_clock::time_point::max();
     size_t earliest_f = 0;
-    for (size_t k = 0; k < nq; ++k) {
-      const size_t f = (next_queue_ + k) % nq;
-      const FamilyQueue& q = queues_[f];
-      if (q.queue.empty()) continue;
-      const auto deadline = q.queue.front().enqueued_at + q.opts.max_delay;
+    for (size_t f = 0; f < nq; ++f) {
+      std::chrono::steady_clock::time_point front;
+      if (!OldestFront(queues_[f], &front)) continue;
+      const auto deadline = front + queues_[f].opts.max_delay;
       if (!any_waiting || deadline < earliest) {
         any_waiting = true;
         earliest = deadline;
@@ -136,7 +329,7 @@ bool RequestBatcher::NextBatch(Batch* out) {
     // cannot monopolize the workers.
     for (size_t k = 0; k < nq; ++k) {
       const size_t f = (next_queue_ + k) % nq;
-      if (queues_[f].queue.size() >= queues_[f].opts.max_batch_size) {
+      if (queues_[f].rows >= queues_[f].opts.max_batch_size) {
         next_queue_ = (f + 1) % nq;
         TakeBatch(static_cast<FamilyId>(f), FlushReason::kSize, out);
         lk.unlock();
@@ -147,7 +340,7 @@ bool RequestBatcher::NextBatch(Batch* out) {
     if (shutdown_) {
       for (size_t k = 0; k < nq; ++k) {
         const size_t f = (next_queue_ + k) % nq;
-        if (!queues_[f].queue.empty()) {
+        if (queues_[f].rows > 0) {
           next_queue_ = (f + 1) % nq;
           TakeBatch(static_cast<FamilyId>(f), FlushReason::kDrain, out);
           lk.unlock();
@@ -176,7 +369,7 @@ void RequestBatcher::Shutdown() {
 size_t RequestBatcher::pending() const {
   std::lock_guard<std::mutex> lk(mu_);
   size_t total = 0;
-  for (const FamilyQueue& q : queues_) total += q.queue.size();
+  for (const FamilyQueue& q : queues_) total += q.rows;
   return total;
 }
 
@@ -188,10 +381,22 @@ RequestBatcher::QueueStats RequestBatcher::queue_stats(FamilyId family) const {
   QueueStats s;
   s.accepted = q.accepted;
   s.rejected_full = q.rejected_full;
+  s.rejected_cost = q.rejected_cost;
   s.flush_size = q.flush_size;
   s.flush_deadline = q.flush_deadline;
   s.flush_drain = q.flush_drain;
-  s.depth = q.queue.size();
+  s.depth = q.rows;
+  s.clients.reserve(q.clients.size());
+  for (const ClientQueue& cq : q.clients) {
+    ClientStats cs;
+    cs.client = cq.id;
+    cs.weight = cq.weight;
+    cs.accepted = cq.accepted;
+    cs.rejected = cq.rejected;
+    cs.served = cq.served;
+    cs.depth = cq.queue.size();
+    s.clients.push_back(std::move(cs));
+  }
   return s;
 }
 

@@ -1,5 +1,6 @@
-// Request coalescing for the serving hot path, one bounded queue per
-// model family.
+// Request coalescing for the serving hot path: per-family queues, each
+// split into per-CLIENT subqueues with deficit-round-robin fair sharing,
+// and cost-aware admission through opt::AdmissionController.
 //
 // Single-row score requests are tiny; dispatching each one to a worker
 // would spend more time on queue traffic than on math, and the model
@@ -11,17 +12,37 @@
 // Families do not share queues: a mini-batch is scored against ONE
 // family's replica, so mixing families in a queue would shred batches at
 // flush time, and a burst against one family must back-pressure that
-// family alone (per-family max_queue_rows), not starve its neighbors.
-// Workers drain all queues through one condition variable, taking ready
-// batches round-robin across families.
+// family alone, not starve its neighbors. Within a family, CLIENTS do not
+// share a FIFO either: each client id gets its own subqueue, and batch
+// formation drains them with deficit round robin (DRR) weighted by the
+// client's configured share, so one client flooding a family cannot
+// monopolize its batches or its admission capacity. fair_queuing=false
+// collapses the subqueues back into one arrival-ordered FIFO -- the
+// baseline bench_serving experiment 6 measures fairness against.
+//
+// Admission is COST-AWARE when an opt::AdmissionController is attached:
+// instead of rejecting on the raw row count alone, Submit estimates the
+// queueing delay the new request would see -- backlog rows ahead of it
+// times the controller's calibrated per-row service estimate, divided by
+// the drain parallelism -- and rejects when that exceeds the family's
+// queueing-delay budget (Options::queue_delay_budget; zero converts
+// max_queue_rows into the budget at the current estimate, which
+// degenerates to exactly the legacy row bound). max_queue_rows always
+// remains as the hard memory cap. Under fair queuing both the row cap
+// and the delay budget are split across clients by weight, so a hog
+// exhausts only its own share.
 //
 // Flush policy (per family): a batch is released as soon as the queue
 // reaches max_batch_size rows (flush on size), or when the OLDEST queued
-// request has waited max_delay (flush on deadline), whichever comes
-// first. Shutdown() drains: workers keep receiving partial batches until
-// every queue is empty, so no accepted request is ever dropped. Every
-// queue counts its admissions, rejections, and flush reasons
-// (QueueStats), the raw material of ServingStats' per-family rows.
+// request in ANY of the family's client subqueues has waited max_delay
+// (flush on deadline), whichever comes first. Expired deadlines outrank
+// size-ready neighbors regardless of where the round-robin cursor
+// points, and multiple expired families drain in expiry order. Deadline
+// and drain flushes take rows oldest-first across clients (the latency
+// path honors age); size flushes take them DRR (the throughput path
+// honors fairness). Shutdown() drains: workers keep receiving partial
+// batches until every queue is empty, so no accepted request is ever
+// dropped.
 #pragma once
 
 #include <chrono>
@@ -30,9 +51,13 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "matrix/sparse_vector.h"
+#include "opt/admission_controller.h"
 #include "util/status.h"
 
 namespace dw::serve {
@@ -40,6 +65,52 @@ namespace dw::serve {
 /// Index of a family's queue inside the batcher (assigned by AddQueue in
 /// registration order; the serving engine maps family name -> id once).
 using FamilyId = int;
+
+/// Upper bound on a ClientId's length.
+inline constexpr size_t kMaxClientIdBytes = 64;
+
+/// Identifies the submitting client for fair queuing and per-client
+/// accounting. Must be non-empty and at most kMaxClientIdBytes long
+/// (validated at admission: both bounds are trust-boundary checks on a
+/// caller-supplied string that becomes a stats key).
+///
+/// A deliberate strong type with EXPLICIT constructors rather than a
+/// bare std::string: the Score / Submit overload sets mix string-ish and
+/// brace-initializable parameters, and std::string's conversions would
+/// otherwise let `{4}` (initializer_list<char>) or a literal `0` (null
+/// pointer constant) silently become a client id and make existing
+/// `Score(family, {i}, {1.0})` call sites ambiguous. Callers write
+/// ClientId("tenant-a") once at the submission site.
+class ClientId {
+ public:
+  ClientId() = default;
+  explicit ClientId(const char* name) : name_(name) {}
+  explicit ClientId(std::string name) : name_(std::move(name)) {}
+
+  const std::string& str() const { return name_; }
+  bool empty() const { return name_.empty(); }
+  size_t size() const { return name_.size(); }
+
+  friend bool operator==(const ClientId& a, const ClientId& b) {
+    return a.name_ == b.name_;
+  }
+  friend bool operator!=(const ClientId& a, const ClientId& b) {
+    return !(a == b);
+  }
+  friend std::ostream& operator<<(std::ostream& os, const ClientId& c) {
+    return os << c.name_;
+  }
+
+ private:
+  std::string name_;
+};
+
+/// The client requests land on when the caller does not name one (the
+/// single-tenant form of the API).
+inline const ClientId kDefaultClient("default");
+
+/// InvalidArgument for an empty or oversized client id, OK otherwise.
+Status ValidateClientId(const ClientId& client);
 
 /// One single-row score request: an owned sparse feature vector plus the
 /// promise the scoring worker fulfills. Empty `indices` with nonempty
@@ -58,6 +129,9 @@ struct ScoreRequest {
   /// store snapshot it acquired for the batch.
   bool by_id = false;
   matrix::Index row_id = 0;
+  /// Submitting client (fair-queuing key; kDefaultClient when the caller
+  /// used the client-less Submit form).
+  ClientId client;
   std::promise<double> result;
   std::chrono::steady_clock::time_point enqueued_at;
 
@@ -84,58 +158,122 @@ struct Batch {
   size_t rows() const { return requests.size(); }
 };
 
-/// Bounded MPMC queues (one per family) with size/deadline batch
-/// formation and a shared worker wait.
+/// Bounded MPMC queues (one per family, per-client subqueues inside) with
+/// size/deadline batch formation and a shared worker wait.
 class RequestBatcher {
  public:
   struct Options {
     size_t max_batch_size = 64;
     std::chrono::microseconds max_delay{500};
-    /// Admission bound: Submit rejects (back-pressure) beyond this many
-    /// queued rows IN THIS FAMILY instead of letting latency grow without
-    /// limit.
+    /// Hard admission cap: Submit always rejects (back-pressure) beyond
+    /// this many queued rows IN THIS FAMILY -- the memory bound of last
+    /// resort, and the quantity the delay budget is derived from when no
+    /// explicit budget is set.
     size_t max_queue_rows = 1 << 16;
+    /// Queueing-delay budget for cost-aware admission (needs an attached
+    /// AdmissionController): reject when the estimated time-to-drain of
+    /// the backlog ahead of a request exceeds this. Zero derives the
+    /// budget from max_queue_rows at the controller's current per-row
+    /// estimate, which makes the delay test degenerate to the legacy row
+    /// bound exactly.
+    std::chrono::microseconds queue_delay_budget{0};
+    /// Deficit-round-robin fair queuing across clients. false = one
+    /// arrival-ordered FIFO per family (the blind baseline): clients
+    /// still get individual counters but no isolation.
+    bool fair_queuing = true;
+    /// DRR quantum: rows credited per unit of client weight each time the
+    /// rotation visits a client. Small enough to interleave clients
+    /// within one batch, large enough to keep runs of one client's rows
+    /// cache-friendly.
+    size_t drr_quantum_rows = 16;
+    /// Cap on DISTINCT client ids per family. Client ids cross a trust
+    /// boundary and each one allocates a permanent subqueue and dilutes
+    /// every tenant's fair-queuing share, so a caller misusing a
+    /// request/session id as the client id must hit a wall: submissions
+    /// from a never-seen client beyond this cap are rejected
+    /// (ResourceExhausted) without registering the client.
+    size_t max_clients = 64;
+  };
+
+  /// Per-client admission/service counters (inside QueueStats).
+  struct ClientStats {
+    ClientId client;
+    double weight = 1.0;
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;  ///< both full-queue and over-budget refusals
+    uint64_t served = 0;    ///< rows handed to a worker in some batch
+    size_t depth = 0;       ///< rows queued right now
   };
 
   /// Per-family admission counters (snapshot; `depth` is racy-by-design
   /// monitoring data, the totals are exact at quiescence).
   struct QueueStats {
     uint64_t accepted = 0;
-    uint64_t rejected_full = 0;  ///< Submit refusals on a full queue
+    uint64_t rejected_full = 0;  ///< refusals on the hard row cap / share
+    uint64_t rejected_cost = 0;  ///< refusals on the queueing-delay budget
     uint64_t flush_size = 0;
     uint64_t flush_deadline = 0;
     uint64_t flush_drain = 0;
     size_t depth = 0;  ///< rows queued right now
+    std::vector<ClientStats> clients;  ///< first-seen order
   };
 
   RequestBatcher() = default;
+
+  /// Attaches the admission cost model. The controller's family ids must
+  /// align with this batcher's FamilyIds (the serving engine registers
+  /// both in lockstep). Call before traffic; nullptr disables cost-aware
+  /// admission (the hard row cap still applies).
+  void AttachController(const opt::AdmissionController* controller);
 
   /// Adds a family queue; returns its id (dense, from 0). Callable while
   /// workers run (registration is rare; the lock is shared with the hot
   /// path but uncontended).
   FamilyId AddQueue(const Options& opts);
 
-  /// Enqueues one carried-feature row on `family`'s queue. The future
-  /// resolves once a worker scores the batch containing it. Fails with
-  /// ResourceExhausted when that family's queue is full and
-  /// FailedPrecondition after Shutdown().
+  /// Sets a client's fair-queuing weight on `family` (creating the
+  /// client's subqueue if it has not submitted yet). Weights are relative
+  /// shares of the family's batches and admission capacity. Checks the
+  /// id (non-empty, bounded) and the weight (> 0) fatally: this is an
+  /// operator configuration call, not request-path input.
+  void SetClientWeight(FamilyId family, const ClientId& client,
+                       double weight);
+
+  /// Enqueues one carried-feature row on `family`'s queue for `client`
+  /// (trailing, so the client-less form stays a prefix of this one). The
+  /// future resolves once a worker scores the batch containing it. Fails
+  /// with InvalidArgument on a bad client id, ResourceExhausted when the
+  /// client's admission share (row cap or delay budget) is exhausted,
+  /// and FailedPrecondition after Shutdown().
+  StatusOr<std::future<double>> Submit(FamilyId family,
+                                       std::vector<matrix::Index> indices,
+                                       std::vector<double> values,
+                                       ClientId client);
+
+  /// Single-tenant convenience: Submit on kDefaultClient.
   StatusOr<std::future<double>> Submit(FamilyId family,
                                        std::vector<matrix::Index> indices,
                                        std::vector<double> values);
 
-  /// Enqueues one id-keyed request on `family`'s queue. Admission is
-  /// UNIFIED with Submit(): the same ResourceExhausted/FailedPrecondition
-  /// codes apply (the caller validates row_id against the family's store
-  /// bounds, exactly as it validates carried feature indices against the
-  /// model dim, so both request forms report identical Status codes for
+  /// Enqueues one id-keyed request on `family`'s queue for `client`.
+  /// Admission is UNIFIED with Submit(): the same status codes apply
+  /// (the caller validates row_id against the family's store bounds,
+  /// exactly as it validates carried feature indices against the model
+  /// dim, so both request forms report identical Status codes for
   /// analogous failures).
+  StatusOr<std::future<double>> SubmitId(FamilyId family,
+                                         matrix::Index row_id,
+                                         ClientId client);
+
+  /// Single-tenant convenience: SubmitId on kDefaultClient.
   StatusOr<std::future<double>> SubmitId(FamilyId family,
                                          matrix::Index row_id);
 
   /// Blocks until some family has a batch ready under the flush policy;
   /// returns false only once the batcher is shut down AND every queue is
   /// drained. Ready queues are served round-robin so one hot family
-  /// cannot starve the others.
+  /// cannot starve the others, and expired deadlines outrank size-ready
+  /// queues in expiry order.
   bool NextBatch(Batch* out);
 
   /// Stops admission and wakes all waiting workers to drain the queues.
@@ -149,31 +287,64 @@ class RequestBatcher {
   int num_queues() const;
 
  private:
+  struct ClientQueue {
+    ClientId id;
+    double weight = 1.0;
+    std::deque<ScoreRequest> queue;
+    /// DRR deficit in rows, reset when the subqueue empties.
+    size_t deficit = 0;
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    uint64_t served = 0;
+  };
+
   struct FamilyQueue {
     Options opts;
-    std::deque<ScoreRequest> queue;
+    /// deque: stable references across client creation.
+    std::deque<ClientQueue> clients;
+    std::unordered_map<std::string, size_t> client_index;
+    /// Sum of all known clients' weights, maintained incrementally so
+    /// per-submit share math is O(1) under the admission lock.
+    double total_weight = 0.0;
+    size_t rows = 0;  ///< total queued rows across clients
+    /// DRR rotation cursor over clients for size-triggered flushes.
+    size_t drr_cursor = 0;
     uint64_t accepted = 0;
     uint64_t rejected_full = 0;
+    uint64_t rejected_cost = 0;
     uint64_t flush_size = 0;
     uint64_t flush_deadline = 0;
     uint64_t flush_drain = 0;
   };
 
-  /// Shared admission tail of Submit/SubmitId: bounds-checks the queue,
-  /// applies back-pressure, and enqueues. Both request forms go through
-  /// here so their admission Status codes can never diverge.
-  StatusOr<std::future<double>> Enqueue(FamilyId family, ScoreRequest req);
+  /// Shared admission tail of Submit/SubmitId: validates the client,
+  /// applies the row cap and the delay budget (per-client shares under
+  /// fair queuing), and enqueues. Both request forms go through here so
+  /// their admission Status codes can never diverge.
+  StatusOr<std::future<double>> Enqueue(FamilyId family, ClientId client,
+                                        ScoreRequest req);
 
-  /// Pops up to max_batch_size rows of queue `f` into `out` (mu_ held).
+  /// The client's subqueue, created on first use with weight 1 (mu_ held).
+  ClientQueue& GetOrAddClient(FamilyQueue& q, const ClientId& client);
+
+  /// Enqueue time of the family's oldest queued request; false when the
+  /// family is empty (mu_ held).
+  bool OldestFront(const FamilyQueue& q,
+                   std::chrono::steady_clock::time_point* when) const;
+
+  /// Pops up to max_batch_size rows of queue `f` into `out` (mu_ held):
+  /// DRR across clients for size flushes, oldest-first merge for
+  /// deadline/drain flushes.
   void TakeBatch(FamilyId f, FlushReason reason, Batch* out);
 
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;
   /// deque: stable references across AddQueue.
   std::deque<FamilyQueue> queues_;
-  /// Round-robin cursor over queues for size/deadline flushes.
+  /// Round-robin cursor over families for size flushes.
   size_t next_queue_ = 0;
   bool shutdown_ = false;
+  const opt::AdmissionController* controller_ = nullptr;
 };
 
 }  // namespace dw::serve

@@ -16,6 +16,22 @@ const char* ToString(ScoringMode m) {
   return m == ScoringMode::kBatched ? "Batched" : "Scalar";
 }
 
+namespace {
+
+// The admission controller shares the engine's drain parallelism: N
+// workers retire a family's backlog N times faster than one, so the
+// queueing-delay estimate divides by the pool size.
+opt::AdmissionControllerOptions AdmissionOptionsFor(
+    const ServingOptions& options) {
+  opt::AdmissionControllerOptions o;
+  o.drain_workers = options.num_threads > 0
+                        ? options.num_threads
+                        : options.topology.total_cores();
+  return o;
+}
+
+}  // namespace
+
 // Per-worker mutable state, one slot per family. Workers update it under
 // a spinlock taken once per batch (cold relative to the scoring loop);
 // Stats() aggregates under the same locks.
@@ -42,9 +58,11 @@ struct ServingEngine::WorkerState {
 ServingEngine::ServingEngine(ServingOptions options)
     : options_(std::move(options)),
       registry_(options_.topology),
+      admission_(options_.topology, AdmissionOptionsFor(options_)),
       store_allocator_(
           std::make_shared<numa::NumaAllocator>(options_.topology)),
       table_(std::make_shared<const FamilyTable>()) {
+  batcher_.AttachController(&admission_);
   const numa::Topology& topo = options_.topology;
   const int nw = options_.num_threads > 0 ? options_.num_threads
                                           : topo.total_cores();
@@ -115,6 +133,22 @@ Status ServingEngine::RegisterFamily(const std::string& family,
   // Queue ids and family ids stay aligned: families[id].queue == id, so
   // a popped Batch::family indexes the table directly.
   DW_CHECK_EQ(fs.queue, static_cast<FamilyId>(current->families.size()));
+  // The admission controller's ids stay aligned too: the batcher indexes
+  // it by FamilyId at admission time. Its prior is seeded from the same
+  // traffic estimate the replication chooser used, against the
+  // replication that chooser actually picked.
+  opt::AdmissionFamilyProfile prof;
+  prof.dim = fopts.traffic.dim;
+  prof.expected_batch_rows = fopts.traffic.expected_batch_rows;
+  prof.model_touch_fraction = fopts.traffic.model_touch_fraction;
+  prof.model_sharing_sockets =
+      fs.family->replication() == Replication::kPerMachine
+          ? options_.topology.num_nodes
+          : 1;
+  DW_CHECK_EQ(admission_.AddFamily(prof), fs.queue);
+  for (const auto& [client, weight] : fopts.client_weights) {
+    batcher_.SetClientWeight(fs.queue, client, weight);
+  }
   auto next = std::make_shared<FamilyTable>(*current);
   next->ids[family] = fs.queue;
   next->families.push_back(std::move(fs));
@@ -273,6 +307,13 @@ const ServingEngine::FamilyState* ServingEngine::FindFamilyState(
 StatusOr<std::future<double>> ServingEngine::Score(
     const std::string& family, std::vector<Index> indices,
     std::vector<double> values) {
+  return Score(family, std::move(indices), std::move(values),
+               kDefaultClient);
+}
+
+StatusOr<std::future<double>> ServingEngine::Score(
+    const std::string& family, std::vector<Index> indices,
+    std::vector<double> values, ClientId client) {
   std::shared_ptr<const FamilyTable> keepalive;
   const FamilyState* fsp = FindFamilyState(family, &keepalive);
   if (fsp == nullptr) {
@@ -315,11 +356,18 @@ StatusOr<std::future<double>> ServingEngine::Score(
   if (!running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("engine not started");
   }
-  return batcher_.Submit(fs.queue, std::move(indices), std::move(values));
+  return batcher_.Submit(fs.queue, std::move(indices), std::move(values),
+                         std::move(client));
 }
 
 StatusOr<std::future<double>> ServingEngine::Score(const std::string& family,
                                                    Index row_id) {
+  return Score(family, row_id, kDefaultClient);
+}
+
+StatusOr<std::future<double>> ServingEngine::Score(const std::string& family,
+                                                   Index row_id,
+                                                   ClientId client) {
   std::shared_ptr<const FamilyTable> keepalive;
   const FamilyState* fsp = FindFamilyState(family, &keepalive);
   if (fsp == nullptr) {
@@ -349,22 +397,36 @@ StatusOr<std::future<double>> ServingEngine::Score(const std::string& family,
   if (!running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("engine not started");
   }
-  return batcher_.SubmitId(fs.queue, row_id);
+  return batcher_.SubmitId(fs.queue, row_id, std::move(client));
+}
+
+StatusOr<double> ServingEngine::ScoreSync(const std::string& family,
+                                          std::vector<Index> indices,
+                                          std::vector<double> values,
+                                          ClientId client) {
+  auto fut =
+      Score(family, std::move(indices), std::move(values), std::move(client));
+  if (!fut.ok()) return fut.status();
+  return std::move(fut).value().get();
 }
 
 StatusOr<double> ServingEngine::ScoreSync(const std::string& family,
                                           std::vector<Index> indices,
                                           std::vector<double> values) {
-  auto fut = Score(family, std::move(indices), std::move(values));
+  return ScoreSync(family, std::move(indices), std::move(values),
+                   kDefaultClient);
+}
+
+StatusOr<double> ServingEngine::ScoreSync(const std::string& family,
+                                          Index row_id, ClientId client) {
+  auto fut = Score(family, row_id, std::move(client));
   if (!fut.ok()) return fut.status();
   return std::move(fut).value().get();
 }
 
 StatusOr<double> ServingEngine::ScoreSync(const std::string& family,
                                           Index row_id) {
-  auto fut = Score(family, row_id);
-  if (!fut.ok()) return fut.status();
-  return std::move(fut).value().get();
+  return ScoreSync(family, row_id, kDefaultClient);
 }
 
 void ServingEngine::WorkerLoop(int worker_id) {
@@ -389,6 +451,10 @@ void ServingEngine::WorkerLoop(int worker_id) {
   std::vector<double> scores;
   std::vector<double> latencies_ms;
   while (batcher_.NextBatch(&batch)) {
+    // Wall time of this batch's whole service (snapshot acquire, view
+    // build, kernel, promise resolution) -- the measured quantity that
+    // calibrates the admission controller's cost estimate online.
+    WallTimer batch_timer;
     const FamilyState& fs = table->families[batch.family];
     // One registry acquire per BATCH: the snapshot is pinned for the whole
     // scan, so a concurrent Publish can never tear a batch across
@@ -515,6 +581,10 @@ void ServingEngine::WorkerLoop(int worker_id) {
         delta.remote_read_bytes += model_bytes;
       }
     }
+    // Feed the measured service time back into admission BEFORE the
+    // stats merge: the next Submit's drain estimate should already see
+    // this batch's evidence.
+    admission_.ReportBatch(batch.family, rows, batch_timer.Seconds());
 
     std::lock_guard<SpinLock> g(ws.mu);
     ws.counters.Merge(delta);
@@ -581,11 +651,28 @@ ServingStats ServingEngine::Stats() const {
         fs.store != nullptr ? fs.store->current_version() : 0;
     const RequestBatcher::QueueStats qs = batcher_.queue_stats(fs.queue);
     out.accepted = qs.accepted;
-    out.rejected = qs.rejected_full;
+    out.rejected = qs.rejected_full + qs.rejected_cost;
+    out.rejected_cost = qs.rejected_cost;
     out.queue_depth = qs.depth;
     out.flush_size = qs.flush_size;
     out.flush_deadline = qs.flush_deadline;
     out.flush_drain = qs.flush_drain;
+    out.clients.reserve(qs.clients.size());
+    for (const RequestBatcher::ClientStats& cs : qs.clients) {
+      ClientServingStats c;
+      c.client = cs.client.str();
+      c.weight = cs.weight;
+      c.accepted = cs.accepted;
+      c.rejected = cs.rejected;
+      c.served = cs.served;
+      c.queue_depth = cs.depth;
+      out.clients.push_back(std::move(c));
+    }
+    const opt::AdmissionEstimate est = admission_.Estimate(fs.queue);
+    out.prior_row_us = est.prior_row_sec * 1e6;
+    out.est_row_us = est.est_row_sec * 1e6;
+    out.measured_row_us_ewma = est.measured_row_sec_ewma * 1e6;
+    out.cost_reports = est.reported_batches;
     if (out.batches > 0) {
       out.mean_batch_rows = static_cast<double>(out.requests) /
                             static_cast<double>(out.batches);

@@ -48,6 +48,7 @@
 #include "numa/access_counters.h"
 #include "numa/memory_model.h"
 #include "numa/topology.h"
+#include "opt/admission_controller.h"
 #include "serve/feature_store.h"
 #include "serve/model_registry.h"
 #include "serve/request_batcher.h"
@@ -88,12 +89,28 @@ struct ServingOptions {
 /// unless the bench-only override is set.
 struct ServingFamilyOptions {
   /// Traffic estimate for the replication chooser; `traffic.dim` is
-  /// required (it also fixes the admission dimension check).
+  /// required (it also fixes the admission dimension check). The same
+  /// estimate seeds the admission controller's memory-model prior for
+  /// the family's per-row service time.
   opt::ServingTrafficEstimate traffic;
   /// Bench/ablation escape hatch; leave unset in production.
   std::optional<Replication> replication_override;
   /// Family-specific queue bounds; defaults to ServingOptions::batch.
   std::optional<RequestBatcher::Options> batch;
+  /// Fair-queuing weights for known clients (relative shares of the
+  /// family's batches and admission capacity). Clients not listed here
+  /// get weight 1 on first Submit.
+  std::vector<std::pair<ClientId, double>> client_weights;
+};
+
+/// Per-client admission/service counters inside FamilyServingStats.
+struct ClientServingStats {
+  std::string client;
+  double weight = 1.0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;  ///< full-share and over-budget refusals
+  uint64_t served = 0;    ///< rows handed to workers in batches
+  uint64_t queue_depth = 0;
 };
 
 /// Per-family serving counters since Start().
@@ -109,13 +126,24 @@ struct FamilyServingStats {
   double max_latency_ms = 0.0;
   uint64_t local_replica_batches = 0;
   uint64_t remote_replica_batches = 0;
-  // Admission counters (the groundwork for cost-aware admission).
+  // Admission counters (cost-aware: opt::AdmissionController).
   uint64_t accepted = 0;
-  uint64_t rejected = 0;     ///< back-pressure refusals (queue full)
-  uint64_t queue_depth = 0;  ///< rows queued right now
+  uint64_t rejected = 0;       ///< all back-pressure refusals
+  uint64_t rejected_cost = 0;  ///< the delay-budget subset of `rejected`
+  uint64_t queue_depth = 0;    ///< rows queued right now
   uint64_t flush_size = 0;
   uint64_t flush_deadline = 0;
   uint64_t flush_drain = 0;
+  // The admission controller's view of the family (all microseconds per
+  // row): the memory-model prior, the calibrated estimate admission
+  // tests against the delay budget, and the workers' measured EWMA that
+  // calibrates it online.
+  double prior_row_us = 0.0;
+  double est_row_us = 0.0;
+  double measured_row_us_ewma = 0.0;
+  uint64_t cost_reports = 0;  ///< worker batch timings folded in
+  /// Per-client fair-queuing view, first-seen order.
+  std::vector<ClientServingStats> clients;
   // Snapshot staleness at scoring time (per batch): ms since the served
   // version's weights left the trainer, and how many newer publishes
   // existed when the batch was scored.
@@ -206,30 +234,50 @@ class ServingEngine {
   /// cannot be Start()ed again.
   void Stop();
 
-  /// Enqueues one sparse row for scoring against `family`. The future
-  /// resolves with that family's ModelSpec::Predict of the row under the
-  /// family's current model.
+  /// Enqueues one sparse row for scoring against `family`, attributed to
+  /// the trailing `client` for fair queuing and per-client admission
+  /// shares. The future resolves with that family's ModelSpec::Predict
+  /// of the row under the family's current model. InvalidArgument on an
+  /// empty or oversized client id.
+  StatusOr<std::future<double>> Score(const std::string& family,
+                                      std::vector<matrix::Index> indices,
+                                      std::vector<double> values,
+                                      ClientId client);
+
+  /// Single-tenant convenience: Score() as kDefaultClient.
   StatusOr<std::future<double>> Score(const std::string& family,
                                       std::vector<matrix::Index> indices,
                                       std::vector<double> values);
 
-  /// Enqueues one ID-KEYED request: the features for `row_id` come from
-  /// the family's registered FeatureStore, gathered by the scoring
-  /// worker from its node's placement -- the data/worker collocation of
-  /// the paper's Fig. 9, applied to serving. Admission mirrors the
-  /// carried form's Status codes: NotFound for an unknown family,
-  /// InvalidArgument for an out-of-range row id (as for an out-of-range
-  /// feature index), FailedPrecondition when no store is registered or
-  /// nothing is published yet, ResourceExhausted on back-pressure.
+  /// Enqueues one ID-KEYED request for `client`: the features for
+  /// `row_id` come from the family's registered FeatureStore, gathered
+  /// by the scoring worker from its node's placement -- the data/worker
+  /// collocation of the paper's Fig. 9, applied to serving. Admission
+  /// mirrors the carried form's Status codes: NotFound for an unknown
+  /// family, InvalidArgument for an out-of-range row id (as for an
+  /// out-of-range feature index) or a bad client id, FailedPrecondition
+  /// when no store is registered or nothing is published yet,
+  /// ResourceExhausted on back-pressure.
+  StatusOr<std::future<double>> Score(const std::string& family,
+                                      matrix::Index row_id, ClientId client);
+
+  /// Single-tenant convenience: id-keyed Score() as kDefaultClient.
   StatusOr<std::future<double>> Score(const std::string& family,
                                       matrix::Index row_id);
 
   /// Convenience: Score() and wait for the result.
   StatusOr<double> ScoreSync(const std::string& family,
                              std::vector<matrix::Index> indices,
+                             std::vector<double> values, ClientId client);
+
+  StatusOr<double> ScoreSync(const std::string& family,
+                             std::vector<matrix::Index> indices,
                              std::vector<double> values);
 
   /// Convenience: id-keyed Score() and wait for the result.
+  StatusOr<double> ScoreSync(const std::string& family,
+                             matrix::Index row_id, ClientId client);
+
   StatusOr<double> ScoreSync(const std::string& family,
                              matrix::Index row_id);
 
@@ -246,6 +294,8 @@ class ServingEngine {
   numa::SimulationInput SimInput() const;
 
   const ModelRegistry& registry() const { return registry_; }
+  /// The admission cost model (estimates readable while serving).
+  const opt::AdmissionController& admission() const { return admission_; }
   const ServingOptions& options() const { return options_; }
   int num_workers() const { return static_cast<int>(worker_nodes_.size()); }
   int num_families() const;
@@ -287,6 +337,10 @@ class ServingEngine {
 
   ServingOptions options_;
   ModelRegistry registry_;
+  /// Estimates per-family batch service times (memory-model prior +
+  /// worker-measured EWMA); the batcher consults it at admission and the
+  /// workers feed measured batch times back into it.
+  opt::AdmissionController admission_;
   RequestBatcher batcher_;
   /// Places feature-store shards/replicas (its ledger is the stores'
   /// placement record, separate from the registry's model ledger).

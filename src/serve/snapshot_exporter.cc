@@ -19,6 +19,8 @@ SnapshotExporter::SnapshotExporter(engine::Engine* trainer,
   DW_CHECK(trainer_ != nullptr);
   DW_CHECK(server_ != nullptr);
   DW_CHECK_GT(options_.period.count(), 0);
+  DW_CHECK_GT(options_.max_publish_fraction, 0.0);
+  DW_CHECK_LE(options_.max_publish_fraction, 1.0);
 }
 
 SnapshotExporter::~SnapshotExporter() { Stop(); }
@@ -74,6 +76,12 @@ void SnapshotExporter::PublishOnce() {
   // Running mean: cheap and exact enough for a publish-rate counter.
   stats_.mean_publish_ms +=
       (ms - stats_.mean_publish_ms) / static_cast<double>(stats_.publishes);
+  // EWMA drives the pacing: it tracks a drifting publish cost (model
+  // growing mid-training, replicas added) faster than the all-time mean.
+  stats_.ewma_publish_ms =
+      stats_.publishes == 1 ? ms
+                            : stats_.ewma_publish_ms +
+                                  0.3 * (ms - stats_.ewma_publish_ms);
 }
 
 SnapshotExporter::Stats SnapshotExporter::stats() const {
@@ -83,9 +91,21 @@ SnapshotExporter::Stats SnapshotExporter::stats() const {
 
 void SnapshotExporter::Loop() {
   SetCurrentThreadName("dw-exporter");
+  const double floor_ms =
+      std::chrono::duration<double, std::milli>(options_.period).count();
   std::unique_lock<std::mutex> lk(mu_);
   while (!stop_) {
-    if (stop_cv_.wait_for(lk, options_.period, [this] { return stop_; })) {
+    // Latency-derived pacing: never spend more than max_publish_fraction
+    // of wall time inside Export()+Publish(). `period` stays the floor,
+    // so cheap publishes keep the configured cadence and only expensive
+    // ones stretch it (stats_ is guarded by the lk we hold).
+    const double paced_ms =
+        stats_.ewma_publish_ms / options_.max_publish_fraction;
+    const double effective_ms = std::max(floor_ms, paced_ms);
+    stats_.effective_period_ms = effective_ms;
+    if (effective_ms > floor_ms) ++stats_.paced_periods;
+    const auto wait = std::chrono::duration<double, std::milli>(effective_ms);
+    if (stop_cv_.wait_for(lk, wait, [this] { return stop_; })) {
       break;
     }
     lk.unlock();

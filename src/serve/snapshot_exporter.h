@@ -30,9 +30,20 @@ namespace dw::serve {
 class SnapshotExporter {
  public:
   struct Options {
-    /// Export-and-publish cadence. Shorter = fresher models, more publish
-    /// bandwidth (every publish copies the model once per replica).
+    /// Export-and-publish cadence FLOOR. Shorter = fresher models, more
+    /// publish bandwidth (every publish copies the model once per
+    /// replica). The effective period is derived from this and the
+    /// measured publish latency (see max_publish_fraction).
     std::chrono::milliseconds period{50};
+    /// Ceiling on the fraction of wall time spent INSIDE
+    /// Export()+Publish(): the loop stretches its sleep to at least
+    /// measured_publish_latency / max_publish_fraction, so a family
+    /// whose publish is slow (wide model, many replicas) paces itself
+    /// down instead of spending most of the exporter thread's life --
+    /// and the registry's publish bandwidth -- on copies. With the
+    /// default 5%, a 10ms publish is republished at most every 200ms no
+    /// matter how short `period` is. Must be in (0, 1].
+    double max_publish_fraction = 0.05;
     /// Publish one export immediately on Start(), so the family is
     /// servable before the first period elapses (ServingEngine::Start()
     /// requires every family published).
@@ -51,6 +62,14 @@ class SnapshotExporter {
     uint64_t last_version = 0;     ///< last version this exporter installed
     double mean_publish_ms = 0.0;  ///< Export()+Publish() wall latency
     double max_publish_ms = 0.0;
+    /// EWMA of the publish latency (what the pacing reacts to; the mean
+    /// is the whole-run record).
+    double ewma_publish_ms = 0.0;
+    /// The period the loop last armed: Options::period, or the stretched
+    /// latency-derived value when publishes run long.
+    double effective_period_ms = 0.0;
+    /// Sleeps stretched past Options::period by the publish-time ceiling.
+    uint64_t paced_periods = 0;
   };
 
   /// `trainer` and `server` must outlive the exporter; `family` must be

@@ -563,6 +563,63 @@ TEST(RequestBatcherTest, ExpiredDeadlineOutranksSizeReadyNeighbor) {
   EXPECT_EQ(batch.reason, FlushReason::kSize);
 }
 
+TEST(RequestBatcherTest, ExpiredDeadlineWinsEvenWhenCursorPointsElsewhere) {
+  // Regression for the flush-ordering hole: the round-robin cursor is
+  // parked on a size-ready hot family (by draining a first batch from
+  // it), a SECOND hot family is also size-ready, and a quiet family far
+  // from the cursor holds one expired request. The expired queue must be
+  // drained before EITHER size-ready neighbor, cursor position be
+  // damned.
+  RequestBatcher b;
+  const FamilyId hot_a = b.AddQueue(BatchOpts(2, std::chrono::seconds(10)));
+  const FamilyId hot_b = b.AddQueue(BatchOpts(2, std::chrono::seconds(10)));
+  const FamilyId quiet =
+      b.AddQueue(BatchOpts(64, std::chrono::milliseconds(1)));
+  for (int i = 0; i < 6; ++i) MustSubmit(b, hot_a, i);
+  for (int i = 0; i < 6; ++i) MustSubmit(b, hot_b, i);
+  Batch batch;
+  // Park the cursor past hot_a: the next size scan would start at hot_b.
+  ASSERT_TRUE(b.NextBatch(&batch));
+  EXPECT_EQ(batch.family, hot_a);
+  EXPECT_EQ(batch.reason, FlushReason::kSize);
+  MustSubmit(b, quiet, 99.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // expire it
+  ASSERT_TRUE(b.NextBatch(&batch));
+  EXPECT_EQ(batch.family, quiet);
+  EXPECT_EQ(batch.reason, FlushReason::kDeadline);
+  // Both hot families still drain their full batches afterwards.
+  ASSERT_TRUE(b.NextBatch(&batch));
+  EXPECT_EQ(batch.reason, FlushReason::kSize);
+}
+
+TEST(RequestBatcherTest, MultipleExpiredQueuesDrainInExpiryOrder) {
+  // Two expired families: the one whose request aged FIRST flushes
+  // first, not the one the cursor happens to reach first.
+  RequestBatcher b;
+  const FamilyId hot = b.AddQueue(BatchOpts(2, std::chrono::seconds(10)));
+  const FamilyId late =
+      b.AddQueue(BatchOpts(64, std::chrono::milliseconds(1)));
+  const FamilyId early =
+      b.AddQueue(BatchOpts(64, std::chrono::milliseconds(1)));
+  for (int i = 0; i < 4; ++i) MustSubmit(b, hot, i);
+  // `early`'s request is older than `late`'s even though `late` sits
+  // earlier in cursor order.
+  MustSubmit(b, early, 1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  MustSubmit(b, late, 2.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // expire both
+  Batch batch;
+  ASSERT_TRUE(b.NextBatch(&batch));
+  EXPECT_EQ(batch.family, early);
+  EXPECT_EQ(batch.reason, FlushReason::kDeadline);
+  ASSERT_TRUE(b.NextBatch(&batch));
+  EXPECT_EQ(batch.family, late);
+  EXPECT_EQ(batch.reason, FlushReason::kDeadline);
+  ASSERT_TRUE(b.NextBatch(&batch));
+  EXPECT_EQ(batch.family, hot);
+  EXPECT_EQ(batch.reason, FlushReason::kSize);
+}
+
 TEST(RequestBatcherTest, DeadlineRespectsEachFamilysDelay) {
   // Family `slow` has a long delay, family `fast` a short one; a row in
   // each: the fast family's deadline must release first.
@@ -1315,6 +1372,62 @@ TEST(SnapshotExporterTest, StopIsIdempotentAndLastSnapshotStaysServed) {
   server.Stop();
   // No publishes after Stop().
   EXPECT_EQ(server.registry().FindFamily("ls")->current_version(), v);
+}
+
+TEST(SnapshotExporterTest, PacingDerivesPeriodFromPublishLatency) {
+  // The ROADMAP pacing satellite: with a publish-time ceiling far below
+  // what Export()+Publish() actually costs, the exporter must stretch
+  // its effective period instead of busy-publishing on the 1ms floor.
+  const data::Dataset d = ServeDataset(60, 8, 55);
+  models::LeastSquaresSpec ls;
+  engine::EngineOptions topts;
+  topts.topology = numa::Local2();
+  engine::Engine trainer(&d, &ls, topts);
+  ASSERT_TRUE(trainer.Init().ok());
+
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  opts.num_threads = 1;
+  ServingEngine server(opts);
+  ASSERT_TRUE(
+      server.RegisterFamily("ls", &ls, ServePinned(8, Replication::kPerNode))
+          .ok());
+  SnapshotExporter::Options eopts;
+  eopts.period = std::chrono::milliseconds(1);
+  // Effectively "at most one millionth of wall time publishing": even a
+  // microsecond-scale publish forces a multi-second effective period, so
+  // the 150ms window below can fit at most the on-start publish plus the
+  // first paced one.
+  eopts.max_publish_fraction = 1e-6;
+  SnapshotExporter exporter(&trainer, &server, "ls", eopts);
+  exporter.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  exporter.Stop();
+
+  const SnapshotExporter::Stats es = exporter.stats();
+  // publish_on_start + at most one loop publish + the on-stop flush: far
+  // fewer than the ~150 publishes the raw 1ms period would have run.
+  EXPECT_LE(es.publishes, 4u);
+  EXPECT_GE(es.paced_periods, 1u);
+  EXPECT_GT(es.effective_period_ms, 1.0);
+  EXPECT_GT(es.ewma_publish_ms, 0.0);
+
+  // The default fraction leaves a cheap publish on its configured floor:
+  // same setup, default ceiling, expect many publishes in the window.
+  engine::Engine trainer2(&d, &ls, topts);
+  ASSERT_TRUE(trainer2.Init().ok());
+  ServingEngine server2(opts);
+  ASSERT_TRUE(
+      server2
+          .RegisterFamily("ls", &ls, ServePinned(8, Replication::kPerNode))
+          .ok());
+  SnapshotExporter::Options fast;
+  fast.period = std::chrono::milliseconds(1);
+  SnapshotExporter exporter2(&trainer2, &server2, "ls", fast);
+  exporter2.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  exporter2.Stop();
+  EXPECT_GT(exporter2.stats().publishes, 10u);
 }
 
 // --- latency recorder ------------------------------------------------------
