@@ -1,4 +1,4 @@
-// Serving benchmarks, six experiments in one binary:
+// Serving benchmarks, seven experiments in one binary:
 //
 //  1. Throughput vs thread count x replication strategy -- the serving
 //     analogue of Fig. 8, run with an explicit per-family replication
@@ -38,6 +38,16 @@
 //     served fraction being strictly better under fair queuing, and on
 //     the calibrated service-time estimate converging to within 2x of
 //     the measured EWMA.
+//  7. Telemetry overhead + stage decomposition: the same batched
+//     closed-loop scoring run, interleaved with telemetry fully on
+//     (obs::Registry instruments, per-stage histograms, sampled span
+//     tracing, a live 25 ms obs::TelemetryExporter) and fully off (the
+//     no-op registry). Gated on the throughput overhead staying under
+//     DW_BENCH_TEL_MAX_OVERHEAD (default 3%), and on the per-stage
+//     latency means (queue..complete) summing to within 10% of the
+//     measured mean end-to-end latency -- the decomposition check that
+//     catches a stage boundary drifting away from what serve.latency_ms
+//     measures.
 //
 // Measured rows/sec comes from the host wall clock; memory-model rows/sec
 // applies the calibrated topology model to the logically-counted serving
@@ -58,17 +68,21 @@
 // 1.0), DW_BENCH_STORE_ROWS / DW_BENCH_STORE_DIM (feature-store workload,
 // default 4096 x 2048), DW_BENCH_ADM_SEC / DW_BENCH_ADM_DIM /
 // DW_BENCH_ADM_BUDGET_MS (admission overload window, row width, and
-// queueing-delay budget; defaults 1.0 / 4096 / 4.0), DW_BENCH_JSON
-// (path: write the machine-readable result artifact CI archives per
-// commit; schema v4 adds the admission section and the per-family
-// admission-estimate/client fields).
+// queueing-delay budget; defaults 1.0 / 4096 / 4.0), DW_BENCH_TEL_TRIALS
+// / DW_BENCH_TEL_MAX_OVERHEAD (telemetry on/off trial pairs and the
+// overhead gate; defaults 3 / 0.03), DW_BENCH_JSON (path: write the
+// machine-readable result artifact CI archives per commit; schema v5
+// adds the telemetry section -- overhead trials, per-stage means, the
+// decomposition ratio, and exporter render stats).
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -76,6 +90,7 @@
 #include "bench/bench_common.h"
 #include "data/synthetic.h"
 #include "numa/memory_model.h"
+#include "obs/exporter.h"
 #include "serve/serving_engine.h"
 #include "serve/snapshot_exporter.h"
 #include "util/json_writer.h"
@@ -944,6 +959,111 @@ AdmissionRun RunAdmissionOverload(const std::vector<double>& table,
   return out;
 }
 
+// --- experiment 7: telemetry overhead + stage decomposition ---------------
+
+// What the telemetry-ON trial yields beyond throughput: the registry-backed
+// stats (stage means), the exact mean end-to-end latency, the trace ring
+// counter, and the exporter's render stats -- everything the JSON artifact's
+// `telemetry` section reports.
+struct TelemetryTrialExtras {
+  serve::ServingStats stats;
+  double e2e_mean_us = 0.0;  ///< exact mean of serve.latency_ms, in us
+  uint64_t spans_recorded = 0;
+  uint64_t registry_metrics = 0;
+  obs::TelemetryExporter::Stats exporter;
+};
+
+// One closed-loop scoring run with telemetry on or off; returns measured
+// rows/sec. Mirrors RunServing's producer loop but scores BATCHED -- the
+// production hot path the overhead gate protects (scalar mode's per-row
+// replica re-gather would drown instrument cost in memory traffic). The
+// telemetry-on trial also runs a live obs::TelemetryExporter so the
+// measured overhead includes periodic snapshot+render, not just the
+// inline fetch_adds. NOTE: with telemetry off every registry-backed
+// Stats() field reads zero by contract, so this function never asserts
+// on stats counters -- completion is proven by the futures themselves.
+double RunTelemetryTrial(const data::Dataset& d, const models::ModelSpec& spec,
+                         const std::vector<double>& weights,
+                         const numa::Topology& topo, bool telemetry,
+                         int threads, int total_rows,
+                         TelemetryTrialExtras* extras) {
+  serve::ServingOptions opts;
+  opts.topology = topo;
+  opts.num_threads = threads;
+  opts.batch.max_batch_size = 64;
+  opts.batch.max_delay = std::chrono::microseconds(200);
+  opts.scoring = serve::ScoringMode::kBatched;
+  opts.telemetry = telemetry;
+  serve::ServingEngine server(opts);
+  const Status reg = server.RegisterFamily(
+      "lr", &spec, PinnedFamily(static_cast<Index>(weights.size()),
+                                serve::Replication::kPerNode));
+  DW_CHECK(reg.ok()) << reg.ToString();
+  server.Publish("lr", weights);
+  const Status st = server.Start();
+  DW_CHECK(st.ok()) << st.ToString();
+
+  std::unique_ptr<obs::TelemetryExporter> exporter;
+  if (telemetry) {
+    obs::TelemetryExporter::Options eopts;
+    eopts.period = std::chrono::milliseconds(25);
+    exporter = std::make_unique<obs::TelemetryExporter>(&server.telemetry(),
+                                                        eopts);
+    exporter->Start();
+  }
+
+  const int kProducers = 4;
+  WallTimer timer;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<std::future<double>> futures;
+      futures.reserve(total_rows / kProducers + 1);
+      std::vector<Index> idx;
+      std::vector<double> vals;
+      for (int r = p; r < total_rows; r += kProducers) {
+        const auto row = d.a.Row(static_cast<Index>(r % d.a.rows()));
+        idx.assign(row.indices, row.indices + row.nnz);
+        vals.assign(row.values, row.values + row.nnz);
+        for (;;) {
+          auto fut = server.Score("lr", idx, vals);
+          if (fut.ok()) {
+            futures.push_back(std::move(fut).value());
+            break;
+          }
+          DW_CHECK(fut.status().code() ==
+                   Status::Code::kResourceExhausted)
+              << fut.status().ToString();
+          std::this_thread::yield();
+        }
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : producers) t.join();
+  const double wall = timer.Seconds();
+  if (exporter != nullptr) exporter->Stop();
+  server.Stop();
+
+  if (extras != nullptr) {
+    extras->stats = server.Stats();
+    DW_CHECK_EQ(extras->stats.requests, static_cast<uint64_t>(total_rows));
+    // Histogram means are exact (bucketing only bounds the percentiles),
+    // so this is the true mean submit-to-resolution latency.
+    extras->e2e_mean_us = server.telemetry()
+                              .GetHistogram("serve.latency_ms",
+                                            {{"family", "lr"}})
+                              ->Snapshot()
+                              .Mean() *
+                          1e3;
+    extras->spans_recorded = server.spans().recorded();
+    extras->registry_metrics = server.telemetry().size();
+    if (exporter != nullptr) extras->exporter = exporter->stats();
+  }
+  return total_rows / wall;
+}
+
 }  // namespace
 }  // namespace dw
 
@@ -1222,13 +1342,102 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(adm_fam.cost_reports),
       est_over_measured, adm_converged ? "converged" : "NOT converged");
 
+  // --- experiment 7: telemetry overhead + stage decomposition ------------
+  const int tel_trials = smoke ? 1 : bench::EnvInt("DW_BENCH_TEL_TRIALS", 3);
+  const double tel_max_overhead =
+      bench::EnvDouble("DW_BENCH_TEL_MAX_OVERHEAD", 0.03);
+  TelemetryTrialExtras tel;
+  std::vector<double> tel_off_runs;
+  std::vector<double> tel_on_runs;
+  for (int t = 0; t < tel_trials; ++t) {
+    // Interleave off/on so machine drift (thermal, noisy neighbors)
+    // hits both sides of the comparison equally.
+    tel_off_runs.push_back(RunTelemetryTrial(dataset, lr, exported.weights,
+                                             topo, /*telemetry=*/false,
+                                             topo.total_cores(), total_rows,
+                                             nullptr));
+    tel_on_runs.push_back(RunTelemetryTrial(dataset, lr, exported.weights,
+                                            topo, /*telemetry=*/true,
+                                            topo.total_cores(), total_rows,
+                                            &tel));
+  }
+  // Best-of-N per mode: each side's best run is its least-perturbed one,
+  // which is the fairest basis for a small-overhead comparison on a
+  // shared host (means fold scheduler noise into the gate).
+  const double tel_off_best =
+      *std::max_element(tel_off_runs.begin(), tel_off_runs.end());
+  const double tel_on_best =
+      *std::max_element(tel_on_runs.begin(), tel_on_runs.end());
+  const double tel_overhead =
+      tel_off_best > 0.0 ? (tel_off_best - tel_on_best) / tel_off_best : 0.0;
+  const bool tel_overhead_ok = tel_overhead <= tel_max_overhead;
+
+  // Stage decomposition: the per-stage means (queue..complete) must sum
+  // to the measured mean end-to-end latency. The admit stage is excluded
+  // because serve.latency_ms starts its clock at enqueue, after admission;
+  // the sum lands slightly OVER the mean because the complete stage runs
+  // to the batch's last resolution while each row's latency stops at its
+  // own. A big gap either way means a stage boundary drifted from what
+  // the latency histogram measures -- that is the regression this guards.
+  const serve::FamilyServingStats& tel_fam = tel.stats.families[0];
+  double tel_stage_sum_us = 0.0;
+  for (int s = static_cast<int>(obs::Stage::kQueue); s < obs::kNumStages;
+       ++s) {
+    tel_stage_sum_us += tel_fam.mean_stage_us[s];
+  }
+  const double tel_decomp_ratio =
+      tel.e2e_mean_us > 0.0 ? tel_stage_sum_us / tel.e2e_mean_us : 0.0;
+  const bool tel_decomp_ok =
+      tel_decomp_ratio >= 0.9 && tel_decomp_ratio <= 1.1;
+  const bool telemetry_ok = tel_overhead_ok && tel_decomp_ok;
+
+  Table ttable("Telemetry overhead (" + std::to_string(tel_trials) +
+               " trial(s) x " + std::to_string(total_rows) +
+               " requests, batched scoring, live exporter, " + topo.name +
+               ")");
+  ttable.SetHeader({"telemetry", "best rows/s", "per-trial rows/s"});
+  const auto trial_list = [](const std::vector<double>& runs) {
+    std::string out;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      if (i > 0) out += " ";
+      out += Table::Num(runs[i], 0);
+    }
+    return out;
+  };
+  ttable.AddRow({"off", Table::Num(tel_off_best, 0),
+                 trial_list(tel_off_runs)});
+  ttable.AddRow({"on", Table::Num(tel_on_best, 0), trial_list(tel_on_runs)});
+  ttable.Print();
+  std::printf("\ntelemetry overhead: %.2f%% (gate: <= %.1f%%) -- %s\n",
+              tel_overhead * 100.0, tel_max_overhead * 100.0,
+              tel_overhead_ok ? "within gate" : "OVER GATE");
+
+  Table dtable("Request lifecycle decomposition (mean us/row, family lr)");
+  dtable.SetHeader({"stage", "mean us"});
+  for (int s = 0; s < obs::kNumStages; ++s) {
+    dtable.AddRow({obs::StageName(s), Table::Num(tel_fam.mean_stage_us[s],
+                                                 2)});
+  }
+  dtable.AddRow({"sum (queue..complete)", Table::Num(tel_stage_sum_us, 2)});
+  dtable.AddRow({"end-to-end mean", Table::Num(tel.e2e_mean_us, 2)});
+  dtable.Print();
+  std::printf(
+      "\nstage sum / e2e mean: %.3f (gate: within 10%%) -- %s; %llu spans "
+      "traced, %llu metrics exported, %llu exporter rounds (%llu B "
+      "prometheus)\n",
+      tel_decomp_ratio, tel_decomp_ok ? "decomposes" : "DOES NOT decompose",
+      static_cast<unsigned long long>(tel.spans_recorded),
+      static_cast<unsigned long long>(tel.registry_metrics),
+      static_cast<unsigned long long>(tel.exporter.snapshots),
+      static_cast<unsigned long long>(tel.exporter.last_prometheus_bytes));
+
   // --- machine-readable artifact -----------------------------------------
   const char* json_path = std::getenv("DW_BENCH_JSON");
   if (json_path != nullptr && json_path[0] != '\0') {
     JsonWriter j;
     j.BeginObject();
     j.Field("bench", "serving");
-    j.Field("schema_version", 4);
+    j.Field("schema_version", 5);
     j.Field("smoke", smoke);
     j.Field("unix_time", static_cast<int64_t>(std::time(nullptr)));
     j.Field("topology", topo.name);
@@ -1383,6 +1592,36 @@ int main(int argc, char** argv) {
     }
     j.EndArray();
     j.EndObject();
+    j.Key("telemetry").BeginObject();
+    j.Field("trials", tel_trials);
+    j.Field("requests", total_rows);
+    j.Field("threads", topo.total_cores());
+    j.Field("off_rows_per_sec", tel_off_best);
+    j.Field("on_rows_per_sec", tel_on_best);
+    j.Key("off_trial_rows_per_sec").BeginArray();
+    for (const double r : tel_off_runs) j.Number(r);
+    j.EndArray();
+    j.Key("on_trial_rows_per_sec").BeginArray();
+    for (const double r : tel_on_runs) j.Number(r);
+    j.EndArray();
+    j.Field("overhead_fraction", tel_overhead);
+    j.Field("overhead_gate", tel_max_overhead);
+    j.Field("overhead_ok", tel_overhead_ok);
+    j.Key("mean_stage_us").BeginObject();
+    for (int s = 0; s < obs::kNumStages; ++s) {
+      j.Field(obs::StageName(s), tel_fam.mean_stage_us[s]);
+    }
+    j.EndObject();
+    j.Field("stage_sum_us", tel_stage_sum_us);
+    j.Field("e2e_mean_us", tel.e2e_mean_us);
+    j.Field("decomposition_ratio", tel_decomp_ratio);
+    j.Field("decomposition_ok", tel_decomp_ok);
+    j.Field("spans_recorded", tel.spans_recorded);
+    j.Field("registry_metrics", tel.registry_metrics);
+    j.Field("exporter_snapshots", tel.exporter.snapshots);
+    j.Field("exporter_last_render_ms", tel.exporter.last_render_ms);
+    j.Field("exporter_prometheus_bytes", tel.exporter.last_prometheus_bytes);
+    j.EndObject();
     j.EndObject();
     if (!j.WriteFile(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path);
@@ -1401,14 +1640,19 @@ int main(int argc, char** argv) {
   // and the calibrated service-time estimate must converge to within 2x
   // of the workers' measured EWMA.
   const bool admission_ok = adm_fair_beats_fifo && adm_converged;
+  // Experiment 7 gates: full telemetry (registry + stage histograms +
+  // sampled tracing + live exporter) must cost <= tel_max_overhead of
+  // throughput vs the no-op registry, and the per-stage latency means
+  // must decompose the measured end-to-end latency to within 10%.
   if (smoke) {
     // Smoke mode exists to validate the artifact schema per commit, not
     // to gate perf on a noisy shared runner.
     std::printf(
         "smoke run complete (gates: replication %s, speedup %s, "
-        "collocated fetch %s, admission %s)\n",
+        "collocated fetch %s, admission %s, telemetry %s)\n",
         replication_ok ? "ok" : "MISSED", speedup_ok ? "ok" : "MISSED",
-        store_ok ? "ok" : "MISSED", admission_ok ? "ok" : "MISSED");
+        store_ok ? "ok" : "MISSED", admission_ok ? "ok" : "MISSED",
+        telemetry_ok ? "ok" : "MISSED");
     return 0;
   }
   if (!speedup_ok) {
@@ -1421,5 +1665,16 @@ int main(int argc, char** argv) {
         "%s)\n",
         adm_fair_beats_fifo ? "yes" : "no", adm_converged ? "yes" : "no");
   }
-  return replication_ok && speedup_ok && store_ok && admission_ok ? 0 : 1;
+  if (!telemetry_ok) {
+    std::printf(
+        "FAIL: telemetry gate (overhead %.2f%% vs %.1f%% gate: %s, "
+        "decomposition ratio %.3f: %s)\n",
+        tel_overhead * 100.0, tel_max_overhead * 100.0,
+        tel_overhead_ok ? "ok" : "over", tel_decomp_ratio,
+        tel_decomp_ok ? "ok" : "off");
+  }
+  return replication_ok && speedup_ok && store_ok && admission_ok &&
+                 telemetry_ok
+             ? 0
+             : 1;
 }

@@ -189,6 +189,35 @@ ADMISSION_CLIENT = {
     "p99_ms": NUM,
 }
 
+# Schema v5: the telemetry overhead + stage decomposition experiment
+# (obs::Registry instruments vs the no-op registry, and the per-stage
+# latency means against the measured end-to-end mean).
+TELEMETRY = {
+    "trials": NUM,
+    "requests": NUM,
+    "threads": NUM,
+    "off_rows_per_sec": NUM,
+    "on_rows_per_sec": NUM,
+    "off_trial_rows_per_sec": list,
+    "on_trial_rows_per_sec": list,
+    "overhead_fraction": NUM,
+    "overhead_gate": NUM,
+    "overhead_ok": bool,
+    "mean_stage_us": dict,
+    "stage_sum_us": NUM,
+    "e2e_mean_us": NUM,
+    "decomposition_ratio": NUM,
+    "decomposition_ok": bool,
+    "spans_recorded": NUM,
+    "registry_metrics": NUM,
+    "exporter_snapshots": NUM,
+    "exporter_last_render_ms": NUM,
+    "exporter_prometheus_bytes": NUM,
+}
+
+TELEMETRY_STAGES = ("admit", "queue", "batch_form", "gather", "score",
+                    "complete")
+
 
 def check_all(obj, spec, where):
     for key, typ in spec.items():
@@ -281,11 +310,33 @@ def main():
                  "(the fair-vs-FIFO comparison is the point)")
         admission_runs = len(adm["runs"])
 
+    # Schema v5: the telemetry overhead + stage decomposition experiment.
+    telemetry_trials = 0
+    if doc["schema_version"] >= 5:
+        tel = require(doc, "telemetry", dict, "top level")
+        check_all(tel, TELEMETRY, "telemetry")
+        for side in ("off_trial_rows_per_sec", "on_trial_rows_per_sec"):
+            if not tel[side]:
+                fail(f"telemetry.{side} is empty")
+            for i, v in enumerate(tel[side]):
+                if not isinstance(v, numbers.Number) or isinstance(v, bool):
+                    fail(f"telemetry.{side}[{i}] is not a number")
+        missing = set(TELEMETRY_STAGES) - set(tel["mean_stage_us"])
+        if missing:
+            fail(f"telemetry.mean_stage_us missing stages: {missing} "
+                 "(the full lifecycle decomposition is the point)")
+        for stage in TELEMETRY_STAGES:
+            v = tel["mean_stage_us"][stage]
+            if not isinstance(v, numbers.Number) or isinstance(v, bool):
+                fail(f"telemetry.mean_stage_us.{stage} is not a number")
+        telemetry_trials = len(tel["on_trial_rows_per_sec"])
+
     print(f"schema OK: {sys.argv[1]} "
           f"({len(doc['replication_runs'])} replication runs, "
           f"{len(doc['families'])} families, "
           f"{store_runs} feature-store runs, "
-          f"{admission_runs} admission runs)")
+          f"{admission_runs} admission runs, "
+          f"{telemetry_trials} telemetry trial pairs)")
 
 
 if __name__ == "__main__":

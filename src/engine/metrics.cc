@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
 #include "util/stats.h"
 
 namespace dw::engine {
@@ -16,6 +17,10 @@ void LatencyRecorder::Decimate() {
 }
 
 void LatencyRecorder::Record(double ms) {
+  if (mode_ == Mode::kBounded) {
+    hist_.Record(ms);
+    return;
+  }
   ++count_;
   max_ms_ = std::max(max_ms_, ms);
   if (skip_ > 0) {
@@ -28,6 +33,12 @@ void LatencyRecorder::Record(double ms) {
 }
 
 void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  DW_CHECK(mode_ == other.mode_)
+      << "cannot merge latency recorders of different modes";
+  if (mode_ == Mode::kBounded) {
+    hist_.Merge(other.hist_);
+    return;
+  }
   // Bring both sides to a common stride (strides are powers of two) so
   // every retained sample carries the same weight; otherwise a decimated
   // high-traffic worker would be underweighted in the percentiles.
@@ -42,20 +53,28 @@ void LatencyRecorder::Merge(const LatencyRecorder& other) {
 }
 
 double LatencyRecorder::Percentile(double p) const {
+  if (mode_ == Mode::kBounded) return hist_.Percentile(p);
   return dw::Percentile(samples_ms_, p);
 }
 
 std::vector<double> LatencyRecorder::Percentiles(
     const std::vector<double>& ps) const {
-  std::vector<double> sorted = samples_ms_;
-  std::sort(sorted.begin(), sorted.end());
   std::vector<double> out;
   out.reserve(ps.size());
+  if (mode_ == Mode::kBounded) {
+    for (const double p : ps) out.push_back(hist_.Percentile(p));
+    return out;
+  }
+  std::vector<double> sorted = samples_ms_;
+  std::sort(sorted.begin(), sorted.end());
   for (const double p : ps) out.push_back(PercentileSorted(sorted, p));
   return out;
 }
 
-double LatencyRecorder::MeanMs() const { return Mean(samples_ms_); }
+double LatencyRecorder::MeanMs() const {
+  if (mode_ == Mode::kBounded) return hist_.Mean();
+  return Mean(samples_ms_);
+}
 
 int RunResult::EpochsToLoss(double target) const {
   for (const auto& e : epochs) {

@@ -1,0 +1,65 @@
+#include "obs/span.h"
+
+#include <utility>
+
+namespace dw::obs {
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kAdmit:
+      return "admit";
+    case Stage::kQueue:
+      return "queue";
+    case Stage::kBatchForm:
+      return "batch_form";
+    case Stage::kGather:
+      return "gather";
+    case Stage::kScore:
+      return "score";
+    case Stage::kComplete:
+      return "complete";
+  }
+  return "?";
+}
+
+const char* StageName(int stage) {
+  return StageName(static_cast<Stage>(stage));
+}
+
+SpanRecorder::SpanRecorder(size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void SpanRecorder::Record(SpanRecord rec) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  rec.seq = next_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[next_ % capacity_] = std::move(rec);
+  }
+  ++next_;
+}
+
+std::vector<SpanRecord> SpanRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Full ring: the slot the NEXT write would take holds the oldest.
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t SpanRecorder::recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_;
+}
+
+}  // namespace dw::obs

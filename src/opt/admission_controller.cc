@@ -56,6 +56,13 @@ double AdmissionController::PriorRowSeconds(
   return std::max(batch_sec / batch_rows, 1e-12);
 }
 
+void AdmissionController::AttachRegistry(obs::Registry* registry) {
+  std::lock_guard<std::mutex> lk(mu_);
+  DW_CHECK(families_.empty())
+      << "attach the registry before registering admission families";
+  registry_ = registry;
+}
+
 int AdmissionController::AddFamily(const AdmissionFamilyProfile& profile) {
   DW_CHECK_GT(profile.dim, 0u) << "admission profile needs dim";
   DW_CHECK_GT(profile.model_sharing_sockets, 0);
@@ -63,6 +70,21 @@ int AdmissionController::AddFamily(const AdmissionFamilyProfile& profile) {
   fs.profile = profile;
   fs.prior_row_sec = PriorRowSeconds(profile);
   std::lock_guard<std::mutex> lk(mu_);
+  if (registry_ != nullptr) {
+    const std::string label =
+        profile.name.empty() ? "f" + std::to_string(families_.size())
+                             : profile.name;
+    const obs::Labels labels = {{"family", label}};
+    fs.prior_gauge = registry_->GetGauge("admission.prior_row_us", labels);
+    fs.est_gauge = registry_->GetGauge("admission.est_row_us", labels);
+    fs.measured_gauge =
+        registry_->GetGauge("admission.measured_row_us", labels);
+    fs.reports_counter =
+        registry_->GetCounter("admission.cost_reports", labels);
+    fs.prior_gauge->Set(fs.prior_row_sec * 1e6);
+    // No reports yet: the calibrated estimate IS the prior.
+    fs.est_gauge->Set(fs.prior_row_sec * 1e6);
+  }
   families_.push_back(std::move(fs));
   return static_cast<int>(families_.size() - 1);
 }
@@ -86,11 +108,15 @@ void AdmissionController::ReportBatch(int family, size_t rows,
     fs.ewma_row_sec += opts_.ewma_alpha * (row_sec - fs.ewma_row_sec);
   }
   ++fs.reports;
+  if (fs.measured_gauge != nullptr) {
+    fs.measured_gauge->Set(fs.ewma_row_sec * 1e6);
+    fs.est_gauge->Set(EstimatedRowSecondsLocked(fs) * 1e6);
+    fs.reports_counter->Increment();
+  }
 }
 
-double AdmissionController::EstimatedRowSeconds(int family) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  const FamilyState& fs = StateFor(family);
+double AdmissionController::EstimatedRowSecondsLocked(
+    const FamilyState& fs) const {
   if (fs.reports == 0) return fs.prior_row_sec;
   // Measured behavior corrects the prior, clamped so one absurd sample
   // cannot detach admission from physical reality entirely.
@@ -98,6 +124,11 @@ double AdmissionController::EstimatedRowSeconds(int family) const {
       std::clamp(fs.ewma_row_sec / fs.prior_row_sec,
                  1.0 / opts_.max_calibration, opts_.max_calibration);
   return fs.prior_row_sec * ratio;
+}
+
+double AdmissionController::EstimatedRowSeconds(int family) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return EstimatedRowSecondsLocked(StateFor(family));
 }
 
 double AdmissionController::EstimatedDrainSeconds(int family,

@@ -35,10 +35,12 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 
 #include "matrix/sparse_vector.h"
 #include "numa/memory_model.h"
 #include "numa/topology.h"
+#include "obs/metrics.h"
 
 namespace dw::opt {
 
@@ -63,6 +65,9 @@ struct AdmissionControllerOptions {
 /// Per-family cost profile, fixed at registration (mirrors the fields of
 /// opt::ServingTrafficEstimate the batch cost actually depends on).
 struct AdmissionFamilyProfile {
+  /// Telemetry label for the family's admission gauges; "f<id>" when
+  /// left empty. Purely observational -- no cost-model effect.
+  std::string name;
   /// Model/feature width in doubles (required, > 0).
   matrix::Index dim = 0;
   /// Expected rows per flushed mini-batch.
@@ -91,6 +96,13 @@ class AdmissionController {
  public:
   explicit AdmissionController(numa::Topology topo,
                                AdmissionControllerOptions opts = {});
+
+  /// Publishes the controller's estimates as gauges on `registry`
+  /// (admission.prior_row_us / est_row_us / measured_row_us and the
+  /// admission.cost_reports counter, labeled by family name). Call
+  /// before AddFamily; nullptr (the default) keeps admission silent.
+  /// `registry` must outlive the controller.
+  void AttachRegistry(obs::Registry* registry);
 
   /// Registers a family; returns its id (dense, from 0 -- the caller
   /// keeps it aligned with the batcher's FamilyId). Checks dim > 0.
@@ -128,14 +140,24 @@ class AdmissionController {
     double prior_row_sec = 0.0;
     double ewma_row_sec = 0.0;  ///< guarded by mu_
     uint64_t reports = 0;       ///< guarded by mu_
+    /// Telemetry mirrors (no-op instruments when no registry attached);
+    /// updated by ReportBatch under mu_.
+    obs::Gauge* prior_gauge = nullptr;
+    obs::Gauge* est_gauge = nullptr;
+    obs::Gauge* measured_gauge = nullptr;
+    obs::Counter* reports_counter = nullptr;
   };
 
   /// Memory-model service time of one expected batch, per row.
   double PriorRowSeconds(const AdmissionFamilyProfile& profile) const;
   const FamilyState& StateFor(int family) const;
+  /// The calibrated estimate with mu_ already held (EstimatedRowSeconds
+  /// without re-locking; ReportBatch refreshes the est gauge inline).
+  double EstimatedRowSecondsLocked(const FamilyState& fs) const;
 
   const AdmissionControllerOptions opts_;
   const numa::MemoryModel model_;
+  obs::Registry* registry_ = nullptr;  ///< nullptr: admission unobserved
   /// One lock for registration and the EWMA state: every critical
   /// section is a handful of arithmetic ops, far too short to contend at
   /// batch (not row) frequency.

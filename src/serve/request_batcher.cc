@@ -37,14 +37,39 @@ void RequestBatcher::AttachController(
   controller_ = controller;
 }
 
-FamilyId RequestBatcher::AddQueue(const Options& opts) {
+void RequestBatcher::AttachRegistry(obs::Registry* registry) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Instruments are resolved when a queue is created, so a late attach
+  // would leave earlier queues counting into a different registry.
+  DW_CHECK(queues_.empty())
+      << "attach the registry before the first AddQueue";
+  registry_ = registry;
+}
+
+FamilyId RequestBatcher::AddQueue(const Options& opts,
+                                  const std::string& name) {
   DW_CHECK_GT(opts.max_batch_size, 0u);
   DW_CHECK_GT(opts.max_queue_rows, 0u);
   DW_CHECK_GT(opts.drr_quantum_rows, 0u);
   DW_CHECK_GT(opts.max_clients, 0u);
   std::lock_guard<std::mutex> lk(mu_);
+  if (registry_ == nullptr) {
+    // Standalone use (tests, direct embedding): counters must still
+    // count, so the batcher owns a private registry.
+    own_registry_ = std::make_unique<obs::Registry>();
+    registry_ = own_registry_.get();
+  }
   FamilyQueue q;
   q.opts = opts;
+  q.label = name.empty() ? "q" + std::to_string(queues_.size()) : name;
+  const obs::Labels labels = {{"family", q.label}};
+  q.accepted = registry_->GetCounter("queue.accepted", labels);
+  q.rejected_full = registry_->GetCounter("queue.rejected_full", labels);
+  q.rejected_cost = registry_->GetCounter("queue.rejected_cost", labels);
+  q.flush_size = registry_->GetCounter("queue.flush_size", labels);
+  q.flush_deadline = registry_->GetCounter("queue.flush_deadline", labels);
+  q.flush_drain = registry_->GetCounter("queue.flush_drain", labels);
+  q.depth = registry_->GetGauge("queue.depth", labels);
   queues_.push_back(std::move(q));
   return static_cast<FamilyId>(queues_.size() - 1);
 }
@@ -55,6 +80,11 @@ RequestBatcher::ClientQueue& RequestBatcher::GetOrAddClient(
   if (it != q.client_index.end()) return q.clients[it->second];
   ClientQueue cq;
   cq.id = client;
+  const obs::Labels labels = {{"family", q.label},
+                              {"client", client.str()}};
+  cq.accepted = registry_->GetCounter("queue.client_accepted", labels);
+  cq.rejected = registry_->GetCounter("queue.client_rejected", labels);
+  cq.served = registry_->GetCounter("queue.client_served", labels);
   q.client_index[client.str()] = q.clients.size();
   q.clients.push_back(std::move(cq));
   q.total_weight += q.clients.back().weight;
@@ -84,7 +114,8 @@ void RequestBatcher::SetClientWeight(FamilyId family, const ClientId& client,
 
 StatusOr<std::future<double>> RequestBatcher::Submit(
     FamilyId family, std::vector<matrix::Index> indices,
-    std::vector<double> values, ClientId client) {
+    std::vector<double> values, ClientId client,
+    std::chrono::steady_clock::time_point admitted_at) {
   // Empty indices with nonempty values is the explicit dense form.
   if (indices.size() != values.size() && !indices.empty()) {
     return Status::InvalidArgument("indices/values length mismatch");
@@ -92,7 +123,7 @@ StatusOr<std::future<double>> RequestBatcher::Submit(
   ScoreRequest req;
   req.indices = std::move(indices);
   req.values = std::move(values);
-  return Enqueue(family, std::move(client), std::move(req));
+  return Enqueue(family, std::move(client), std::move(req), admitted_at);
 }
 
 StatusOr<std::future<double>> RequestBatcher::Submit(
@@ -102,13 +133,13 @@ StatusOr<std::future<double>> RequestBatcher::Submit(
                 kDefaultClient);
 }
 
-StatusOr<std::future<double>> RequestBatcher::SubmitId(FamilyId family,
-                                                       matrix::Index row_id,
-                                                       ClientId client) {
+StatusOr<std::future<double>> RequestBatcher::SubmitId(
+    FamilyId family, matrix::Index row_id, ClientId client,
+    std::chrono::steady_clock::time_point admitted_at) {
   ScoreRequest req;
   req.by_id = true;
   req.row_id = row_id;
-  return Enqueue(family, std::move(client), std::move(req));
+  return Enqueue(family, std::move(client), std::move(req), admitted_at);
 }
 
 StatusOr<std::future<double>> RequestBatcher::SubmitId(FamilyId family,
@@ -116,9 +147,9 @@ StatusOr<std::future<double>> RequestBatcher::SubmitId(FamilyId family,
   return SubmitId(family, row_id, kDefaultClient);
 }
 
-StatusOr<std::future<double>> RequestBatcher::Enqueue(FamilyId family,
-                                                      ClientId client,
-                                                      ScoreRequest req) {
+StatusOr<std::future<double>> RequestBatcher::Enqueue(
+    FamilyId family, ClientId client, ScoreRequest req,
+    std::chrono::steady_clock::time_point admitted_at) {
   // The id crosses a trust boundary (it becomes a stats key and a queue
   // map key), so it is bounds-checked like a feature index, with a
   // Status the caller can surface.
@@ -126,6 +157,14 @@ StatusOr<std::future<double>> RequestBatcher::Enqueue(FamilyId family,
   if (!v.ok()) return v;
   req.client = std::move(client);
   req.enqueued_at = std::chrono::steady_clock::now();
+  // Admit stage: the caller's validation work before this enqueue. Only
+  // charged when the caller passed its entry time (the serving engine
+  // does; direct batcher users usually have no admit stage).
+  if (admitted_at != std::chrono::steady_clock::time_point{}) {
+    req.admit_us = std::chrono::duration<double, std::micro>(
+                       req.enqueued_at - admitted_at)
+                       .count();
+  }
   std::future<double> fut = req.result.get_future();
 
   {
@@ -142,7 +181,7 @@ StatusOr<std::future<double>> RequestBatcher::Enqueue(FamilyId family,
     // refused, not accumulated.
     if (q.client_index.count(req.client.str()) == 0 &&
         q.clients.size() >= q.opts.max_clients) {
-      ++q.rejected_full;
+      q.rejected_full->Increment();
       return Status::ResourceExhausted("client roster full for family");
     }
     ClientQueue& cq = GetOrAddClient(q, req.client);
@@ -161,8 +200,8 @@ StatusOr<std::future<double>> RequestBatcher::Enqueue(FamilyId family,
     // the client's weighted slice of it (at least one row, so a light
     // client is never locked out entirely by rounding).
     if (q.rows >= q.opts.max_queue_rows) {
-      ++q.rejected_full;
-      ++cq.rejected;
+      q.rejected_full->Increment();
+      cq.rejected->Increment();
       return Status::ResourceExhausted("serving queue full");
     }
     if (split_shares) {
@@ -170,8 +209,8 @@ StatusOr<std::future<double>> RequestBatcher::Enqueue(FamilyId family,
           1, static_cast<size_t>(
                  static_cast<double>(q.opts.max_queue_rows) * share));
       if (cq.queue.size() >= client_cap) {
-        ++q.rejected_full;
-        ++cq.rejected;
+        q.rejected_full->Increment();
+        cq.rejected->Increment();
         return Status::ResourceExhausted("client queue share full");
       }
     }
@@ -190,16 +229,24 @@ StatusOr<std::future<double>> RequestBatcher::Enqueue(FamilyId family,
                     share
               : controller_->EstimatedDrainSeconds(family, q.rows);
       if (wait_sec > budget_sec) {
-        ++q.rejected_cost;
-        ++cq.rejected;
+        q.rejected_cost->Increment();
+        cq.rejected->Increment();
         return Status::ResourceExhausted(
             "estimated queueing delay over budget");
       }
     }
-    ++q.accepted;
-    ++cq.accepted;
+    ++q.submit_seq;
+    // Trace sampling anchors on the first accepted request, then every
+    // Nth after it, so short runs still produce at least one span.
+    if (q.opts.trace_sample_every > 0 &&
+        (q.submit_seq - 1) % q.opts.trace_sample_every == 0) {
+      req.traced = true;
+    }
+    q.accepted->Increment();
+    cq.accepted->Increment();
     cq.queue.push_back(std::move(req));
     ++q.rows;
+    q.depth->Set(static_cast<double>(q.rows));
   }
   // One waiter is enough: either a batch is full and it takes it, or it
   // re-arms its deadline timer on the (possibly first) queued request.
@@ -225,6 +272,7 @@ void RequestBatcher::TakeBatch(FamilyId f, FlushReason reason, Batch* out) {
   const size_t take = std::min(q.rows, q.opts.max_batch_size);
   out->family = f;
   out->reason = reason;
+  out->formed_at = std::chrono::steady_clock::now();
   out->requests.clear();
   out->requests.reserve(take);
   size_t taken = 0;
@@ -247,7 +295,7 @@ void RequestBatcher::TakeBatch(FamilyId f, FlushReason reason, Batch* out) {
                  static_cast<double>(q.opts.drr_quantum_rows) * cq.weight));
       size_t n = std::min({cq.deficit, cq.queue.size(), take - taken});
       cq.deficit -= n;
-      cq.served += n;
+      cq.served->Add(n);
       taken += n;
       while (n-- > 0) {
         out->requests.push_back(std::move(cq.queue.front()));
@@ -272,20 +320,21 @@ void RequestBatcher::TakeBatch(FamilyId f, FlushReason reason, Batch* out) {
       DW_CHECK(oldest != nullptr);
       out->requests.push_back(std::move(oldest->queue.front()));
       oldest->queue.pop_front();
-      ++oldest->served;
+      oldest->served->Increment();
       ++taken;
     }
   }
   q.rows -= take;
+  q.depth->Set(static_cast<double>(q.rows));
   switch (reason) {
     case FlushReason::kSize:
-      ++q.flush_size;
+      q.flush_size->Increment();
       break;
     case FlushReason::kDeadline:
-      ++q.flush_deadline;
+      q.flush_deadline->Increment();
       break;
     case FlushReason::kDrain:
-      ++q.flush_drain;
+      q.flush_drain->Increment();
       break;
   }
 }
@@ -378,22 +427,25 @@ RequestBatcher::QueueStats RequestBatcher::queue_stats(FamilyId family) const {
   DW_CHECK_GE(family, 0);
   DW_CHECK_LT(family, static_cast<FamilyId>(queues_.size()));
   const FamilyQueue& q = queues_[family];
+  // A thin view over the registry instruments (plus the live row count).
+  // On a disabled registry every counter reads 0 -- the documented
+  // contract of running with telemetry off.
   QueueStats s;
-  s.accepted = q.accepted;
-  s.rejected_full = q.rejected_full;
-  s.rejected_cost = q.rejected_cost;
-  s.flush_size = q.flush_size;
-  s.flush_deadline = q.flush_deadline;
-  s.flush_drain = q.flush_drain;
+  s.accepted = q.accepted->Value();
+  s.rejected_full = q.rejected_full->Value();
+  s.rejected_cost = q.rejected_cost->Value();
+  s.flush_size = q.flush_size->Value();
+  s.flush_deadline = q.flush_deadline->Value();
+  s.flush_drain = q.flush_drain->Value();
   s.depth = q.rows;
   s.clients.reserve(q.clients.size());
   for (const ClientQueue& cq : q.clients) {
     ClientStats cs;
     cs.client = cq.id;
     cs.weight = cq.weight;
-    cs.accepted = cq.accepted;
-    cs.rejected = cq.rejected;
-    cs.served = cq.served;
+    cs.accepted = cq.accepted->Value();
+    cs.rejected = cq.rejected->Value();
+    cs.served = cq.served->Value();
     cs.depth = cq.queue.size();
     s.clients.push_back(std::move(cs));
   }

@@ -50,6 +50,7 @@
 #include <cstddef>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -57,6 +58,7 @@
 #include <vector>
 
 #include "matrix/sparse_vector.h"
+#include "obs/metrics.h"
 #include "opt/admission_controller.h"
 #include "util/status.h"
 
@@ -134,6 +136,12 @@ struct ScoreRequest {
   ClientId client;
   std::promise<double> result;
   std::chrono::steady_clock::time_point enqueued_at;
+  /// Lifecycle tracing: sampled at admission (Options::trace_sample_every);
+  /// the scoring worker assembles a full obs::SpanRecord for traced rows.
+  bool traced = false;
+  /// Engine-side admission time (Score() entry to enqueue), microseconds;
+  /// 0 when the caller did not pass its entry timestamp.
+  double admit_us = 0.0;
 
   matrix::SparseVectorView View() const {
     return {indices.empty() ? nullptr : indices.data(), values.data(),
@@ -154,6 +162,9 @@ const char* ToString(FlushReason r);
 struct Batch {
   FamilyId family = 0;
   FlushReason reason = FlushReason::kSize;
+  /// When the flush policy formed this batch (TakeBatch): the boundary
+  /// between a row's queue stage and the batch-form stage.
+  std::chrono::steady_clock::time_point formed_at;
   std::vector<ScoreRequest> requests;
   size_t rows() const { return requests.size(); }
 };
@@ -193,6 +204,10 @@ class RequestBatcher {
     /// from a never-seen client beyond this cap are rejected
     /// (ResourceExhausted) without registering the client.
     size_t max_clients = 64;
+    /// Lifecycle tracing: mark every Nth accepted request traced (the
+    /// first accepted request is always the cycle's start, so short
+    /// tests see a span). 0 disables sampling entirely.
+    uint64_t trace_sample_every = 0;
   };
 
   /// Per-client admission/service counters (inside QueueStats).
@@ -226,10 +241,19 @@ class RequestBatcher {
   /// admission (the hard row cap still applies).
   void AttachController(const opt::AdmissionController* controller);
 
-  /// Adds a family queue; returns its id (dense, from 0). Callable while
-  /// workers run (registration is rare; the lock is shared with the hot
-  /// path but uncontended).
-  FamilyId AddQueue(const Options& opts);
+  /// Backs every queue counter with instruments on `registry` (must
+  /// outlive the batcher). Must be called before the first AddQueue --
+  /// the instruments are resolved at queue creation. Without this call
+  /// the batcher lazily owns a private enabled registry, so standalone
+  /// use keeps exact counters; the serving engine attaches its own
+  /// (possibly disabled) registry instead.
+  void AttachRegistry(obs::Registry* registry);
+
+  /// Adds a family queue; returns its id (dense, from 0). `name` labels
+  /// the queue's metrics (family=<name>; "q<id>" when empty). Callable
+  /// while workers run (registration is rare; the lock is shared with
+  /// the hot path but uncontended).
+  FamilyId AddQueue(const Options& opts, const std::string& name = "");
 
   /// Sets a client's fair-queuing weight on `family` (creating the
   /// client's subqueue if it has not submitted yet). Weights are relative
@@ -244,11 +268,13 @@ class RequestBatcher {
   /// future resolves once a worker scores the batch containing it. Fails
   /// with InvalidArgument on a bad client id, ResourceExhausted when the
   /// client's admission share (row cap or delay budget) is exhausted,
-  /// and FailedPrecondition after Shutdown().
-  StatusOr<std::future<double>> Submit(FamilyId family,
-                                       std::vector<matrix::Index> indices,
-                                       std::vector<double> values,
-                                       ClientId client);
+  /// and FailedPrecondition after Shutdown(). `admitted_at`, when
+  /// non-default, is the caller's validation entry time and charges the
+  /// span's admit stage (the engine passes its Score() entry).
+  StatusOr<std::future<double>> Submit(
+      FamilyId family, std::vector<matrix::Index> indices,
+      std::vector<double> values, ClientId client,
+      std::chrono::steady_clock::time_point admitted_at = {});
 
   /// Single-tenant convenience: Submit on kDefaultClient.
   StatusOr<std::future<double>> Submit(FamilyId family,
@@ -261,9 +287,9 @@ class RequestBatcher {
   /// exactly as it validates carried feature indices against the model
   /// dim, so both request forms report identical Status codes for
   /// analogous failures).
-  StatusOr<std::future<double>> SubmitId(FamilyId family,
-                                         matrix::Index row_id,
-                                         ClientId client);
+  StatusOr<std::future<double>> SubmitId(
+      FamilyId family, matrix::Index row_id, ClientId client,
+      std::chrono::steady_clock::time_point admitted_at = {});
 
   /// Single-tenant convenience: SubmitId on kDefaultClient.
   StatusOr<std::future<double>> SubmitId(FamilyId family,
@@ -293,13 +319,18 @@ class RequestBatcher {
     std::deque<ScoreRequest> queue;
     /// DRR deficit in rows, reset when the subqueue empties.
     size_t deficit = 0;
-    uint64_t accepted = 0;
-    uint64_t rejected = 0;
-    uint64_t served = 0;
+    /// Registry-backed counters (labels family=..., client=...); the
+    /// ClientStats view reads these, so the registry is the single
+    /// source of truth.
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* served = nullptr;
   };
 
   struct FamilyQueue {
     Options opts;
+    /// Metric label (family=<label>) for this queue's instruments.
+    std::string label;
     /// deque: stable references across client creation.
     std::deque<ClientQueue> clients;
     std::unordered_map<std::string, size_t> client_index;
@@ -309,20 +340,27 @@ class RequestBatcher {
     size_t rows = 0;  ///< total queued rows across clients
     /// DRR rotation cursor over clients for size-triggered flushes.
     size_t drr_cursor = 0;
-    uint64_t accepted = 0;
-    uint64_t rejected_full = 0;
-    uint64_t rejected_cost = 0;
-    uint64_t flush_size = 0;
-    uint64_t flush_deadline = 0;
-    uint64_t flush_drain = 0;
+    /// Accepted submissions, kept plain (mu_-guarded) because the trace
+    /// sampler needs an exact modulo even on a disabled registry.
+    uint64_t submit_seq = 0;
+    /// Registry-backed admission/flush counters and the depth gauge
+    /// (QueueStats is a thin view over these).
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejected_full = nullptr;
+    obs::Counter* rejected_cost = nullptr;
+    obs::Counter* flush_size = nullptr;
+    obs::Counter* flush_deadline = nullptr;
+    obs::Counter* flush_drain = nullptr;
+    obs::Gauge* depth = nullptr;
   };
 
   /// Shared admission tail of Submit/SubmitId: validates the client,
   /// applies the row cap and the delay budget (per-client shares under
   /// fair queuing), and enqueues. Both request forms go through here so
   /// their admission Status codes can never diverge.
-  StatusOr<std::future<double>> Enqueue(FamilyId family, ClientId client,
-                                        ScoreRequest req);
+  StatusOr<std::future<double>> Enqueue(
+      FamilyId family, ClientId client, ScoreRequest req,
+      std::chrono::steady_clock::time_point admitted_at);
 
   /// The client's subqueue, created on first use with weight 1 (mu_ held).
   ClientQueue& GetOrAddClient(FamilyQueue& q, const ClientId& client);
@@ -345,6 +383,10 @@ class RequestBatcher {
   size_t next_queue_ = 0;
   bool shutdown_ = false;
   const opt::AdmissionController* controller_ = nullptr;
+  /// Instrument source: an attached registry, or a lazily-created
+  /// private one when the batcher is used standalone.
+  obs::Registry* registry_ = nullptr;
+  std::unique_ptr<obs::Registry> own_registry_;
 };
 
 }  // namespace dw::serve

@@ -32,37 +32,42 @@ opt::AdmissionControllerOptions AdmissionOptionsFor(
 
 }  // namespace
 
-// Per-worker mutable state, one slot per family. Workers update it under
-// a spinlock taken once per batch (cold relative to the scoring loop);
-// Stats() aggregates under the same locks.
+// Per-worker mutable state: the NUMA traffic ledger SimInput() needs
+// attributed per worker node. All per-family serving counters moved into
+// registry instruments; the spinlock survives only for the AccessCounters
+// merge (once per batch, cold relative to the scoring loop).
 struct ServingEngine::WorkerState {
-  struct PerFamily {
-    engine::LatencyRecorder latencies;
-    uint64_t batches = 0;
-    uint64_t rows = 0;
-    uint64_t local_replica_batches = 0;
-    uint64_t remote_replica_batches = 0;
-    double staleness_ms_sum = 0.0;
-    double staleness_ms_max = 0.0;
-    uint64_t versions_behind_sum = 0;
-    uint64_t versions_behind_max = 0;
-    uint64_t id_rows = 0;
-    uint64_t local_store_rows = 0;
-    uint64_t remote_store_rows = 0;
-  };
   mutable SpinLock mu;
   numa::AccessCounters counters;
-  std::vector<PerFamily> fam;
 };
 
 ServingEngine::ServingEngine(ServingOptions options)
     : options_(std::move(options)),
+      obs_(obs::RegistryOptions{options_.telemetry}),
+      spans_(options_.telemetry ? options_.trace_capacity : 0),
       registry_(options_.topology),
       admission_(options_.topology, AdmissionOptionsFor(options_)),
       store_allocator_(
           std::make_shared<numa::NumaAllocator>(options_.topology)),
       table_(std::make_shared<const FamilyTable>()) {
+  // Admission and the batcher publish their counters on the engine's
+  // registry; attach before any family registration resolves instruments.
+  admission_.AttachRegistry(&obs_);
+  batcher_.AttachRegistry(&obs_);
   batcher_.AttachController(&admission_);
+  // Serve-time NUMA traffic per node (the serving analogue of the
+  // training counters the paper reports); on a disabled registry these
+  // are no-op instruments and the adds vanish.
+  node_traffic_.resize(options_.topology.num_nodes);
+  for (int n = 0; n < options_.topology.num_nodes; ++n) {
+    const obs::Labels labels = {{"node", std::to_string(n)}};
+    node_traffic_[n].local_read_bytes =
+        obs_.GetCounter("numa.local_read_bytes", labels);
+    node_traffic_[n].remote_read_bytes =
+        obs_.GetCounter("numa.remote_read_bytes", labels);
+    node_traffic_[n].model_read_bytes =
+        obs_.GetCounter("numa.model_read_bytes", labels);
+  }
   const numa::Topology& topo = options_.topology;
   const int nw = options_.num_threads > 0 ? options_.num_threads
                                           : topo.total_cores();
@@ -129,15 +134,53 @@ Status ServingEngine::RegisterFamily(const std::string& family,
   fs.name = family;
   fs.family = registry_.RegisterFamily(family, reg_opts);
   fs.spec = spec;
-  fs.queue = batcher_.AddQueue(fopts.batch.value_or(options_.batch));
+  RequestBatcher::Options bopts = fopts.batch.value_or(options_.batch);
+  // Engine-level trace sampling flows into the queue unless the family
+  // set its own; a disabled registry keeps the spans ring empty anyway
+  // (spans_ has capacity 0), but skipping the sampler saves the branch.
+  if (options_.telemetry && bopts.trace_sample_every == 0) {
+    bopts.trace_sample_every = options_.trace_sample_every;
+  }
+  fs.queue = batcher_.AddQueue(bopts, family);
   // Queue ids and family ids stay aligned: families[id].queue == id, so
   // a popped Batch::family indexes the table directly.
   DW_CHECK_EQ(fs.queue, static_cast<FamilyId>(current->families.size()));
+  // The family's serving instruments, resolved once; workers hold these
+  // raw pointers and never touch the registry again.
+  {
+    const obs::Labels labels = {{"family", family}};
+    fs.inst.rows = obs_.GetCounter("serve.rows", labels);
+    fs.inst.batches = obs_.GetCounter("serve.batches", labels);
+    fs.inst.local_replica_batches =
+        obs_.GetCounter("serve.local_replica_batches", labels);
+    fs.inst.remote_replica_batches =
+        obs_.GetCounter("serve.remote_replica_batches", labels);
+    fs.inst.id_rows = obs_.GetCounter("store.id_rows", labels);
+    fs.inst.local_store_rows =
+        obs_.GetCounter("store.local_gather_rows", labels);
+    fs.inst.remote_store_rows =
+        obs_.GetCounter("store.remote_gather_rows", labels);
+    fs.inst.store_local_bytes =
+        obs_.GetCounter("store.local_gather_bytes", labels);
+    fs.inst.store_remote_bytes =
+        obs_.GetCounter("store.remote_gather_bytes", labels);
+    fs.inst.latency_ms = obs_.GetHistogram("serve.latency_ms", labels);
+    fs.inst.staleness_ms = obs_.GetHistogram("serve.staleness_ms", labels);
+    fs.inst.versions_behind =
+        obs_.GetHistogram("serve.versions_behind", labels);
+    for (int st = 0; st < obs::kNumStages; ++st) {
+      obs::Labels stage_labels = labels;
+      stage_labels.emplace_back("stage", obs::StageName(st));
+      fs.inst.stage_us[st] =
+          obs_.GetHistogram("serve.stage_us", std::move(stage_labels));
+    }
+  }
   // The admission controller's ids stay aligned too: the batcher indexes
   // it by FamilyId at admission time. Its prior is seeded from the same
   // traffic estimate the replication chooser used, against the
   // replication that chooser actually picked.
   opt::AdmissionFamilyProfile prof;
+  prof.name = family;
   prof.dim = fopts.traffic.dim;
   prof.expected_batch_rows = fopts.traffic.expected_batch_rows;
   prof.model_touch_fraction = fopts.traffic.model_touch_fraction;
@@ -259,12 +302,6 @@ Status ServingEngine::Start() {
           "no feature table published for family " + fs.name);
     }
   }
-  // Per-family worker slots; sized under each worker's lock so a
-  // monitoring thread's Stats() never sees a half-grown vector.
-  for (auto& ws : worker_states_) {
-    std::lock_guard<SpinLock> g(ws->mu);
-    ws->fam.resize(table->families.size());
-  }
   // The family set is final (RegisterFamily refuses once running_ is
   // set, checked under register_mu_ which we hold): freeze a raw pointer
   // for the admission hot path. table_ keeps the object alive.
@@ -314,6 +351,11 @@ StatusOr<std::future<double>> ServingEngine::Score(
 StatusOr<std::future<double>> ServingEngine::Score(
     const std::string& family, std::vector<Index> indices,
     std::vector<double> values, ClientId client) {
+  // Span anchor: validation from here to enqueue is the admit stage.
+  // One clock read per submit, skipped on the no-telemetry baseline.
+  const auto admitted_at = options_.telemetry
+                               ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
   std::shared_ptr<const FamilyTable> keepalive;
   const FamilyState* fsp = FindFamilyState(family, &keepalive);
   if (fsp == nullptr) {
@@ -357,7 +399,7 @@ StatusOr<std::future<double>> ServingEngine::Score(
     return Status::FailedPrecondition("engine not started");
   }
   return batcher_.Submit(fs.queue, std::move(indices), std::move(values),
-                         std::move(client));
+                         std::move(client), admitted_at);
 }
 
 StatusOr<std::future<double>> ServingEngine::Score(const std::string& family,
@@ -368,6 +410,9 @@ StatusOr<std::future<double>> ServingEngine::Score(const std::string& family,
 StatusOr<std::future<double>> ServingEngine::Score(const std::string& family,
                                                    Index row_id,
                                                    ClientId client) {
+  const auto admitted_at = options_.telemetry
+                               ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
   std::shared_ptr<const FamilyTable> keepalive;
   const FamilyState* fsp = FindFamilyState(family, &keepalive);
   if (fsp == nullptr) {
@@ -397,7 +442,7 @@ StatusOr<std::future<double>> ServingEngine::Score(const std::string& family,
   if (!running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("engine not started");
   }
-  return batcher_.SubmitId(fs.queue, row_id, std::move(client));
+  return batcher_.SubmitId(fs.queue, row_id, std::move(client), admitted_at);
 }
 
 StatusOr<double> ServingEngine::ScoreSync(const std::string& family,
@@ -449,13 +494,17 @@ void ServingEngine::WorkerLoop(int worker_id) {
   // once warm).
   std::vector<matrix::SparseVectorView> views;
   std::vector<double> scores;
-  std::vector<double> latencies_ms;
+  std::vector<size_t> traced_rows;
   while (batcher_.NextBatch(&batch)) {
     // Wall time of this batch's whole service (snapshot acquire, view
     // build, kernel, promise resolution) -- the measured quantity that
     // calibrates the admission controller's cost estimate online.
     WallTimer batch_timer;
+    // Stage boundary: formed_at -> picked_at is the batch-form stage
+    // (a ready batch waiting for a free worker).
+    const auto picked_at = std::chrono::steady_clock::now();
     const FamilyState& fs = table->families[batch.family];
+    const FamilyInstruments& inst = fs.inst;
     // One registry acquire per BATCH: the snapshot is pinned for the whole
     // scan, so a concurrent Publish can never tear a batch across
     // versions. The null retry covers the first-publish window where the
@@ -504,10 +553,13 @@ void ServingEngine::WorkerLoop(int worker_id) {
     const size_t rows = batch.rows();
     views.clear();
     views.reserve(rows);
+    traced_rows.clear();
     numa::AccessCounters delta;
     uint64_t id_rows = 0;
     uint64_t local_store_rows = 0;
     uint64_t remote_store_rows = 0;
+    uint64_t store_local_bytes = 0;
+    uint64_t store_remote_bytes = 0;
     for (const ScoreRequest& req : batch.requests) {
       if (req.by_id) {
         const size_t fdim = store_snap->dim();
@@ -517,9 +569,11 @@ void ServingEngine::WorkerLoop(int worker_id) {
         const uint64_t feature_bytes = fdim * sizeof(double);
         if (store_snap->OwnerNodeFor(node, req.row_id) == node) {
           ++local_store_rows;
+          store_local_bytes += feature_bytes;
           delta.local_read_bytes += feature_bytes;
         } else {
           ++remote_store_rows;
+          store_remote_bytes += feature_bytes;
           delta.remote_read_bytes += feature_bytes;
         }
       } else {
@@ -530,24 +584,29 @@ void ServingEngine::WorkerLoop(int worker_id) {
                                   req.indices.size() * sizeof(Index);
       }
     }
+    // Stage boundary: picked_at -> gathered_at is the gather stage
+    // (snapshot acquires + view build + store row gathers).
+    const auto gathered_at = std::chrono::steady_clock::now();
 
-    uint64_t batch_nnz = 0;
+    // The kernel. Scalar mode scores every row before resolving any, so
+    // the score/complete stage boundary means the same thing in both
+    // modes (the pre-PredictBatch code resolved row r before scoring
+    // r+1, which folded the kernel into the completion loop).
+    scores.resize(rows);
     if (batched) {
-      scores.resize(rows);
       fs.spec->PredictBatch(weights, snap->dim(), views.data(), rows,
                             scores.data());
+    } else {
       for (size_t r = 0; r < rows; ++r) {
-        batch.requests[r].result.set_value(scores[r]);
+        scores[r] = fs.spec->Predict(weights, views[r]);
       }
     }
+    const auto scored_at = std::chrono::steady_clock::now();
 
-    latencies_ms.clear();
-    latencies_ms.reserve(rows);
+    uint64_t batch_nnz = 0;
     for (size_t r = 0; r < rows; ++r) {
       ScoreRequest& req = batch.requests[r];
-      if (!batched) {
-        req.result.set_value(fs.spec->Predict(weights, views[r]));
-      }
+      req.result.set_value(scores[r]);
       // Stamped after set_value so the recorded latency covers the full
       // submit-to-resolution interval, including this batch's scoring.
       const auto resolved_at = std::chrono::steady_clock::now();
@@ -564,11 +623,23 @@ void ServingEngine::WorkerLoop(int worker_id) {
       }
       delta.flops += 2 * nnz;
       ++delta.updates;
-      latencies_ms.push_back(
+      inst.latency_ms->Record(
           std::chrono::duration<double, std::milli>(resolved_at -
                                                     req.enqueued_at)
               .count());
+      // Per-row stages: the admit time rode in on the request, the queue
+      // stage ends when the flush policy formed this batch.
+      if (req.admit_us > 0.0) {
+        inst.stage_us[static_cast<int>(obs::Stage::kAdmit)]->Record(
+            req.admit_us);
+      }
+      inst.stage_us[static_cast<int>(obs::Stage::kQueue)]->Record(
+          std::chrono::duration<double, std::micro>(batch.formed_at -
+                                                    req.enqueued_at)
+              .count());
+      if (req.traced) traced_rows.push_back(r);
     }
+    const auto completed_at = std::chrono::steady_clock::now();
     if (batched) {
       // The spec reports what its batched kernel actually streams: the
       // blocked GLM kernels read each model tile once per row chunk; the
@@ -586,69 +657,123 @@ void ServingEngine::WorkerLoop(int worker_id) {
     // this batch's evidence.
     admission_.ReportBatch(batch.family, rows, batch_timer.Seconds());
 
+    // Batch-level stages, row-weighted so the stage histograms' means
+    // stay per-row (one Record call, not `rows` identical ones).
+    const auto us = [](std::chrono::steady_clock::duration d) {
+      return std::chrono::duration<double, std::micro>(d).count();
+    };
+    const double batch_form_us = us(picked_at - batch.formed_at);
+    const double gather_us = us(gathered_at - picked_at);
+    const double score_us = us(scored_at - gathered_at);
+    const double complete_us = us(completed_at - scored_at);
+    inst.stage_us[static_cast<int>(obs::Stage::kBatchForm)]->Record(
+        batch_form_us, rows);
+    inst.stage_us[static_cast<int>(obs::Stage::kGather)]->Record(gather_us,
+                                                                 rows);
+    inst.stage_us[static_cast<int>(obs::Stage::kScore)]->Record(score_us,
+                                                                rows);
+    inst.stage_us[static_cast<int>(obs::Stage::kComplete)]->Record(
+        complete_us, rows);
+
+    // Family counters: lock-free sharded adds, no spinlock.
+    inst.batches->Increment();
+    inst.rows->Add(rows);
+    (replica_local ? inst.local_replica_batches
+                   : inst.remote_replica_batches)
+        ->Increment();
+    inst.staleness_ms->Record(staleness_ms);
+    inst.versions_behind->Record(static_cast<double>(versions_behind));
+    if (id_rows > 0) {
+      inst.id_rows->Add(id_rows);
+      inst.local_store_rows->Add(local_store_rows);
+      inst.remote_store_rows->Add(remote_store_rows);
+      inst.store_local_bytes->Add(store_local_bytes);
+      inst.store_remote_bytes->Add(store_remote_bytes);
+    }
+    // Per-node logical traffic for telemetry scrapes; the exact merge
+    // below stays authoritative for SimInput()/Stats().traffic.
+    const NodeTraffic& nt = node_traffic_[node];
+    nt.local_read_bytes->Add(delta.local_read_bytes);
+    nt.remote_read_bytes->Add(delta.remote_read_bytes);
+    nt.model_read_bytes->Add(delta.model_read_bytes);
+
+    // Sampled spans: stage boundaries chain (queue ends at formed_at,
+    // batch-form at picked_at, ...), so the stages sum to total_us
+    // exactly, up to the shared batch-level tail.
+    for (const size_t r : traced_rows) {
+      const ScoreRequest& req = batch.requests[r];
+      obs::SpanRecord rec;
+      rec.family = fs.name;
+      rec.client = req.client.str();
+      rec.by_id = req.by_id;
+      rec.batch_rows = rows;
+      rec.stage_us[static_cast<int>(obs::Stage::kAdmit)] = req.admit_us;
+      rec.stage_us[static_cast<int>(obs::Stage::kQueue)] =
+          us(batch.formed_at - req.enqueued_at);
+      rec.stage_us[static_cast<int>(obs::Stage::kBatchForm)] = batch_form_us;
+      rec.stage_us[static_cast<int>(obs::Stage::kGather)] = gather_us;
+      rec.stage_us[static_cast<int>(obs::Stage::kScore)] = score_us;
+      rec.stage_us[static_cast<int>(obs::Stage::kComplete)] = complete_us;
+      rec.total_us = req.admit_us + us(completed_at - req.enqueued_at);
+      spans_.Record(std::move(rec));
+    }
+
     std::lock_guard<SpinLock> g(ws.mu);
     ws.counters.Merge(delta);
-    WorkerState::PerFamily& pf = ws.fam[batch.family];
-    pf.batches += 1;
-    pf.rows += batch.rows();
-    if (replica_local) {
-      pf.local_replica_batches += 1;
-    } else {
-      pf.remote_replica_batches += 1;
-    }
-    pf.staleness_ms_sum += staleness_ms;
-    pf.staleness_ms_max = std::max(pf.staleness_ms_max, staleness_ms);
-    pf.versions_behind_sum += versions_behind;
-    pf.versions_behind_max =
-        std::max(pf.versions_behind_max, versions_behind);
-    pf.id_rows += id_rows;
-    pf.local_store_rows += local_store_rows;
-    pf.remote_store_rows += remote_store_rows;
-    for (double ms : latencies_ms) pf.latencies.Record(ms);
   }
 }
 
+// A THIN VIEW over the registry: every serving counter is read back from
+// the instruments the workers write, so Stats() holds no per-family locks
+// at all (the only lock left is each worker's AccessCounters spinlock).
+// With options_.telemetry == false everything here reads zero except the
+// traffic ledger, versions, and wall time -- the documented contract of
+// running with telemetry off.
 ServingStats ServingEngine::Stats() const {
   ServingStats s;
   const auto table = Table();
   const size_t nf = table->families.size();
   s.families.resize(nf);
-  std::vector<engine::LatencyRecorder> fam_lat(nf);
-  engine::LatencyRecorder all;
+  obs::HistogramSnapshot all_lat;
   for (const auto& ws : worker_states_) {
     std::lock_guard<SpinLock> g(ws->mu);
     s.traffic.Merge(ws->counters);
-    for (size_t f = 0; f < ws->fam.size() && f < nf; ++f) {
-      const WorkerState::PerFamily& pf = ws->fam[f];
-      FamilyServingStats& out = s.families[f];
-      out.requests += pf.rows;
-      out.batches += pf.batches;
-      out.local_replica_batches += pf.local_replica_batches;
-      out.remote_replica_batches += pf.remote_replica_batches;
-      out.mean_staleness_ms += pf.staleness_ms_sum;  // sum for now
-      out.max_staleness_ms =
-          std::max(out.max_staleness_ms, pf.staleness_ms_max);
-      out.mean_versions_behind +=
-          static_cast<double>(pf.versions_behind_sum);  // sum for now
-      out.max_versions_behind =
-          std::max(out.max_versions_behind, pf.versions_behind_max);
-      out.id_rows += pf.id_rows;
-      out.local_store_rows += pf.local_store_rows;
-      out.remote_store_rows += pf.remote_store_rows;
-      fam_lat[f].Merge(pf.latencies);
-    }
   }
   s.wall_sec = running_.load(std::memory_order_acquire)
                    ? serve_timer_.Seconds()
                    : stopped_wall_sec_;
   for (size_t f = 0; f < nf; ++f) {
     const FamilyState& fs = table->families[f];
+    const FamilyInstruments& inst = fs.inst;
     FamilyServingStats& out = s.families[f];
     out.family = fs.name;
     out.replication = fs.family->replication();
     out.served_version = fs.family->current_version();
     out.store_version =
         fs.store != nullptr ? fs.store->current_version() : 0;
+    out.requests = inst.rows->Value();
+    out.batches = inst.batches->Value();
+    out.local_replica_batches = inst.local_replica_batches->Value();
+    out.remote_replica_batches = inst.remote_replica_batches->Value();
+    out.id_rows = inst.id_rows->Value();
+    out.local_store_rows = inst.local_store_rows->Value();
+    out.remote_store_rows = inst.remote_store_rows->Value();
+    out.store_local_bytes = inst.store_local_bytes->Value();
+    out.store_remote_bytes = inst.store_remote_bytes->Value();
+    const obs::HistogramSnapshot lat = inst.latency_ms->Snapshot();
+    out.p50_latency_ms = lat.Percentile(50.0);
+    out.p99_latency_ms = lat.Percentile(99.0);
+    out.max_latency_ms = lat.max;  // exact even in the bucketed histogram
+    const obs::HistogramSnapshot stale = inst.staleness_ms->Snapshot();
+    out.mean_staleness_ms = stale.Mean();
+    out.max_staleness_ms = stale.max;
+    const obs::HistogramSnapshot behind = inst.versions_behind->Snapshot();
+    out.mean_versions_behind = behind.Mean();
+    // min/max are exact, and version lags are integers well under 2^53.
+    out.max_versions_behind = static_cast<uint64_t>(behind.max);
+    for (int st = 0; st < obs::kNumStages; ++st) {
+      out.mean_stage_us[st] = inst.stage_us[st]->Snapshot().Mean();
+    }
     const RequestBatcher::QueueStats qs = batcher_.queue_stats(fs.queue);
     out.accepted = qs.accepted;
     out.rejected = qs.rejected_full + qs.rejected_cost;
@@ -676,21 +801,15 @@ ServingStats ServingEngine::Stats() const {
     if (out.batches > 0) {
       out.mean_batch_rows = static_cast<double>(out.requests) /
                             static_cast<double>(out.batches);
-      out.mean_staleness_ms /= static_cast<double>(out.batches);
-      out.mean_versions_behind /= static_cast<double>(out.batches);
     }
     if (s.wall_sec > 0.0) {
       out.rows_per_sec = static_cast<double>(out.requests) / s.wall_sec;
     }
-    const std::vector<double> pct = fam_lat[f].Percentiles({50.0, 99.0});
-    out.p50_latency_ms = pct[0];
-    out.p99_latency_ms = pct[1];
-    out.max_latency_ms = fam_lat[f].MaxMs();
     s.requests += out.requests;
     s.batches += out.batches;
     s.local_replica_batches += out.local_replica_batches;
     s.remote_replica_batches += out.remote_replica_batches;
-    all.Merge(fam_lat[f]);
+    all_lat.Merge(lat);
   }
   if (s.wall_sec > 0.0) {
     s.rows_per_sec = static_cast<double>(s.requests) / s.wall_sec;
@@ -699,10 +818,9 @@ ServingStats ServingEngine::Stats() const {
     s.mean_batch_rows =
         static_cast<double>(s.requests) / static_cast<double>(s.batches);
   }
-  const std::vector<double> pct = all.Percentiles({50.0, 99.0});
-  s.p50_latency_ms = pct[0];
-  s.p99_latency_ms = pct[1];
-  s.max_latency_ms = all.MaxMs();
+  s.p50_latency_ms = all_lat.Percentile(50.0);
+  s.p99_latency_ms = all_lat.Percentile(99.0);
+  s.max_latency_ms = all_lat.max;
   return s;
 }
 

@@ -27,12 +27,22 @@
 //
 // Workers account their logical traffic with numa::AccessCounters exactly
 // like training epochs do, so bench_serving can report both measured
-// rows/sec and memory-model throughput on the paper's topologies; they
-// record per-request latency into engine::LatencyRecorder for p50/p99,
-// and per-batch snapshot staleness (ms since the served version left the
-// trainer, and publishes it is behind) for the async-refresh tradeoff.
+// rows/sec and memory-model throughput on the paper's topologies.
+//
+// TELEMETRY: the engine owns an obs::Registry and every serving counter
+// is a registry instrument -- lock-free sharded counters for rows/bytes,
+// bounded-error histograms for latency, staleness, and the per-stage
+// decomposition (admit/queue/batch-form/gather/score/complete), with the
+// worker's NUMA traffic drained into per-node numa.* counters so
+// serve-time local/remote DRAM requests are visible the way the paper
+// reports them for training. ServingStats()/FamilyServingStats are THIN
+// VIEWS over the registry (plus live queue state), so existing callers
+// keep working; a sampled obs::SpanRecorder keeps whole per-request
+// stage breakdowns; options_.telemetry=false swaps in a no-op registry
+// (the bench_serving overhead baseline).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -48,6 +58,8 @@
 #include "numa/access_counters.h"
 #include "numa/memory_model.h"
 #include "numa/topology.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "opt/admission_controller.h"
 #include "serve/feature_store.h"
 #include "serve/model_registry.h"
@@ -82,6 +94,17 @@ struct ServingOptions {
   /// Pin workers to physical CPUs through the topology map.
   bool pin_threads = true;
   ScoringMode scoring = ScoringMode::kBatched;
+  /// Full telemetry (registry instruments + stage histograms + sampled
+  /// spans). false swaps in a DISABLED registry: every instrument write
+  /// is a no-op, every Stats() counter reads 0 -- the bench_serving
+  /// overhead baseline, not a production mode.
+  bool telemetry = true;
+  /// Span ring capacity (0 disables tracing but keeps stage histograms).
+  size_t trace_capacity = 256;
+  /// Sample every Nth accepted request into the span ring; 0 disables.
+  /// Forwarded into each family's RequestBatcher::Options (an explicit
+  /// per-family trace_sample_every in ServingFamilyOptions::batch wins).
+  uint64_t trace_sample_every = 64;
 };
 
 /// Per-family knobs at registration. Replication is NOT one of them: the
@@ -158,6 +181,12 @@ struct FamilyServingStats {
   uint64_t local_store_rows = 0;  ///< gathered from the worker's own node
   uint64_t remote_store_rows = 0; ///< gathered across the interconnect
   uint64_t store_version = 0;     ///< current table version at Stats() time
+  uint64_t store_local_bytes = 0;   ///< feature bytes gathered node-locally
+  uint64_t store_remote_bytes = 0;  ///< feature bytes gathered remotely
+  /// Mean per-row time in each lifecycle stage (obs::Stage order:
+  /// admit, queue, batch-form, gather, score, complete), microseconds.
+  /// Batch-level stages are row-weighted means.
+  std::array<double, obs::kNumStages> mean_stage_us{};
 };
 
 /// Aggregated serving counters since Start().
@@ -296,12 +325,40 @@ class ServingEngine {
   const ModelRegistry& registry() const { return registry_; }
   /// The admission cost model (estimates readable while serving).
   const opt::AdmissionController& admission() const { return admission_; }
+  /// The engine's metric registry: every serving counter/histogram lives
+  /// here (disabled when options().telemetry is false). Exposed so an
+  /// obs::TelemetryExporter can scrape it while serving.
+  obs::Registry& telemetry() { return obs_; }
+  const obs::Registry& telemetry() const { return obs_; }
+  /// Sampled request traces (readable while serving).
+  const obs::SpanRecorder& spans() const { return spans_; }
   const ServingOptions& options() const { return options_; }
   int num_workers() const { return static_cast<int>(worker_nodes_.size()); }
   int num_families() const;
 
  private:
   struct WorkerState;
+
+  /// A family's registry instruments, resolved once at RegisterFamily
+  /// (labels {family=<name>}). Raw pointers into obs_, stable for the
+  /// engine's life; copyable so COW table copies share them. On a
+  /// disabled registry these are no-op instruments, never nullptr.
+  struct FamilyInstruments {
+    obs::Counter* rows = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* local_replica_batches = nullptr;
+    obs::Counter* remote_replica_batches = nullptr;
+    obs::Counter* id_rows = nullptr;
+    obs::Counter* local_store_rows = nullptr;
+    obs::Counter* remote_store_rows = nullptr;
+    obs::Counter* store_local_bytes = nullptr;
+    obs::Counter* store_remote_bytes = nullptr;
+    obs::Histogram* latency_ms = nullptr;
+    obs::Histogram* staleness_ms = nullptr;
+    obs::Histogram* versions_behind = nullptr;
+    /// serve.stage_us{family=...,stage=<name>}, obs::Stage order.
+    std::array<obs::Histogram*, obs::kNumStages> stage_us{};
+  };
 
   /// One registered family's serving handle (index == its FamilyId).
   struct FamilyState {
@@ -312,6 +369,7 @@ class ServingEngine {
     /// registered (owned by stores_, so COW table copies share it).
     FeatureStore* store = nullptr;
     FamilyId queue = 0;
+    FamilyInstruments inst;
   };
 
   /// The registered families plus their name index, published as one
@@ -336,6 +394,20 @@ class ServingEngine {
       std::shared_ptr<const FamilyTable>* keepalive) const;
 
   ServingOptions options_;
+  /// Declared before everything that resolves instruments out of it
+  /// (admission_, batcher_, the family table), so it outlives every
+  /// raw instrument pointer on teardown.
+  obs::Registry obs_;
+  obs::SpanRecorder spans_;
+  /// numa.{local,remote,model}_read_bytes{node=N}: serve-time logical
+  /// DRAM traffic per node, the serving analogue of the training
+  /// epochs' AccessCounters report (indexed by NodeId).
+  struct NodeTraffic {
+    obs::Counter* local_read_bytes = nullptr;
+    obs::Counter* remote_read_bytes = nullptr;
+    obs::Counter* model_read_bytes = nullptr;
+  };
+  std::vector<NodeTraffic> node_traffic_;
   ModelRegistry registry_;
   /// Estimates per-family batch service times (memory-model prior +
   /// worker-measured EWMA); the batcher consults it at admission and the

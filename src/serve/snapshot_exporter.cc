@@ -21,6 +21,13 @@ SnapshotExporter::SnapshotExporter(engine::Engine* trainer,
   DW_CHECK_GT(options_.period.count(), 0);
   DW_CHECK_GT(options_.max_publish_fraction, 0.0);
   DW_CHECK_LE(options_.max_publish_fraction, 1.0);
+  obs::Registry& reg = server_->telemetry();
+  const obs::Labels labels = {{"family", family_}};
+  publishes_counter_ = reg.GetCounter("exporter.publishes", labels);
+  paced_counter_ = reg.GetCounter("exporter.paced_periods", labels);
+  version_gauge_ = reg.GetGauge("exporter.last_version", labels);
+  period_gauge_ = reg.GetGauge("exporter.effective_period_ms", labels);
+  publish_ms_hist_ = reg.GetHistogram("exporter.publish_ms", labels);
 }
 
 SnapshotExporter::~SnapshotExporter() { Stop(); }
@@ -68,6 +75,9 @@ void SnapshotExporter::PublishOnce() {
   const engine::ModelExport exported = trainer_->Export();
   const uint64_t version = server_->Publish(family_, exported);
   const double ms = timer.Seconds() * 1e3;
+  publishes_counter_->Increment();
+  version_gauge_->Set(static_cast<double>(version));
+  publish_ms_hist_->Record(ms);
 
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.publishes;
@@ -103,7 +113,11 @@ void SnapshotExporter::Loop() {
         stats_.ewma_publish_ms / options_.max_publish_fraction;
     const double effective_ms = std::max(floor_ms, paced_ms);
     stats_.effective_period_ms = effective_ms;
-    if (effective_ms > floor_ms) ++stats_.paced_periods;
+    period_gauge_->Set(effective_ms);
+    if (effective_ms > floor_ms) {
+      ++stats_.paced_periods;
+      paced_counter_->Increment();
+    }
     const auto wait = std::chrono::duration<double, std::milli>(effective_ms);
     if (stop_cv_.wait_for(lk, wait, [this] { return stop_; })) {
       break;

@@ -100,6 +100,16 @@ class SnapshotExporter {
   const std::string family_;
   const Options options_;
 
+  /// Telemetry mirrors on the server's registry (exporter.* metrics,
+  /// labeled by family); no-op instruments when the server runs with
+  /// telemetry off. stats_ stays authoritative -- the pacing loop reads
+  /// it, never the registry.
+  obs::Counter* publishes_counter_ = nullptr;
+  obs::Counter* paced_counter_ = nullptr;
+  obs::Gauge* version_gauge_ = nullptr;
+  obs::Gauge* period_gauge_ = nullptr;
+  obs::Histogram* publish_ms_hist_ = nullptr;
+
   std::thread thread_;
   mutable std::mutex mu_;  ///< guards stop_ for the cv + the stats
   std::condition_variable stop_cv_;

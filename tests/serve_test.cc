@@ -1447,9 +1447,11 @@ TEST(LatencyRecorderTest, PercentilesAndMerge) {
 TEST(LatencyRecorderTest, MergeReweightsAcrossDifferentStrides) {
   // Worker A: heavy traffic (decimated, all samples ~100ms). Worker B:
   // light traffic (no decimation, all ~1ms). A has ~16x B's requests, so
-  // the merged p50 must come from A's distribution.
-  engine::LatencyRecorder a;
-  engine::LatencyRecorder b;
+  // the merged p50 must come from A's distribution. Exact mode: stride
+  // reweighting is a sample-vector behavior (the default bounded mode
+  // never decimates).
+  engine::LatencyRecorder a(engine::LatencyRecorder::Mode::kExact);
+  engine::LatencyRecorder b(engine::LatencyRecorder::Mode::kExact);
   const uint64_t heavy = engine::LatencyRecorder::kMaxSamples * 4;
   for (uint64_t i = 0; i < heavy; ++i) a.Record(100.0);
   for (uint64_t i = 0; i < heavy / 16; ++i) b.Record(1.0);
@@ -1461,7 +1463,7 @@ TEST(LatencyRecorderTest, MergeReweightsAcrossDifferentStrides) {
 }
 
 TEST(LatencyRecorderTest, DecimationBoundsMemoryButKeepsCount) {
-  engine::LatencyRecorder r;
+  engine::LatencyRecorder r(engine::LatencyRecorder::Mode::kExact);
   const uint64_t n = (1 << 18);  // 4x the retention bound
   for (uint64_t i = 0; i < n; ++i) {
     r.Record(static_cast<double>(i % 1000));
@@ -1469,6 +1471,22 @@ TEST(LatencyRecorderTest, DecimationBoundsMemoryButKeepsCount) {
   EXPECT_EQ(r.count(), n);
   // Percentiles stay sane after decimation.
   EXPECT_NEAR(r.Percentile(50.0), 500.0, 50.0);
+}
+
+TEST(LatencyRecorderTest, BoundedModeExactMeanMaxBoundedQuantiles) {
+  engine::LatencyRecorder r;  // default mode: bounded histogram
+  const uint64_t n = 1 << 18;
+  for (uint64_t i = 0; i < n; ++i) {
+    r.Record(static_cast<double>(i % 1000));
+  }
+  // Constant-memory accumulation never drops observations.
+  EXPECT_EQ(r.count(), n);
+  // Sum and max are tracked exactly outside the buckets.
+  EXPECT_NEAR(r.MeanMs(), 499.5, 1.0);
+  EXPECT_EQ(r.MaxMs(), 999.0);
+  // Quantiles carry at most the bucket-width relative error (19%).
+  EXPECT_NEAR(r.Percentile(50.0), 500.0, 0.19 * 500.0);
+  EXPECT_NEAR(r.Percentile(99.0), 990.0, 0.19 * 990.0);
 }
 
 }  // namespace
