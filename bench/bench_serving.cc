@@ -1,4 +1,4 @@
-// Serving benchmarks, seven experiments in one binary:
+// Serving benchmarks, eight experiments in one binary:
 //
 //  1. Throughput vs thread count x replication strategy -- the serving
 //     analogue of Fig. 8, run with an explicit per-family replication
@@ -48,6 +48,17 @@
 //     measured mean end-to-end latency -- the decomposition check that
 //     catches a stage boundary drifting away from what serve.latency_ms
 //     measures.
+//  8. SIMD dispatch levels + int8-quantized scoring: the experiment-2
+//     dense workload scored through PredictBatch with the kernel level
+//     FORCED to each tier the host supports (scalar / avx2 / avx512 --
+//     the float levels are bitwise-identical, so this isolates pure
+//     kernel throughput), plus the dequantize-free int8 path
+//     (PredictBatchQuantized against Publish-style quantized weights).
+//     Gated on the best SIMD level sustaining at least
+//     DW_BENCH_SIMD_MIN_RATIO of the tiled-scalar rate (a >= gate with a
+//     noisy-runner margin, not a speedup promise: the dense kernels are
+//     memory-bound at scale) and on every int8 margin landing within the
+//     documented quantization bound.
 //
 // Measured rows/sec comes from the host wall clock; memory-model rows/sec
 // applies the calibrated topology model to the logically-counted serving
@@ -70,14 +81,17 @@
 // DW_BENCH_ADM_BUDGET_MS (admission overload window, row width, and
 // queueing-delay budget; defaults 1.0 / 4096 / 4.0), DW_BENCH_TEL_TRIALS
 // / DW_BENCH_TEL_MAX_OVERHEAD (telemetry on/off trial pairs and the
-// overhead gate; defaults 3 / 0.03), DW_BENCH_JSON (path: write the
-// machine-readable result artifact CI archives per commit; schema v5
-// adds the telemetry section -- overhead trials, per-stage means, the
-// decomposition ratio, and exporter render stats).
+// overhead gate; defaults 3 / 0.03), DW_BENCH_SIMD_MIN_RATIO (best-SIMD
+// over tiled-scalar gate, default 0.9), DW_BENCH_JSON (path: write the
+// machine-readable result artifact CI archives per commit; schema v6
+// adds the kernels section -- per-ISA-level throughput, the dispatch
+// decision, and the int8 quantization error check).
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -88,6 +102,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "kernels/dispatch.h"
+#include "kernels/score_kernels.h"
 #include "data/synthetic.h"
 #include "numa/memory_model.h"
 #include "obs/exporter.h"
@@ -339,6 +355,163 @@ KernelCompare CompareKernels(int rows, int dim, int threads) {
   out.speedup = out.scalar_rows_per_sec > 0.0
                     ? out.batched_rows_per_sec / out.scalar_rows_per_sec
                     : 0.0;
+  return out;
+}
+
+// --- experiment 8: SIMD dispatch levels + int8 quantized scoring ----------
+
+struct KernelLevelRun {
+  std::string level;
+  bool supported = false;
+  double rows_per_sec = 0.0;  ///< 0 when the host cannot run the level
+};
+
+struct SimdCompare {
+  int rows = 0;
+  int dim = 0;
+  int threads = 0;
+  std::vector<KernelLevelRun> levels;      ///< scalar, avx2, avx512
+  double best_simd_rows_per_sec = 0.0;
+  std::string best_simd_level = "none";    ///< "none" on a scalar-only host
+  double simd_over_scalar = 0.0;
+  bool simd_ok = true;                     ///< vacuously true without SIMD
+  double int8_rows_per_sec = 0.0;
+  double int8_over_f64 = 0.0;
+  double int8_scale = 0.0;
+  double int8_max_abs_err = 0.0;   ///< worst measured |margin_q - margin|
+  double int8_err_bound = 0.0;     ///< worst documented per-row bound
+  bool int8_within_bound = false;  ///< every row within ITS OWN bound
+};
+
+/// PredictBatchQuantized throughput on the same workload shape as
+/// MeasureScoringRate's batched mode (256-row chunks).
+double MeasureQuantizedRate(const models::ModelSpec& spec,
+                            const std::vector<int8_t>& qweights, double scale,
+                            const std::vector<matrix::SparseVectorView>& rows,
+                            int threads, double run_sec) {
+  constexpr size_t kBatch = 256;
+  std::atomic<uint64_t> total_rows{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  WallTimer timer;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(run_sec));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      const size_t lo = rows.size() * t / threads;
+      const size_t hi = rows.size() * (t + 1) / threads;
+      if (lo == hi) return;
+      const Index dim = static_cast<Index>(qweights.size());
+      std::vector<double> out(hi - lo);
+      uint64_t scored = 0;
+      double sink = 0.0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        for (size_t b = lo; b < hi; b += kBatch) {
+          const size_t n = std::min(kBatch, hi - b);
+          spec.PredictBatchQuantized(qweights.data(), scale, dim,
+                                     rows.data() + b, n,
+                                     out.data() + (b - lo));
+        }
+        sink += out[0];
+        scored += hi - lo;
+      }
+      if (sink == 0.12345) std::printf(" ");
+      total_rows.fetch_add(scored);
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double wall = timer.Seconds();
+  return wall > 0.0 ? static_cast<double>(total_rows.load()) / wall : 0.0;
+}
+
+SimdCompare CompareSimdLevels(int rows, int dim, int threads,
+                              double min_ratio) {
+  data::DenseTableParams params;
+  params.rows = static_cast<Index>(rows);
+  params.cols = static_cast<Index>(dim);
+  params.seed = 29;
+  const matrix::CsrMatrix a = data::MakeDenseTable(params);
+  std::vector<matrix::SparseVectorView> views;
+  views.reserve(rows);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto row = a.Row(i);
+    views.push_back({nullptr, row.values, row.nnz});
+  }
+  Rng rng(31);
+  std::vector<double> weights(dim);
+  for (auto& w : weights) w = rng.Gaussian(0.0, 1.0);
+  std::vector<int8_t> qweights(dim);
+  const double scale =
+      kernels::QuantizeWeights(weights.data(), dim, qweights.data());
+
+  // Identity link: measured margins ARE the quantity the error contract
+  // bounds, no Lipschitz factor to fold in.
+  models::LeastSquaresSpec ls;
+  const double run_sec = bench::EnvDouble("DW_BENCH_KERNEL_SEC", 0.4);
+
+  SimdCompare out;
+  out.rows = rows;
+  out.dim = dim;
+  out.threads = threads;
+  out.int8_scale = scale;
+  double scalar_rate = 0.0;
+  for (const kernels::KernelLevel level :
+       {kernels::KernelLevel::kScalar, kernels::KernelLevel::kAvx2,
+        kernels::KernelLevel::kAvx512}) {
+    KernelLevelRun run;
+    run.level = kernels::ToString(level);
+    run.supported = kernels::LevelSupported(level);
+    if (run.supported) {
+      kernels::ScopedKernelLevelForTesting forced(level);
+      MeasureScoringRate(ls, weights, views, threads, true, run_sec * 0.25);
+      run.rows_per_sec =
+          MeasureScoringRate(ls, weights, views, threads, true, run_sec);
+      if (level == kernels::KernelLevel::kScalar) {
+        scalar_rate = run.rows_per_sec;
+      } else if (run.rows_per_sec > out.best_simd_rows_per_sec) {
+        out.best_simd_rows_per_sec = run.rows_per_sec;
+        out.best_simd_level = run.level;
+      }
+    }
+    out.levels.push_back(std::move(run));
+  }
+  if (out.best_simd_rows_per_sec > 0.0 && scalar_rate > 0.0) {
+    out.simd_over_scalar = out.best_simd_rows_per_sec / scalar_rate;
+    out.simd_ok = out.simd_over_scalar >= min_ratio;
+  }
+
+  // Int8 path at the active (best) level: throughput plus the error-
+  // contract audit -- every margin vs the float margin, against its own
+  // per-row bound (scale/2) * sum|x| + reassociation slack.
+  {
+    MeasureQuantizedRate(ls, qweights, scale, views, threads, run_sec * 0.25);
+    out.int8_rows_per_sec =
+        MeasureQuantizedRate(ls, qweights, scale, views, threads, run_sec);
+    const double f64_best =
+        std::max(out.best_simd_rows_per_sec, scalar_rate);
+    out.int8_over_f64 =
+        f64_best > 0.0 ? out.int8_rows_per_sec / f64_best : 0.0;
+    std::vector<double> f64(views.size());
+    std::vector<double> i8(views.size());
+    ls.PredictBatch(weights.data(), dim, views.data(), views.size(),
+                    f64.data());
+    ls.PredictBatchQuantized(qweights.data(), scale, dim, views.data(),
+                             views.size(), i8.data());
+    out.int8_within_bound = true;
+    for (size_t r = 0; r < views.size(); ++r) {
+      double abs_sum = 0.0;
+      for (size_t k = 0; k < views[r].nnz; ++k) {
+        abs_sum += std::abs(views[r].values[k]);
+      }
+      const double err = std::abs(i8[r] - f64[r]);
+      const double bound = (scale / 2) * abs_sum + 1e-9 * (1.0 + abs_sum);
+      out.int8_max_abs_err = std::max(out.int8_max_abs_err, err);
+      out.int8_err_bound = std::max(out.int8_err_bound, bound);
+      if (err > bound) out.int8_within_bound = false;
+    }
+  }
   return out;
 }
 
@@ -1431,13 +1604,51 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(tel.exporter.snapshots),
       static_cast<unsigned long long>(tel.exporter.last_prometheus_bytes));
 
+  // --- experiment 8: SIMD dispatch levels + int8 quantized scoring -------
+  const double simd_min_ratio =
+      bench::EnvDouble("DW_BENCH_SIMD_MIN_RATIO", 0.9);
+  const SimdCompare sc = CompareSimdLevels(dense_rows, dense_dim,
+                                           topo.total_cores(),
+                                           simd_min_ratio);
+  Table isa_table("Scoring kernels by ISA level (dense " +
+               std::to_string(sc.rows) + " x " + std::to_string(sc.dim) +
+               ", " + std::to_string(sc.threads) +
+               " threads, PredictBatch forced per level)");
+  isa_table.SetHeader({"level", "supported", "rows/s"});
+  for (const KernelLevelRun& lr_run : sc.levels) {
+    isa_table.AddRow({lr_run.level, lr_run.supported ? "yes" : "no",
+                   lr_run.supported ? Table::Num(lr_run.rows_per_sec, 0)
+                                    : "-"});
+  }
+  isa_table.AddRow({"int8 (" + std::string(kernels::ToString(
+                                kernels::ActiveKernelLevel())) +
+                     ")",
+                 "yes", Table::Num(sc.int8_rows_per_sec, 0)});
+  isa_table.Print();
+  std::printf(
+      "\ndispatch: detected %s, active %s, block_cols %u; best SIMD %s at "
+      "%.2fx scalar-tiled (gate: >= %.2fx)%s\n",
+      kernels::ToString(kernels::DetectKernelLevel()),
+      kernels::ToString(kernels::ActiveKernelLevel()),
+      static_cast<unsigned>(kernels::Tuning().block_cols),
+      sc.best_simd_level.c_str(), sc.simd_over_scalar, simd_min_ratio,
+      sc.best_simd_level == "none" ? " [scalar-only host: gate vacuous]"
+                                   : "");
+  std::printf(
+      "int8: %.0f rows/s (%.2fx best f64), scale %.3e, max |margin err| "
+      "%.3e vs bound %.3e -- %s\n",
+      sc.int8_rows_per_sec, sc.int8_over_f64, sc.int8_scale,
+      sc.int8_max_abs_err, sc.int8_err_bound,
+      sc.int8_within_bound ? "within contract" : "CONTRACT VIOLATED");
+  const bool kernels_ok = sc.simd_ok && sc.int8_within_bound;
+
   // --- machine-readable artifact -----------------------------------------
   const char* json_path = std::getenv("DW_BENCH_JSON");
   if (json_path != nullptr && json_path[0] != '\0') {
     JsonWriter j;
     j.BeginObject();
     j.Field("bench", "serving");
-    j.Field("schema_version", 5);
+    j.Field("schema_version", 6);
     j.Field("smoke", smoke);
     j.Field("unix_time", static_cast<int64_t>(std::time(nullptr)));
     j.Field("topology", topo.name);
@@ -1622,6 +1833,35 @@ int main(int argc, char** argv) {
     j.Field("exporter_last_render_ms", tel.exporter.last_render_ms);
     j.Field("exporter_prometheus_bytes", tel.exporter.last_prometheus_bytes);
     j.EndObject();
+    j.Key("kernels").BeginObject();
+    j.Field("dense_rows", sc.rows);
+    j.Field("dense_dim", sc.dim);
+    j.Field("threads", sc.threads);
+    j.Field("detected_level", kernels::ToString(kernels::DetectKernelLevel()));
+    j.Field("active_level", kernels::ToString(kernels::ActiveKernelLevel()));
+    j.Field("block_cols", static_cast<uint64_t>(kernels::Tuning().block_cols));
+    j.Key("levels").BeginArray();
+    for (const KernelLevelRun& run : sc.levels) {
+      j.BeginObject();
+      j.Field("level", run.level);
+      j.Field("supported", run.supported);
+      j.Field("rows_per_sec", run.rows_per_sec);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.Field("best_simd_level", sc.best_simd_level);
+    j.Field("best_simd_rows_per_sec", sc.best_simd_rows_per_sec);
+    j.Field("simd_over_scalar", sc.simd_over_scalar);
+    j.Field("simd_min_ratio_gate", simd_min_ratio);
+    j.Field("simd_ok", sc.simd_ok);
+    j.Field("int8_rows_per_sec", sc.int8_rows_per_sec);
+    j.Field("int8_over_f64", sc.int8_over_f64);
+    j.Field("int8_scale", sc.int8_scale);
+    j.Field("int8_max_abs_err", sc.int8_max_abs_err);
+    j.Field("int8_err_bound", sc.int8_err_bound);
+    j.Field("int8_within_bound", sc.int8_within_bound);
+    j.Field("kernels_ok", kernels_ok);
+    j.EndObject();
     j.EndObject();
     if (!j.WriteFile(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path);
@@ -1649,10 +1889,10 @@ int main(int argc, char** argv) {
     // to gate perf on a noisy shared runner.
     std::printf(
         "smoke run complete (gates: replication %s, speedup %s, "
-        "collocated fetch %s, admission %s, telemetry %s)\n",
+        "collocated fetch %s, admission %s, telemetry %s, kernels %s)\n",
         replication_ok ? "ok" : "MISSED", speedup_ok ? "ok" : "MISSED",
         store_ok ? "ok" : "MISSED", admission_ok ? "ok" : "MISSED",
-        telemetry_ok ? "ok" : "MISSED");
+        telemetry_ok ? "ok" : "MISSED", kernels_ok ? "ok" : "MISSED");
     return 0;
   }
   if (!speedup_ok) {
@@ -1673,8 +1913,15 @@ int main(int argc, char** argv) {
         tel_overhead_ok ? "ok" : "over", tel_decomp_ratio,
         tel_decomp_ok ? "ok" : "off");
   }
+  if (!kernels_ok) {
+    std::printf(
+        "FAIL: kernels gate (best SIMD %s at %.2fx scalar-tiled vs %.2fx "
+        "gate: %s; int8 within bound: %s)\n",
+        sc.best_simd_level.c_str(), sc.simd_over_scalar, simd_min_ratio,
+        sc.simd_ok ? "ok" : "under", sc.int8_within_bound ? "yes" : "no");
+  }
   return replication_ok && speedup_ok && store_ok && admission_ok &&
-                 telemetry_ok
+                 telemetry_ok && kernels_ok
              ? 0
              : 1;
 }

@@ -218,6 +218,39 @@ TELEMETRY = {
 TELEMETRY_STAGES = ("admit", "queue", "batch_form", "gather", "score",
                     "complete")
 
+# Schema v6: the SIMD dispatch-level + int8 quantized scoring experiment
+# (per-ISA-level PredictBatch throughput on the exp-2 dense workload, the
+# dequantize-free int8 path, and its documented error-contract audit).
+KERNELS = {
+    "dense_rows": NUM,
+    "dense_dim": NUM,
+    "threads": NUM,
+    "detected_level": str,
+    "active_level": str,
+    "block_cols": NUM,
+    "levels": list,
+    "best_simd_level": str,
+    "best_simd_rows_per_sec": NUM,
+    "simd_over_scalar": NUM,
+    "simd_min_ratio_gate": NUM,
+    "simd_ok": bool,
+    "int8_rows_per_sec": NUM,
+    "int8_over_f64": NUM,
+    "int8_scale": NUM,
+    "int8_max_abs_err": NUM,
+    "int8_err_bound": NUM,
+    "int8_within_bound": bool,
+    "kernels_ok": bool,
+}
+
+KERNEL_LEVEL = {
+    "level": str,
+    "supported": bool,
+    "rows_per_sec": NUM,
+}
+
+KERNEL_LEVEL_NAMES = ("scalar", "avx2", "avx512")
+
 
 def check_all(obj, spec, where):
     for key, typ in spec.items():
@@ -331,12 +364,35 @@ def main():
                 fail(f"telemetry.mean_stage_us.{stage} is not a number")
         telemetry_trials = len(tel["on_trial_rows_per_sec"])
 
+    # Schema v6: the SIMD dispatch + int8 quantization experiment.
+    kernel_levels = 0
+    if doc["schema_version"] >= 6:
+        ker = require(doc, "kernels", dict, "top level")
+        check_all(ker, KERNELS, "kernels")
+        if not ker["levels"]:
+            fail("kernels.levels is empty")
+        for i, lvl in enumerate(ker["levels"]):
+            check_all(lvl, KERNEL_LEVEL, f"kernels.levels[{i}]")
+        names = {l["level"] for l in ker["levels"]}
+        if set(KERNEL_LEVEL_NAMES) != names:
+            fail(f"kernels.levels names {sorted(names)}, want "
+                 f"{sorted(KERNEL_LEVEL_NAMES)} (every dispatch level must "
+                 "be reported even when unsupported)")
+        if ker["active_level"] not in KERNEL_LEVEL_NAMES:
+            fail(f"kernels.active_level '{ker['active_level']}' is not a "
+                 "known dispatch level")
+        scalar = next(l for l in ker["levels"] if l["level"] == "scalar")
+        if not scalar["supported"]:
+            fail("kernels.levels: scalar must always be supported")
+        kernel_levels = len(ker["levels"])
+
     print(f"schema OK: {sys.argv[1]} "
           f"({len(doc['replication_runs'])} replication runs, "
           f"{len(doc['families'])} families, "
           f"{store_runs} feature-store runs, "
           f"{admission_runs} admission runs, "
-          f"{telemetry_trials} telemetry trial pairs)")
+          f"{telemetry_trials} telemetry trial pairs, "
+          f"{kernel_levels} kernel levels)")
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "kernels/score_kernels.h"
 #include "util/logging.h"
 
 namespace dw::models {
@@ -35,169 +36,24 @@ void GlmSpec::RefreshAux(const Dataset& d, const double* model,
 }
 
 // ------------------------------------------------- batched scoring ----
-
-namespace {
-
-/// How the batched kernel scans one row of the mini-batch.
-enum class RowKind : uint8_t {
-  kDenseFull,   ///< identity pattern spanning the full model: tiled 4 at
-                ///< a time, no index loads
-  kDenseShort,  ///< explicit dense view shorter than the model (identity
-                ///< over a prefix): direct, untiled
-  kSparse,      ///< strictly increasing indices: monotone-cursor gather
-  kFallback,    ///< unsorted/duplicate indices: per-row reference dot
-};
-
-/// Classifies a row in one linear pass over its indices. Explicitly dense
-/// views (null indices, see SparseVectorView) classify in O(1). For
-/// indexed rows the dense check is an exact identity test
-/// (indices[k] == k for all k) written as a branchless OR-fold so it
-/// vectorizes; misclassifying would corrupt scores, so no sampling
-/// shortcuts.
-RowKind ClassifyRow(const SparseVectorView& row, Index dim) {
-  if (row.indices == nullptr) {
-    return row.nnz == static_cast<size_t>(dim) ? RowKind::kDenseFull
-                                               : RowKind::kDenseShort;
-  }
-  if (row.nnz == static_cast<size_t>(dim) && dim > 0) {
-    Index mismatch = 0;
-    for (size_t k = 0; k < row.nnz; ++k) {
-      mismatch |= row.indices[k] ^ static_cast<Index>(k);
-    }
-    if (mismatch == 0) return RowKind::kDenseFull;
-  }
-  for (size_t k = 1; k < row.nnz; ++k) {
-    if (row.indices[k] <= row.indices[k - 1]) return RowKind::kFallback;
-  }
-  return RowKind::kSparse;
-}
-
-/// Dot of one dense value slice against the model over [lo, hi). Eight
-/// independent accumulator lanes break the FP-add latency chain (a single
-/// running sum pins the loop at one add per ~4 cycles, exactly as slow as
-/// the scalar gather dot); lanes are folded pairwise at the end.
-/// Within reassociation epsilon of the scalar left-to-right dot.
-double DenseBlockDot(const double* v, const double* m, Index lo, Index hi) {
-  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
-  double l4 = 0.0, l5 = 0.0, l6 = 0.0, l7 = 0.0;
-  Index j = lo;
-  for (; j + 8 <= hi; j += 8) {
-    l0 += v[j] * m[j];
-    l1 += v[j + 1] * m[j + 1];
-    l2 += v[j + 2] * m[j + 2];
-    l3 += v[j + 3] * m[j + 3];
-    l4 += v[j + 4] * m[j + 4];
-    l5 += v[j + 5] * m[j + 5];
-    l6 += v[j + 6] * m[j + 6];
-    l7 += v[j + 7] * m[j + 7];
-  }
-  double tail = 0.0;
-  for (; j < hi; ++j) tail += v[j] * m[j];
-  return (((l0 + l4) + (l1 + l5)) + ((l2 + l6) + (l3 + l7))) + tail;
-}
-
-/// The register tile of the batched dense path: four rows against one
-/// model slice, two lanes per row. Each model element is loaded ONCE per
-/// four rows (a 4x cut in model traffic before the cache even helps) and
-/// the eight independent chains keep the FP pipeline full -- this is
-/// where the batched-vs-scalar speedup comes from on dense workloads.
-void Dense4BlockDot(const double* v0, const double* v1, const double* v2,
-                    const double* v3, const double* m, Index lo, Index hi,
-                    double* acc4) {
-  double a0 = 0.0, b0 = 0.0, a1 = 0.0, b1 = 0.0;
-  double a2 = 0.0, b2 = 0.0, a3 = 0.0, b3 = 0.0;
-  Index j = lo;
-  for (; j + 2 <= hi; j += 2) {
-    const double m0 = m[j], m1 = m[j + 1];
-    a0 += v0[j] * m0;
-    b0 += v0[j + 1] * m1;
-    a1 += v1[j] * m0;
-    b1 += v1[j + 1] * m1;
-    a2 += v2[j] * m0;
-    b2 += v2[j + 1] * m1;
-    a3 += v3[j] * m0;
-    b3 += v3[j + 1] * m1;
-  }
-  for (; j < hi; ++j) {
-    const double mj = m[j];
-    a0 += v0[j] * mj;
-    a1 += v1[j] * mj;
-    a2 += v2[j] * mj;
-    a3 += v3[j] * mj;
-  }
-  acc4[0] += a0 + b0;
-  acc4[1] += a1 + b1;
-  acc4[2] += a2 + b2;
-  acc4[3] += a3 + b3;
-}
-
-}  // namespace
+//
+// The classification + cache-blocking skeleton and the per-ISA inner
+// loops live in src/kernels/ (runtime-dispatched: scalar, AVX2, AVX-512,
+// forceable via DW_KERNEL_LEVEL). The GLM layer computes raw margins
+// through the kernels and applies the spec's link function.
 
 void GlmSpec::PredictBatch(const double* model, Index dim,
                            const SparseVectorView* rows, size_t n,
                            double* out) const {
-  for (size_t base = 0; base < n; base += kPredictRowChunk) {
-    const size_t chunk = std::min(kPredictRowChunk, n - base);
-    double acc[kPredictRowChunk];
-    size_t cursor[kPredictRowChunk];
-    size_t dense_full[kPredictRowChunk];
-    size_t n_full = 0;
-    RowKind kind[kPredictRowChunk];
-    for (size_t r = 0; r < chunk; ++r) {
-      acc[r] = 0.0;
-      cursor[r] = 0;
-      kind[r] = ClassifyRow(rows[base + r], dim);
-      if (kind[r] == RowKind::kDenseFull) {
-        dense_full[n_full++] = r;
-      } else if (kind[r] == RowKind::kFallback) {
-        out[base + r] = Link(rows[base + r].Dot(model));
-      }
-    }
-    // Tile the feature dimension: each model block is read once and stays
-    // cached while every row of the chunk consumes its slice.
-    for (Index lo = 0; lo < dim; lo += kPredictBlockCols) {
-      const Index hi = std::min<Index>(dim, lo + kPredictBlockCols);
-      // Full-width dense rows, four per register tile.
-      size_t g = 0;
-      for (; g + 4 <= n_full; g += 4) {
-        double a4[4] = {0.0, 0.0, 0.0, 0.0};
-        Dense4BlockDot(rows[base + dense_full[g]].values,
-                       rows[base + dense_full[g + 1]].values,
-                       rows[base + dense_full[g + 2]].values,
-                       rows[base + dense_full[g + 3]].values, model, lo, hi,
-                       a4);
-        for (int t = 0; t < 4; ++t) acc[dense_full[g + t]] += a4[t];
-      }
-      for (; g < n_full; ++g) {
-        acc[dense_full[g]] +=
-            DenseBlockDot(rows[base + dense_full[g]].values, model, lo, hi);
-      }
-      // Short dense and sparse rows, one at a time.
-      for (size_t r = 0; r < chunk; ++r) {
-        const SparseVectorView& row = rows[base + r];
-        if (kind[r] == RowKind::kDenseShort) {
-          const Index end = std::min<Index>(hi, static_cast<Index>(row.nnz));
-          if (lo < end) acc[r] += DenseBlockDot(row.values, model, lo, end);
-        } else if (kind[r] == RowKind::kSparse) {
-          // Sparse terms fold into the running sum one by one (seeded
-          // from acc[r], not a fresh partial), keeping the exact
-          // left-to-right association of the scalar dot: the sparse path
-          // stays bitwise equal to Predict().
-          size_t k = cursor[r];
-          double a = acc[r];
-          while (k < row.nnz && row.indices[k] < hi) {
-            a += row.values[k] * model[row.indices[k]];
-            ++k;
-          }
-          cursor[r] = k;
-          acc[r] = a;
-        }
-      }
-    }
-    for (size_t r = 0; r < chunk; ++r) {
-      if (kind[r] != RowKind::kFallback) out[base + r] = Link(acc[r]);
-    }
-  }
+  kernels::ScoreBatchMargins(model, dim, rows, n, out);
+  for (size_t r = 0; r < n; ++r) out[r] = Link(out[r]);
+}
+
+void GlmSpec::PredictBatchQuantized(const int8_t* qmodel, double scale,
+                                    Index dim, const SparseVectorView* rows,
+                                    size_t n, double* out) const {
+  kernels::ScoreBatchMarginsInt8(qmodel, scale, dim, rows, n, out);
+  for (size_t r = 0; r < n; ++r) out[r] = Link(out[r]);
 }
 
 // ---------------------------------------------------------------- SVM ----

@@ -27,10 +27,12 @@ double Sigmoid(double z);
 /// -- the access pattern whose read cost is sum n_i^2 in Fig. 6).
 class GlmSpec : public ModelSpec {
  public:
-  /// Feature-dimension tile of the batched scoring kernels: 4096 doubles
-  /// = 32 KB of model, small enough to sit in L1/L2 while a mini-batch's
-  /// row slices stream past it. Models at or under one tile skip the
-  /// blocking machinery entirely.
+  /// Default feature-dimension tile of the batched scoring kernels: 4096
+  /// doubles = 32 KB of model, small enough to sit in L1/L2 while a
+  /// mini-batch's row slices stream past it. The actual tile is resolved
+  /// per machine by kernels::Tuning() (DW_KERNEL_BLOCK_COLS override or a
+  /// numa::BandwidthProbe auto-pick); this constant is its fallback and
+  /// the figure the ModelBytes accounting comments reference.
   static constexpr matrix::Index kPredictBlockCols = 4096;
   /// Rows scored per chunk; accumulators and cursors live on the stack.
   static constexpr size_t kPredictRowChunk = 128;
@@ -44,12 +46,14 @@ class GlmSpec : public ModelSpec {
   void RefreshAux(const data::Dataset& d, const double* model,
                   double* aux) const override;
 
-  /// Cache-blocked batched scoring shared by the GLM family. Rows are
-  /// classified once per batch:
+  /// Cache-blocked batched scoring shared by the GLM family, running on
+  /// the runtime-dispatched kernels of src/kernels/ (scalar, AVX2, or
+  /// AVX-512 -- bitwise-identical across levels; force one with
+  /// DW_KERNEL_LEVEL for testing). Rows are classified once per batch:
   ///   - full-width dense rows (explicit dense views, or the identity
-  ///     index pattern 0..dim-1) are register-tiled FOUR AT A TIME against
-  ///     each model block: every model element is loaded once per four
-  ///     rows and eight independent accumulator chains keep the FP
+  ///     index pattern 0..dim-1) are tiled FOUR AT A TIME against each
+  ///     model block: every model element is loaded once per four rows
+  ///     and eight independent accumulator lanes per row keep the FP
   ///     pipeline full -- the batched speedup on dense workloads (within
   ///     reassociation epsilon of Predict());
   ///   - shorter explicit dense views take the same column-blocked dense
@@ -61,6 +65,30 @@ class GlmSpec : public ModelSpec {
   void PredictBatch(const double* model, matrix::Index dim,
                     const matrix::SparseVectorView* rows, size_t n,
                     double* out) const override;
+
+  bool SupportsQuantizedPredict() const override { return true; }
+
+  /// Batched scoring against a symmetric int8 quantization of the model
+  /// (see kernels::QuantizeWeights): out[i] = Link(scale * sum v_k q_k),
+  /// computed dequantize-free (weights widened in register, never
+  /// materialized as doubles -- the replica moves 1/8 the bytes).
+  /// Error contract: the pre-link margin differs from the float margin
+  /// by at most (scale/2) * sum_k |x_k| plus reassociation slack; link
+  /// functions with Lipschitz constant L (sigmoid: 1/4) scale the score
+  /// error by at most L.
+  void PredictBatchQuantized(const int8_t* qmodel, double scale,
+                             matrix::Index dim,
+                             const matrix::SparseVectorView* rows, size_t n,
+                             double* out) const override;
+
+  /// Same streaming shape as PredictBatchModelBytes, one byte per weight.
+  uint64_t PredictBatchQuantizedModelBytes(matrix::Index dim,
+                                           uint64_t total_nnz,
+                                           size_t n) const override {
+    const uint64_t chunks =
+        (static_cast<uint64_t>(n) + kPredictRowChunk - 1) / kPredictRowChunk;
+    return std::min<uint64_t>(total_nnz, chunks * dim) * sizeof(int8_t);
+  }
 
   /// The blocked kernel streams each model block at most once per
   /// kPredictRowChunk-row chunk (and never reads more than the rows

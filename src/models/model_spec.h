@@ -15,11 +15,13 @@
 // the auxiliary state makes frequent cross-replica averaging expensive.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "data/dataset.h"
 #include "matrix/csc_matrix.h"
 #include "matrix/sparse_vector.h"
+#include "util/logging.h"
 
 namespace dw::models {
 
@@ -117,6 +119,31 @@ class ModelSpec {
                                           uint64_t total_nnz,
                                           size_t /*n*/) const {
     return total_nnz * sizeof(double);
+  }
+
+  /// True if the spec implements PredictBatchQuantized. Serving refuses
+  /// ServingFamilyOptions{quantized=true} for specs that do not.
+  virtual bool SupportsQuantizedPredict() const { return false; }
+
+  /// Scores `n` rows against a symmetric int8 quantization of the model
+  /// (`qmodel[j] ~= model[j] / scale`, zero point 0 -- see
+  /// kernels::QuantizeWeights for the construction and the bounded-error
+  /// contract). Implementations must be dequantize-free: no double copy
+  /// of the model may be materialized, since the point of the int8
+  /// replica is moving 1/8 the model bytes. Only called when
+  /// SupportsQuantizedPredict() is true.
+  virtual void PredictBatchQuantized(const int8_t* /*qmodel*/,
+                                     double /*scale*/, matrix::Index /*dim*/,
+                                     const matrix::SparseVectorView* /*rows*/,
+                                     size_t /*n*/, double* /*out*/) const {
+    DW_CHECK(false) << name() << " does not support quantized scoring";
+  }
+
+  /// Model bytes one PredictBatchQuantized call reads (int8 replica).
+  virtual uint64_t PredictBatchQuantizedModelBytes(matrix::Index /*dim*/,
+                                                   uint64_t total_nnz,
+                                                   size_t /*n*/) const {
+    return total_nnz * sizeof(int8_t);
   }
 
   /// Touch pattern of RowStep's model write (drives the cost model).

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "kernels/score_kernels.h"
+
 namespace dw::serve {
 
 const char* ToString(Replication r) {
@@ -20,12 +22,13 @@ const char* ToString(Replication r) {
 ModelFamily::ModelFamily(std::string name,
                          std::shared_ptr<numa::NumaAllocator> allocator,
                          Replication replication, std::string rationale,
-                         matrix::Index dim)
+                         matrix::Index dim, bool quantized)
     : name_(std::move(name)),
       allocator_(std::move(allocator)),
       replication_(replication),
       rationale_(std::move(rationale)),
-      dim_(dim) {}
+      dim_(dim),
+      quantized_(quantized) {}
 
 uint64_t ModelFamily::Publish(
     const std::vector<double>& weights,
@@ -53,6 +56,20 @@ uint64_t ModelFamily::Publish(
     std::memcpy(replica.data(), weights.data(),
                 weights.size() * sizeof(double));
     snap->replicas_.push_back(std::move(replica));
+  }
+  if (quantized_) {
+    // Quantize ONCE, then replicate the int8 image with the same
+    // placement as the f64 copies: every reader's node-local int8
+    // replica dequantizes with the same per-family scale.
+    std::vector<int8_t> qimage(weights.size());
+    snap->q_scale_ =
+        kernels::QuantizeWeights(weights.data(), dim_, qimage.data());
+    snap->q_replicas_.reserve(copies);
+    for (int n = 0; n < copies; ++n) {
+      auto q = allocator_->AllocateOnNode<int8_t>(n, qimage.size());
+      std::memcpy(q.data(), qimage.data(), qimage.size() * sizeof(int8_t));
+      snap->q_replicas_.push_back(std::move(q));
+    }
   }
 
   // Counter first, pointer second: a reader that acquires the NEW
@@ -100,7 +117,7 @@ ModelFamily* ModelRegistry::RegisterFamily(const std::string& name,
 
   owned_.push_back(std::unique_ptr<ModelFamily>(
       new ModelFamily(name, allocator_, replication, std::move(rationale),
-                      options.traffic.dim)));
+                      options.traffic.dim, options.quantized)));
   ModelFamily* family = owned_.back().get();
   by_name_[name] = family;
   return family;

@@ -82,6 +82,28 @@ class ModelSnapshot {
     return replicas_[node].data();
   }
 
+  /// True when this snapshot also carries int8-quantized replicas
+  /// (FamilyOptions::quantized): Publish() quantized the weights once
+  /// (kernels::QuantizeWeights) and replicated the int8 image with the
+  /// same placement as the f64 replicas.
+  bool quantized() const { return !q_replicas_.empty(); }
+
+  /// Dequantization scale of the int8 replicas (weights ~= scale * q,
+  /// zero point 0). Only meaningful when quantized().
+  double int8_scale() const { return q_scale_; }
+
+  /// Int8 weights a reader on `node` scores against; same placement and
+  /// node validation as WeightsForNode. CHECKs quantized().
+  const int8_t* QuantizedWeightsForNode(numa::NodeId node) const {
+    DW_CHECK(!q_replicas_.empty())
+        << family_ << " has no quantized replicas";
+    DW_CHECK_GE(node, 0) << "negative node for " << family_;
+    if (q_replicas_.size() == 1) return q_replicas_[0].data();
+    DW_CHECK_LT(node, static_cast<numa::NodeId>(q_replicas_.size()))
+        << "node out of range for " << family_;
+    return q_replicas_[node].data();
+  }
+
  private:
   friend class ModelFamily;
   ModelSnapshot() = default;
@@ -95,6 +117,11 @@ class ModelSnapshot {
   /// after them (their destructors post to the ledger).
   std::shared_ptr<numa::NumaAllocator> allocator_;
   std::vector<numa::NodeArray<double>> replicas_;
+  /// Int8 image of the same weights, same replication (empty unless the
+  /// family opted in). 1/8 the bytes of replicas_: the bandwidth cut the
+  /// quantized scoring path exists for.
+  std::vector<numa::NodeArray<int8_t>> q_replicas_;
+  double q_scale_ = 0.0;
 };
 
 /// Registration-time description of a family. The traffic estimate feeds
@@ -105,6 +132,11 @@ struct FamilyOptions {
   /// Explicit strategy for benches/ablations; leave unset in production
   /// so the cost model decides.
   std::optional<Replication> replication_override;
+  /// Build int8-quantized replicas alongside the f64 ones at every
+  /// Publish (symmetric per-family scale, see kernels::QuantizeWeights).
+  /// Costs one dim-sized int8 image per replica; enables the
+  /// dequantize-free scoring path with its documented error bound.
+  bool quantized = false;
 };
 
 /// One named model family: a versioned immutable snapshot chain plus the
@@ -121,6 +153,9 @@ class ModelFamily {
   /// Model dimension, fixed at registration. Lock-free; safe on the
   /// request admission hot path.
   matrix::Index dim() const { return dim_; }
+  /// True when every Publish also builds int8 replicas (fixed at
+  /// registration via FamilyOptions::quantized).
+  bool quantized() const { return quantized_; }
 
   /// Copies `weights` into fresh per-node replicas and installs them as
   /// the family's current version (monotonic from 1). The weight count
@@ -146,13 +181,14 @@ class ModelFamily {
   friend class ModelRegistry;
   ModelFamily(std::string name, std::shared_ptr<numa::NumaAllocator> allocator,
               Replication replication, std::string rationale,
-              matrix::Index dim);
+              matrix::Index dim, bool quantized);
 
   const std::string name_;
   std::shared_ptr<numa::NumaAllocator> allocator_;
   const Replication replication_;
   const std::string rationale_;
   const matrix::Index dim_;
+  const bool quantized_;
   /// Serializes publishers so installation order matches version order
   /// (readers rely on current_version() never going backwards). A
   /// blocking mutex: the critical section spans the replica allocation

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "kernels/dispatch.h"
 #include "util/logging.h"
 #include "util/thread_util.h"
 
@@ -115,6 +116,13 @@ Status ServingEngine::RegisterFamily(const std::string& family,
   if (fopts.traffic.dim == 0) {
     return Status::InvalidArgument("traffic estimate needs dim: " + family);
   }
+  // Refused up front rather than CHECK-failing in a worker: quantized
+  // serving needs the spec's dequantize-free int8 kernel.
+  if (fopts.quantized && !spec->SupportsQuantizedPredict()) {
+    return Status::InvalidArgument(
+        "family " + family + ": spec " + spec->name() +
+        " does not support quantized scoring");
+  }
   std::lock_guard<std::mutex> lk(register_mu_);
   // Re-checked under the lock: Start() holds register_mu_ for its whole
   // setup, so a registration racing Start() either lands before the
@@ -130,10 +138,12 @@ Status ServingEngine::RegisterFamily(const std::string& family,
   FamilyOptions reg_opts;
   reg_opts.traffic = fopts.traffic;
   reg_opts.replication_override = fopts.replication_override;
+  reg_opts.quantized = fopts.quantized;
   FamilyState fs;
   fs.name = family;
   fs.family = registry_.RegisterFamily(family, reg_opts);
   fs.spec = spec;
+  fs.quantized = fopts.quantized;
   RequestBatcher::Options bopts = fopts.batch.value_or(options_.batch);
   // Engine-level trace sampling flows into the queue unless the family
   // set its own; a disabled registry keeps the spans ring empty anyway
@@ -164,6 +174,15 @@ Status ServingEngine::RegisterFamily(const std::string& family,
         obs_.GetCounter("store.local_gather_bytes", labels);
     fs.inst.store_remote_bytes =
         obs_.GetCounter("store.remote_gather_bytes", labels);
+    // The dispatch level is resolved once per process, so the label is
+    // fixed here; `weights` says which replica the batched kernel reads.
+    obs::Labels kernel_labels = labels;
+    kernel_labels.emplace_back(
+        "kernel", kernels::ToString(kernels::ActiveKernelLevel()));
+    kernel_labels.emplace_back("weights",
+                               fopts.quantized ? "int8" : "f64");
+    fs.inst.kernel_rows =
+        obs_.GetCounter("serve.kernel_rows", std::move(kernel_labels));
     fs.inst.latency_ms = obs_.GetHistogram("serve.latency_ms", labels);
     fs.inst.staleness_ms = obs_.GetHistogram("serve.staleness_ms", labels);
     fs.inst.versions_behind =
@@ -532,6 +551,11 @@ void ServingEngine::WorkerLoop(int worker_id) {
     }
     const double* weights = snap->WeightsForNode(node);
     const bool replica_local = snap->ReplicaNodeFor(node) == node;
+    // Quantized serving is a batched-kernel property: scalar mode (the
+    // per-row bench baseline) keeps reading the f64 replica. snap->
+    // quantized() is re-checked per snapshot only as a belt -- a family
+    // registered quantized builds int8 replicas on every Publish.
+    const bool use_int8 = batched && fs.quantized && snap->quantized();
     // Staleness of the version this batch serves: how long ago its
     // weights left the trainer, and how many publishes have landed since.
     const auto acquired_at = std::chrono::steady_clock::now();
@@ -593,7 +617,11 @@ void ServingEngine::WorkerLoop(int worker_id) {
     // modes (the pre-PredictBatch code resolved row r before scoring
     // r+1, which folded the kernel into the completion loop).
     scores.resize(rows);
-    if (batched) {
+    if (use_int8) {
+      fs.spec->PredictBatchQuantized(snap->QuantizedWeightsForNode(node),
+                                     snap->int8_scale(), snap->dim(),
+                                     views.data(), rows, scores.data());
+    } else if (batched) {
       fs.spec->PredictBatch(weights, snap->dim(), views.data(), rows,
                             scores.data());
     } else {
@@ -644,8 +672,11 @@ void ServingEngine::WorkerLoop(int worker_id) {
       // The spec reports what its batched kernel actually streams: the
       // blocked GLM kernels read each model tile once per row chunk; the
       // reference default re-gathers per row like scalar mode.
-      const uint64_t model_bytes = fs.spec->PredictBatchModelBytes(
-          snap->dim(), batch_nnz, batch.rows());
+      const uint64_t model_bytes =
+          use_int8 ? fs.spec->PredictBatchQuantizedModelBytes(
+                         snap->dim(), batch_nnz, batch.rows())
+                   : fs.spec->PredictBatchModelBytes(snap->dim(), batch_nnz,
+                                                     batch.rows());
       if (replica_local) {
         delta.model_read_bytes += model_bytes;
       } else {
@@ -678,6 +709,7 @@ void ServingEngine::WorkerLoop(int worker_id) {
     // Family counters: lock-free sharded adds, no spinlock.
     inst.batches->Increment();
     inst.rows->Add(rows);
+    if (batched) inst.kernel_rows->Add(rows);
     (replica_local ? inst.local_replica_batches
                    : inst.remote_replica_batches)
         ->Increment();
@@ -748,6 +780,9 @@ ServingStats ServingEngine::Stats() const {
     FamilyServingStats& out = s.families[f];
     out.family = fs.name;
     out.replication = fs.family->replication();
+    out.kernel_level = kernels::ToString(kernels::ActiveKernelLevel());
+    out.quantized = fs.quantized;
+    out.kernel_rows = inst.kernel_rows->Value();
     out.served_version = fs.family->current_version();
     out.store_version =
         fs.store != nullptr ? fs.store->current_version() : 0;

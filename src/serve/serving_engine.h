@@ -124,6 +124,15 @@ struct ServingFamilyOptions {
   /// family's batches and admission capacity). Clients not listed here
   /// get weight 1 on first Submit.
   std::vector<std::pair<ClientId, double>> client_weights;
+  /// Serve this family from int8-quantized replicas: every Publish also
+  /// builds an int8 image (symmetric per-family scale, zero point 0) and
+  /// batched workers score through the spec's dequantize-free
+  /// PredictBatchQuantized kernel, moving 1/8 the model bytes. Scores
+  /// carry the bounded quantization error documented at
+  /// kernels::QuantizeWeights. RegisterFamily refuses this for specs
+  /// without SupportsQuantizedPredict(). Scalar-mode workers (the bench
+  /// baseline) keep scoring the f64 replica.
+  bool quantized = false;
 };
 
 /// Per-client admission/service counters inside FamilyServingStats.
@@ -140,6 +149,14 @@ struct ClientServingStats {
 struct FamilyServingStats {
   std::string family;
   Replication replication = Replication::kPerNode;
+  /// The scoring-kernel dispatch level every batched kernel ran at
+  /// ("scalar" | "avx2" | "avx512"; kernels::ActiveKernelLevel()).
+  std::string kernel_level;
+  /// True when the family serves from int8-quantized replicas.
+  bool quantized = false;
+  /// Rows scored through the batched kernels (subset of `requests`;
+  /// scalar-mode and fallback rows are excluded).
+  uint64_t kernel_rows = 0;
   uint64_t requests = 0;  ///< rows scored (fulfilled futures)
   uint64_t batches = 0;
   double rows_per_sec = 0.0;
@@ -353,6 +370,9 @@ class ServingEngine {
     obs::Counter* remote_store_rows = nullptr;
     obs::Counter* store_local_bytes = nullptr;
     obs::Counter* store_remote_bytes = nullptr;
+    /// serve.kernel_rows{family=...,kernel=<level>,weights=f64|int8}:
+    /// rows scored through the batched dispatch kernels.
+    obs::Counter* kernel_rows = nullptr;
     obs::Histogram* latency_ms = nullptr;
     obs::Histogram* staleness_ms = nullptr;
     obs::Histogram* versions_behind = nullptr;
@@ -369,6 +389,8 @@ class ServingEngine {
     /// registered (owned by stores_, so COW table copies share it).
     FeatureStore* store = nullptr;
     FamilyId queue = 0;
+    /// Score from the snapshot's int8 replicas (batched mode only).
+    bool quantized = false;
     FamilyInstruments inst;
   };
 

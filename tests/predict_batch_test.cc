@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "kernels/dispatch.h"
+#include "kernels/score_kernels.h"
 #include "models/glm.h"
 #include "models/graph_opt.h"
 #include "serve/serving_engine.h"
@@ -275,6 +279,150 @@ TYPED_TEST(GlmPredictBatchTest, RandomizedFuzzedBatchesMatchScalar) {
   }
 }
 
+/// Same fuzzed row-shape mix as RandomizedFuzzedBatchesMatchScalar (all
+/// six classes the serving path can produce), factored out so the
+/// per-ISA-level suite fuzzes identical batches.
+RowSet FuzzedRows(Rng& rng, Index dim, size_t n) {
+  RowSet rs;
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<Index> idx;
+    std::vector<double> val;
+    switch (rng.Below(6)) {
+      case 0:
+        break;
+      case 1:
+        val.resize(dim);
+        break;
+      case 2:
+        val.resize(1 + rng.Below(dim));
+        break;
+      case 3: {
+        const size_t len = 1 + rng.Below(dim);
+        idx.resize(len);
+        for (size_t k = 0; k < len; ++k) idx[k] = static_cast<Index>(k);
+        val.resize(len);
+        break;
+      }
+      case 4: {
+        const size_t want = 1 + rng.Below(64);
+        idx.resize(want);
+        for (auto& i : idx) i = static_cast<Index>(rng.Below(dim));
+        std::sort(idx.begin(), idx.end());
+        idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+        val.resize(idx.size());
+        break;
+      }
+      default: {
+        const size_t len = 1 + rng.Below(64);
+        idx.resize(len);
+        for (auto& i : idx) i = static_cast<Index>(rng.Below(dim));
+        val.resize(len);
+        break;
+      }
+    }
+    for (auto& v : val) v = rng.Gaussian(0.0, 1.0);
+    rs.indices.push_back(std::move(idx));
+    rs.values.push_back(std::move(val));
+  }
+  return rs;
+}
+
+TYPED_TEST(GlmPredictBatchTest, SimdLevelsBitwiseEqualScalarOnFuzzedBatches) {
+  // The CI dispatch matrix's in-process twin: for every supported ISA
+  // level, a forced PredictBatch must reproduce the forced-scalar output
+  // BITWISE (EXPECT_EQ on doubles, not NEAR) across all fuzzed row-shape
+  // classes and blocking seams. Denormal-magnitude weights are mixed in:
+  // equality has to hold where rounding is least forgiving.
+  std::vector<kernels::KernelLevel> simd;
+  for (kernels::KernelLevel l :
+       {kernels::KernelLevel::kAvx2, kernels::KernelLevel::kAvx512}) {
+    if (kernels::LevelSupported(l)) simd.push_back(l);
+  }
+  if (simd.empty()) {
+    GTEST_SKIP() << "host CPU has no AVX2/AVX-512; scalar-only";
+  }
+  constexpr uint64_t kSeed = 0xba7c4ed5eedULL;
+  Rng rng(kSeed);
+  for (int iter = 0; iter < 12; ++iter) {
+    const Index dim = 1 + static_cast<Index>(rng.Below(
+                              2 * GlmSpec::kPredictBlockCols + 500));
+    const size_t n = 1 + rng.Below(GlmSpec::kPredictRowChunk + 33);
+    RowSet rs = FuzzedRows(rng, dim, n);
+    std::vector<double> model = RandomModel(dim, rng.Next());
+    // A few denormal / extreme weights per iteration.
+    for (int k = 0; k < 8; ++k) {
+      model[rng.Below(dim)] = rng.Gaussian(0.0, 1e-310);
+      model[rng.Below(dim)] = rng.Gaussian(0.0, 1e120);
+    }
+    const std::vector<SparseVectorView> views = rs.Views();
+    std::vector<double> ref(views.size()), got(views.size());
+    {
+      kernels::ScopedKernelLevelForTesting forced(
+          kernels::KernelLevel::kScalar);
+      this->spec.PredictBatch(model.data(), dim, views.data(), views.size(),
+                              ref.data());
+    }
+    for (kernels::KernelLevel l : simd) {
+      kernels::ScopedKernelLevelForTesting forced(l);
+      this->spec.PredictBatch(model.data(), dim, views.data(), views.size(),
+                              got.data());
+      for (size_t r = 0; r < views.size(); ++r) {
+        EXPECT_EQ(got[r], ref[r])
+            << this->spec.name() << " level " << kernels::ToString(l)
+            << " iter " << iter << " dim " << dim << " row " << r;
+      }
+    }
+  }
+}
+
+TYPED_TEST(GlmPredictBatchTest, QuantizedBatchWithinDocumentedErrorBound) {
+  // PredictBatchQuantized against float PredictBatch, per row:
+  // |score_q - score| <= L * (scale/2) * sum|x| + slack, with L the link's
+  // Lipschitz constant (sigmoid 1/4, identity otherwise). Also pinned
+  // bitwise-equal across ISA levels like the float path.
+  const double lipschitz =
+      std::is_same<TypeParam, LogisticSpec>::value ? 0.25 : 1.0;
+  constexpr uint64_t kSeed = 0x1be8f00dULL;
+  Rng rng(kSeed);
+  for (int iter = 0; iter < 8; ++iter) {
+    const Index dim = 16 + static_cast<Index>(rng.Below(
+                               GlmSpec::kPredictBlockCols + 700));
+    const size_t n = 1 + rng.Below(80);
+    RowSet rs = FuzzedRows(rng, dim, n);
+    const std::vector<double> model = RandomModel(dim, rng.Next());
+    std::vector<int8_t> q(dim);
+    const double scale =
+        kernels::QuantizeWeights(model.data(), dim, q.data());
+    const std::vector<SparseVectorView> views = rs.Views();
+    std::vector<double> f64(views.size()), i8(views.size());
+    this->spec.PredictBatch(model.data(), dim, views.data(), views.size(),
+                            f64.data());
+    this->spec.PredictBatchQuantized(q.data(), scale, dim, views.data(),
+                                     views.size(), i8.data());
+    for (size_t r = 0; r < views.size(); ++r) {
+      double abs_sum = 0.0;
+      for (const double v : rs.values[r]) abs_sum += std::abs(v);
+      const double bound =
+          lipschitz * (scale / 2) * abs_sum + 1e-9 * (1.0 + abs_sum);
+      EXPECT_LE(std::abs(i8[r] - f64[r]), bound)
+          << this->spec.name() << " iter " << iter << " row " << r;
+    }
+    for (kernels::KernelLevel l :
+         {kernels::KernelLevel::kAvx2, kernels::KernelLevel::kAvx512}) {
+      if (!kernels::LevelSupported(l)) continue;
+      std::vector<double> forced(views.size());
+      kernels::ScopedKernelLevelForTesting scoped(l);
+      this->spec.PredictBatchQuantized(q.data(), scale, dim, views.data(),
+                                       views.size(), forced.data());
+      for (size_t r = 0; r < views.size(); ++r) {
+        EXPECT_EQ(forced[r], i8[r])
+            << this->spec.name() << " level " << kernels::ToString(l)
+            << " iter " << iter << " row " << r;
+      }
+    }
+  }
+}
+
 TEST(PredictBatchDefaultTest, NonGlmSpecUsesRowByRowReference) {
   // LpSpec does not override PredictBatch: the ModelSpec default must
   // delegate to the spec's own Predict row by row.
@@ -342,6 +490,80 @@ TEST(PredictBatchServingTest, BatchedKernelsServeEachFamilysOwnSpec) {
         << "ls row " << r;
   }
   server.Stop();
+}
+
+TEST(PredictBatchServingTest, QuantizedFamilyServesWithinErrorBound) {
+  // End-to-end int8 serving: a family registered with quantized=true is
+  // scored by workers through PredictBatchQuantized against the int8
+  // replicas Publish() built -- every score must match the spec's own
+  // quantized reference exactly and stay within the documented bound of
+  // the float score. A plain family on the same engine keeps serving f64.
+  LeastSquaresSpec ls;
+  const Index dim = 700;
+  const std::vector<double> model = RandomModel(dim, 41);
+  std::vector<int8_t> q(dim);
+  const double scale = kernels::QuantizeWeights(model.data(), dim, q.data());
+  RowSet rs = SparseRows(30, dim, 24, 42);
+
+  serve::ServingOptions opts;
+  opts.topology = numa::Local2();
+  opts.scoring = serve::ScoringMode::kBatched;
+  opts.batch.max_batch_size = 8;
+  opts.batch.max_delay = std::chrono::microseconds(100);
+  serve::ServingEngine server(opts);
+  serve::ServingFamilyOptions fam;
+  fam.traffic.dim = dim;
+  fam.replication_override = serve::Replication::kPerNode;
+  ASSERT_TRUE(server.RegisterFamily("plain", &ls, fam).ok());
+  fam.quantized = true;
+  ASSERT_TRUE(server.RegisterFamily("int8", &ls, fam).ok());
+  server.Publish("plain", model);
+  server.Publish("int8", model);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<SparseVectorView> views = rs.Views();
+  std::vector<double> want(views.size());
+  ls.PredictBatchQuantized(q.data(), scale, dim, views.data(), views.size(),
+                           want.data());
+  for (size_t r = 0; r < views.size(); ++r) {
+    auto from_q = server.ScoreSync("int8", rs.indices[r], rs.values[r]);
+    auto from_f = server.ScoreSync("plain", rs.indices[r], rs.values[r]);
+    ASSERT_TRUE(from_q.ok());
+    ASSERT_TRUE(from_f.ok());
+    // The worker ran the same deterministic quantized kernel.
+    EXPECT_EQ(from_q.value(), want[r]) << "row " << r;
+    // The f64 family is untouched by its neighbor's opt-in.
+    EXPECT_EQ(from_f.value(), ls.Predict(model.data(), views[r]))
+        << "row " << r;
+    double abs_sum = 0.0;
+    for (const double v : rs.values[r]) abs_sum += std::abs(v);
+    EXPECT_LE(std::abs(from_q.value() - from_f.value()),
+              (scale / 2) * abs_sum + 1e-9 * (1.0 + abs_sum))
+        << "row " << r;
+  }
+  server.Stop();
+  const serve::ServingStats stats = server.Stats();
+  for (const serve::FamilyServingStats& f : stats.families) {
+    EXPECT_EQ(f.quantized, f.family == "int8");
+    EXPECT_EQ(f.kernel_level,
+              kernels::ToString(kernels::ActiveKernelLevel()));
+    EXPECT_EQ(f.kernel_rows, f.requests) << f.family;  // batched mode
+  }
+}
+
+TEST(PredictBatchServingTest, QuantizedRefusedForSpecsWithoutSupport) {
+  // The opt-in is validated at registration, not CHECK-failed in a
+  // worker: LpSpec has no quantized kernel.
+  LpSpec lp;
+  serve::ServingOptions opts;
+  opts.topology = numa::Local2();
+  serve::ServingEngine server(opts);
+  serve::ServingFamilyOptions fam;
+  fam.traffic.dim = 32;
+  fam.quantized = true;
+  const Status s = server.RegisterFamily("lp", &lp, fam);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
 }
 
 }  // namespace
