@@ -1,4 +1,4 @@
-// Serving benchmarks, eight experiments in one binary:
+// Serving benchmarks, nine experiments in one binary:
 //
 //  1. Throughput vs thread count x replication strategy -- the serving
 //     analogue of Fig. 8, run with an explicit per-family replication
@@ -59,6 +59,19 @@
 //     noisy-runner margin, not a speedup promise: the dense kernels are
 //     memory-bound at scale) and on every int8 margin landing within the
 //     documented quantization bound.
+//  9. Live placement tuning under a mid-run traffic shift: a family +
+//     feature store frozen at registration into the publish-heavy
+//     optimum (kPerMachine model, kSharded store) serve a workload that
+//     flips to read-heavy halfway. The opt::PlacementTuner's scans diff
+//     the telemetry registry, re-run the placement choosers on the
+//     OBSERVED reads-per-publish, and live-migrate through the hot-swap
+//     republish path while six producer threads verify every margin
+//     bitwise. Gated on >= 1 migration happening, on zero failed or
+//     torn requests across the migrations, and on post-migration
+//     throughput recovering to DW_BENCH_TUNER_MIN_RECOVERY (default
+//     0.9) of a statically-optimal oracle run. The JSON artifact
+//     carries the full audit trail with each decision's cost-model
+//     inputs.
 //
 // Measured rows/sec comes from the host wall clock; memory-model rows/sec
 // applies the calibrated topology model to the logically-counted serving
@@ -82,10 +95,12 @@
 // queueing-delay budget; defaults 1.0 / 4096 / 4.0), DW_BENCH_TEL_TRIALS
 // / DW_BENCH_TEL_MAX_OVERHEAD (telemetry on/off trial pairs and the
 // overhead gate; defaults 3 / 0.03), DW_BENCH_SIMD_MIN_RATIO (best-SIMD
-// over tiled-scalar gate, default 0.9), DW_BENCH_JSON (path: write the
-// machine-readable result artifact CI archives per commit; schema v6
-// adds the kernels section -- per-ISA-level throughput, the dispatch
-// decision, and the int8 quantization error check).
+// over tiled-scalar gate, default 0.9), DW_BENCH_TUNER_SEC /
+// DW_BENCH_TUNER_MIN_RECOVERY (per-phase window and the post-migration
+// recovery gate; defaults 0.5 / 0.9), DW_BENCH_JSON (path: write the
+// machine-readable result artifact CI archives per commit; schema v7
+// adds the tuner section -- control-loop counters, the migration audit
+// trail with cost-model inputs, and the shift-recovery gates).
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -1237,6 +1252,237 @@ double RunTelemetryTrial(const data::Dataset& d, const models::ModelSpec& spec,
   return total_rows / wall;
 }
 
+// --- experiment 9: live placement tuning under a traffic shift ----------
+
+struct TunerBenchResult {
+  // Observed control-loop activity.
+  uint64_t scans = 0;
+  uint64_t flips = 0;
+  uint64_t period_adjustments = 0;
+  std::vector<opt::TunerDecision> decisions;
+  std::string model_replication;   ///< final strategy after tuning
+  std::string store_placement;     ///< final strategy after tuning
+  // Request-level integrity across every migration.
+  uint64_t served = 0;
+  uint64_t failed = 0;  ///< non-backpressure refusals + torn margins
+  // Throughput, rows/sec.
+  double phase_a_rows_per_sec = 0.0;     ///< publish-heavy, pre-shift
+  double post_flip_rows_per_sec = 0.0;   ///< read-heavy, after migration
+  double static_optimal_rows_per_sec = 0.0;  ///< pinned-optimal baseline
+  double recovery = 0.0;  ///< post_flip / static_optimal
+  // Gates.
+  bool flip_ok = false;
+  bool zero_failed = false;
+  bool recovered = false;
+  double min_recovery = 0.0;
+};
+
+/// One id-keyed flood against `server` run by background producers until
+/// *stop; margins are verified exactly (weights 1.0, row r = all (r+1),
+/// so every score is the integer dim*(r+1) under ANY placement). Rows
+/// and integrity failures accumulate into the shared counters.
+void TunerFloodProducers(serve::ServingEngine& server,
+                         const std::string& family, Index store_rows,
+                         Index dim, int threads, std::atomic<bool>* stop,
+                         std::atomic<uint64_t>* rows,
+                         std::atomic<uint64_t>* failed,
+                         std::vector<std::thread>* out) {
+  for (int p = 0; p < threads; ++p) {
+    out->emplace_back([=, &server] {
+      Index i = static_cast<Index>(p);
+      std::vector<std::pair<Index, std::future<double>>> inflight;
+      inflight.reserve(64);
+      while (!stop->load(std::memory_order_acquire)) {
+        inflight.clear();
+        for (int k = 0; k < 64; ++k) {
+          const Index row = i % store_rows;
+          i += threads;
+          auto s = server.Score(family, row);
+          if (!s.ok()) {
+            if (s.status().code() != Status::Code::kResourceExhausted) {
+              failed->fetch_add(1, std::memory_order_relaxed);
+            }
+            std::this_thread::yield();
+            continue;
+          }
+          inflight.emplace_back(row, std::move(s).value());
+        }
+        for (auto& [row, fut] : inflight) {
+          const double want = static_cast<double>(dim) * (row + 1);
+          if (fut.get() != want) {
+            failed->fetch_add(1, std::memory_order_relaxed);
+          } else {
+            rows->fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+}
+
+/// The ISSUE's acceptance experiment: a family + store registered under
+/// a publish-heavy assumption (kPerMachine model, kSharded store) serve
+/// a workload that SHIFTS mid-run to read-heavy. Phase A republishes the
+/// model every few ms, so the frozen choices are right; phase B stops
+/// republishing and floods gathers, so they are wrong. The tuner's scans
+/// must observe the shift, flip at least one placement, tear zero
+/// requests doing it, and land post-flip throughput within
+/// `min_recovery` of a statically-optimal (kPerNode + kReplicated) run
+/// of the same flood.
+TunerBenchResult RunTunerShift(const numa::Topology& topo, double phase_sec,
+                               double min_recovery) {
+  models::SvmSpec svm;
+  const Index dim = 256;
+  const Index store_rows = 1024;
+  const int producers = 6;
+  std::vector<double> weights(dim, 1.0);
+  std::vector<double> table(static_cast<size_t>(store_rows) * dim);
+  for (Index r = 0; r < store_rows; ++r) {
+    for (Index c = 0; c < dim; ++c) {
+      table[static_cast<size_t>(r) * dim + c] = static_cast<double>(r + 1);
+    }
+  }
+
+  serve::ServingOptions opts;
+  opts.topology = topo;
+  opts.batch.max_batch_size = 64;
+  opts.batch.max_delay = std::chrono::microseconds(200);
+
+  TunerBenchResult res;
+  res.min_recovery = min_recovery;
+
+  {
+    serve::ServingEngine server(opts);
+    DW_CHECK(server
+                 .RegisterFamily("tuned", &svm,
+                                 PinnedFamily(dim,
+                                              serve::Replication::kPerMachine))
+                 .ok());
+    serve::StoreOptions sopts;
+    sopts.placement_override = serve::StorePlacement::kSharded;
+    DW_CHECK(server.RegisterStore("tuned", store_rows, dim, sopts).ok());
+    server.PublishStore("tuned", table);
+    server.Publish("tuned", weights);
+    DW_CHECK(server.Start().ok());
+
+    opt::TunerOptions topts;
+    topts.scan_period = std::chrono::milliseconds(0);  // bench drives scans
+    topts.min_advantage = 1.05;
+    topts.confirm_scans = 2;
+    topts.min_observed_rows = 512;
+    opt::PlacementTuner* tuner = server.EnableTuner(topts);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> rows{0};
+    std::atomic<uint64_t> failed{0};
+    std::vector<std::thread> flood;
+    TunerFloodProducers(server, "tuned", store_rows, dim, producers, &stop,
+                        &rows, &failed, &flood);
+
+    // Phase A: publish-heavy. A republisher refreshes the model every
+    // 500us and the table every 5ms (same bytes, new versions), keeping
+    // observed reads-per-publish low enough that the incumbent
+    // kPerMachine/kSharded choices stay right and the scans record no
+    // decisions.
+    std::atomic<bool> stop_republish{false};
+    std::thread republisher([&] {
+      int tick = 0;
+      while (!stop_republish.load(std::memory_order_acquire)) {
+        server.Publish("tuned", weights);
+        if (++tick % 5 == 0) server.PublishStore("tuned", table);
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+    const uint64_t rows_a0 = rows.load();
+    WallTimer phase_a;
+    while (phase_a.Seconds() < phase_sec) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      tuner->ScanOnce();
+    }
+    res.phase_a_rows_per_sec =
+        (rows.load() - rows_a0) / phase_a.Seconds();
+
+    // Phase B: the shift. Republishing stops, the flood keeps reading:
+    // observed reads-per-publish explodes and the scans must migrate.
+    stop_republish.store(true, std::memory_order_release);
+    republisher.join();
+    WallTimer phase_b;
+    while (tuner->flips() < 2 && phase_b.Seconds() < 4.0 * phase_sec) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      tuner->ScanOnce();
+    }
+
+    // Post-flip window: steady-state throughput under the migrated
+    // placement.
+    const uint64_t rows_b0 = rows.load();
+    WallTimer post;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int64_t>(phase_sec * 1e3)));
+    res.post_flip_rows_per_sec = (rows.load() - rows_b0) / post.Seconds();
+
+    stop.store(true, std::memory_order_release);
+    for (auto& t : flood) t.join();
+    server.Stop();
+
+    res.scans = tuner->scans();
+    res.flips = tuner->flips();
+    res.period_adjustments = tuner->period_adjustments();
+    res.decisions = tuner->Decisions();
+    res.model_replication =
+        ToString(server.registry().FindFamily("tuned")->replication());
+    res.store_placement = ToString(server.FindStore("tuned")->placement());
+    res.served = rows.load();
+    res.failed = failed.load();
+  }
+
+  // Statically-optimal baseline: the read-heavy phase's right answer
+  // (kPerNode + kReplicated) pinned from the start, same flood, same
+  // window -- what an oracle that knew the shift in advance would serve.
+  {
+    serve::ServingEngine server(opts);
+    DW_CHECK(server
+                 .RegisterFamily("tuned", &svm,
+                                 PinnedFamily(dim,
+                                              serve::Replication::kPerNode))
+                 .ok());
+    serve::StoreOptions sopts;
+    sopts.placement_override = serve::StorePlacement::kReplicated;
+    DW_CHECK(server.RegisterStore("tuned", store_rows, dim, sopts).ok());
+    server.PublishStore("tuned", table);
+    server.Publish("tuned", weights);
+    DW_CHECK(server.Start().ok());
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> rows{0};
+    std::atomic<uint64_t> failed{0};
+    std::vector<std::thread> flood;
+    TunerFloodProducers(server, "tuned", store_rows, dim, producers, &stop,
+                        &rows, &failed, &flood);
+    // Matching warmup before the measured window.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int64_t>(phase_sec * 500)));
+    const uint64_t rows0 = rows.load();
+    WallTimer window;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int64_t>(phase_sec * 1e3)));
+    res.static_optimal_rows_per_sec =
+        (rows.load() - rows0) / window.Seconds();
+    stop.store(true, std::memory_order_release);
+    for (auto& t : flood) t.join();
+    server.Stop();
+    res.failed += failed.load();
+  }
+
+  res.recovery = res.static_optimal_rows_per_sec > 0.0
+                     ? res.post_flip_rows_per_sec /
+                           res.static_optimal_rows_per_sec
+                     : 0.0;
+  res.flip_ok = res.flips >= 1;
+  res.zero_failed = res.failed == 0;
+  res.recovered = res.recovery >= min_recovery;
+  return res;
+}
+
 }  // namespace
 }  // namespace dw
 
@@ -1642,13 +1888,51 @@ int main(int argc, char** argv) {
       sc.int8_within_bound ? "within contract" : "CONTRACT VIOLATED");
   const bool kernels_ok = sc.simd_ok && sc.int8_within_bound;
 
+  // --- experiment 9: live placement tuning under a traffic shift ---------
+  const double tuner_min_recovery =
+      bench::EnvDouble("DW_BENCH_TUNER_MIN_RECOVERY", 0.9);
+  const double tuner_phase_sec =
+      smoke ? 0.15 : bench::EnvDouble("DW_BENCH_TUNER_SEC", 0.5);
+  const TunerBenchResult tb =
+      RunTunerShift(topo, tuner_phase_sec, tuner_min_recovery);
+  Table tuner_table(
+      "Live placement tuning across a publish-heavy -> read-heavy shift "
+      "(frozen kPerMachine/kSharded start)");
+  tuner_table.SetHeader({"phase", "rows/s"});
+  tuner_table.AddRow({"A: publish-heavy (incumbent right)",
+                      Table::Num(tb.phase_a_rows_per_sec, 0)});
+  tuner_table.AddRow({"B: read-heavy, post-migration",
+                      Table::Num(tb.post_flip_rows_per_sec, 0)});
+  tuner_table.AddRow({"static optimal (oracle pinning)",
+                      Table::Num(tb.static_optimal_rows_per_sec, 0)});
+  tuner_table.Print();
+  std::printf(
+      "\ntuner: %llu scans, %llu flips -> model %s, store %s; %llu rows "
+      "served, %llu failed/torn; recovery %.2f of static-optimal (gate: >= "
+      "%.2f)\n",
+      static_cast<unsigned long long>(tb.scans),
+      static_cast<unsigned long long>(tb.flips),
+      tb.model_replication.c_str(), tb.store_placement.c_str(),
+      static_cast<unsigned long long>(tb.served),
+      static_cast<unsigned long long>(tb.failed), tb.recovery,
+      tb.min_recovery);
+  for (const opt::TunerDecision& d : tb.decisions) {
+    std::printf("  scan %llu %s %s: %s -> %s (%.0f reads/period, adv "
+                "%.2f) %s\n",
+                static_cast<unsigned long long>(d.scan), d.family.c_str(),
+                d.kind.c_str(), d.from.c_str(), d.to.c_str(),
+                d.observed_reads_per_period, d.advantage,
+                d.migrated ? "[migrated]" : "[held]");
+  }
+  const bool tuner_ok = tb.flip_ok && tb.zero_failed && tb.recovered;
+
   // --- machine-readable artifact -----------------------------------------
   const char* json_path = std::getenv("DW_BENCH_JSON");
   if (json_path != nullptr && json_path[0] != '\0') {
     JsonWriter j;
     j.BeginObject();
     j.Field("bench", "serving");
-    j.Field("schema_version", 6);
+    j.Field("schema_version", 7);
     j.Field("smoke", smoke);
     j.Field("unix_time", static_cast<int64_t>(std::time(nullptr)));
     j.Field("topology", topo.name);
@@ -1862,6 +2146,43 @@ int main(int argc, char** argv) {
     j.Field("int8_within_bound", sc.int8_within_bound);
     j.Field("kernels_ok", kernels_ok);
     j.EndObject();
+    j.Key("tuner").BeginObject();
+    j.Field("scans", tb.scans);
+    j.Field("flips", tb.flips);
+    j.Field("period_adjustments", tb.period_adjustments);
+    j.Field("final_model_replication", tb.model_replication);
+    j.Field("final_store_placement", tb.store_placement);
+    j.Field("served", tb.served);
+    j.Field("failed", tb.failed);
+    j.Field("phase_a_rows_per_sec", tb.phase_a_rows_per_sec);
+    j.Field("post_flip_rows_per_sec", tb.post_flip_rows_per_sec);
+    j.Field("static_optimal_rows_per_sec", tb.static_optimal_rows_per_sec);
+    j.Field("recovery", tb.recovery);
+    j.Field("min_recovery_gate", tb.min_recovery);
+    j.Key("decisions").BeginArray();
+    for (const opt::TunerDecision& d : tb.decisions) {
+      j.BeginObject();
+      j.Field("scan", d.scan);
+      j.Field("family", d.family);
+      j.Field("kind", d.kind);
+      j.Field("from", d.from);
+      j.Field("to", d.to);
+      j.Field("migrated", d.migrated);
+      j.Field("observed_reads_per_period", d.observed_reads_per_period);
+      j.Field("observed_rows", d.observed_rows);
+      j.Field("observed_staleness_ms", d.observed_staleness_ms);
+      j.Field("incumbent_cost_sec", d.incumbent_cost_sec);
+      j.Field("challenger_cost_sec", d.challenger_cost_sec);
+      j.Field("advantage", d.advantage);
+      j.Field("rationale", d.rationale);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.Field("tuner_flip_ok", tb.flip_ok);
+    j.Field("tuner_zero_failed", tb.zero_failed);
+    j.Field("tuner_recovered", tb.recovered);
+    j.Field("tuner_ok", tuner_ok);
+    j.EndObject();
     j.EndObject();
     if (!j.WriteFile(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path);
@@ -1889,10 +2210,12 @@ int main(int argc, char** argv) {
     // to gate perf on a noisy shared runner.
     std::printf(
         "smoke run complete (gates: replication %s, speedup %s, "
-        "collocated fetch %s, admission %s, telemetry %s, kernels %s)\n",
+        "collocated fetch %s, admission %s, telemetry %s, kernels %s, "
+        "tuner %s)\n",
         replication_ok ? "ok" : "MISSED", speedup_ok ? "ok" : "MISSED",
         store_ok ? "ok" : "MISSED", admission_ok ? "ok" : "MISSED",
-        telemetry_ok ? "ok" : "MISSED", kernels_ok ? "ok" : "MISSED");
+        telemetry_ok ? "ok" : "MISSED", kernels_ok ? "ok" : "MISSED",
+        tuner_ok ? "ok" : "MISSED");
     return 0;
   }
   if (!speedup_ok) {
@@ -1920,8 +2243,18 @@ int main(int argc, char** argv) {
         sc.best_simd_level.c_str(), sc.simd_over_scalar, simd_min_ratio,
         sc.simd_ok ? "ok" : "under", sc.int8_within_bound ? "yes" : "no");
   }
+  if (!tuner_ok) {
+    std::printf(
+        "FAIL: tuner gate (flips %llu >= 1: %s, failed/torn %llu == 0: %s, "
+        "recovery %.2f >= %.2f: %s)\n",
+        static_cast<unsigned long long>(tb.flips),
+        tb.flip_ok ? "ok" : "no",
+        static_cast<unsigned long long>(tb.failed),
+        tb.zero_failed ? "ok" : "no", tb.recovery, tb.min_recovery,
+        tb.recovered ? "ok" : "under");
+  }
   return replication_ok && speedup_ok && store_ok && admission_ok &&
-                 telemetry_ok && kernels_ok
+                 telemetry_ok && kernels_ok && tuner_ok
              ? 0
              : 1;
 }

@@ -251,6 +251,48 @@ KERNEL_LEVEL = {
 
 KERNEL_LEVEL_NAMES = ("scalar", "avx2", "avx512")
 
+# Schema v7: the live placement-tuning experiment (opt::PlacementTuner
+# migrating a frozen kPerMachine/kSharded serving setup across a
+# publish-heavy -> read-heavy traffic shift, with the full decision audit
+# trail and the shift-recovery gates).
+TUNER = {
+    "scans": NUM,
+    "flips": NUM,
+    "period_adjustments": NUM,
+    "final_model_replication": str,
+    "final_store_placement": str,
+    "served": NUM,
+    "failed": NUM,
+    "phase_a_rows_per_sec": NUM,
+    "post_flip_rows_per_sec": NUM,
+    "static_optimal_rows_per_sec": NUM,
+    "recovery": NUM,
+    "min_recovery_gate": NUM,
+    "decisions": list,
+    "tuner_flip_ok": bool,
+    "tuner_zero_failed": bool,
+    "tuner_recovered": bool,
+    "tuner_ok": bool,
+}
+
+TUNER_DECISION = {
+    "scan": NUM,
+    "family": str,
+    "kind": str,
+    "from": str,
+    "to": str,
+    "migrated": bool,
+    "observed_reads_per_period": NUM,
+    "observed_rows": NUM,
+    "observed_staleness_ms": NUM,
+    "incumbent_cost_sec": NUM,
+    "challenger_cost_sec": NUM,
+    "advantage": NUM,
+    "rationale": str,
+}
+
+TUNER_DECISION_KINDS = ("replication", "store_placement", "exporter_period")
+
 
 def check_all(obj, spec, where):
     for key, typ in spec.items():
@@ -386,13 +428,36 @@ def main():
             fail("kernels.levels: scalar must always be supported")
         kernel_levels = len(ker["levels"])
 
+    # Schema v7: the live placement-tuning experiment.
+    tuner_decisions = 0
+    if doc["schema_version"] >= 7:
+        tun = require(doc, "tuner", dict, "top level")
+        check_all(tun, TUNER, "tuner")
+        for i, dec in enumerate(tun["decisions"]):
+            check_all(dec, TUNER_DECISION, f"tuner.decisions[{i}]")
+            if dec["kind"] not in TUNER_DECISION_KINDS:
+                fail(f"tuner.decisions[{i}].kind '{dec['kind']}' is not a "
+                     f"known decision kind {TUNER_DECISION_KINDS}")
+        if tun["final_model_replication"] not in ("PerNode", "PerMachine"):
+            fail("tuner.final_model_replication "
+                 f"'{tun['final_model_replication']}' is not a replication")
+        if tun["final_store_placement"] not in ("Replicated", "Sharded"):
+            fail("tuner.final_store_placement "
+                 f"'{tun['final_store_placement']}' is not a placement")
+        migrated = [d for d in tun["decisions"] if d["migrated"]]
+        if tun["flips"] and not migrated:
+            fail("tuner.flips > 0 but no decision is marked migrated "
+                 "(the audit trail must record every migration)")
+        tuner_decisions = len(tun["decisions"])
+
     print(f"schema OK: {sys.argv[1]} "
           f"({len(doc['replication_runs'])} replication runs, "
           f"{len(doc['families'])} families, "
           f"{store_runs} feature-store runs, "
           f"{admission_runs} admission runs, "
           f"{telemetry_trials} telemetry trial pairs, "
-          f"{kernel_levels} kernel levels)")
+          f"{kernel_levels} kernel levels, "
+          f"{tuner_decisions} tuner decisions)")
 
 
 if __name__ == "__main__":

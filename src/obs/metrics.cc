@@ -261,7 +261,84 @@ std::string MetricKey(const std::string& name, const Labels& labels) {
   return key;
 }
 
+/// MetricKey for caller-supplied labels that may not be in canonical
+/// order yet (snapshot labels already are; query labels need the sort).
+std::string CanonicalMetricKey(const std::string& name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return MetricKey(name, labels);
+}
+
 }  // namespace
+
+// --------------------------------------------------------- SnapshotDelta --
+
+SnapshotDelta::SnapshotDelta(RegistrySnapshot prev, RegistrySnapshot cur)
+    : prev_(std::move(prev)), cur_(std::move(cur)) {
+  prev_index_.reserve(prev_.metrics.size());
+  for (size_t i = 0; i < prev_.metrics.size(); ++i) {
+    const MetricSnapshot& m = prev_.metrics[i];
+    prev_index_[MetricKey(m.name, m.labels)] = i;
+  }
+  cur_index_.reserve(cur_.metrics.size());
+  for (size_t i = 0; i < cur_.metrics.size(); ++i) {
+    const MetricSnapshot& m = cur_.metrics[i];
+    cur_index_[MetricKey(m.name, m.labels)] = i;
+  }
+}
+
+const MetricSnapshot* SnapshotDelta::FindPrev(const std::string& name,
+                                              const Labels& labels) const {
+  const auto it = prev_index_.find(CanonicalMetricKey(name, labels));
+  return it == prev_index_.end() ? nullptr : &prev_.metrics[it->second];
+}
+
+const MetricSnapshot* SnapshotDelta::FindCur(const std::string& name,
+                                             const Labels& labels) const {
+  const auto it = cur_index_.find(CanonicalMetricKey(name, labels));
+  return it == cur_index_.end() ? nullptr : &cur_.metrics[it->second];
+}
+
+uint64_t SnapshotDelta::CounterDelta(const std::string& name,
+                                     const Labels& labels) const {
+  const MetricSnapshot* c = FindCur(name, labels);
+  if (c == nullptr || c->type != MetricType::kCounter) return 0;
+  const MetricSnapshot* p = FindPrev(name, labels);
+  const uint64_t before =
+      (p != nullptr && p->type == MetricType::kCounter) ? p->counter_value : 0;
+  return c->counter_value >= before ? c->counter_value - before : 0;
+}
+
+double SnapshotDelta::GaugeValue(const std::string& name, const Labels& labels,
+                                 double fallback) const {
+  const MetricSnapshot* c = FindCur(name, labels);
+  if (c == nullptr || c->type != MetricType::kGauge) return fallback;
+  return c->gauge_value;
+}
+
+double SnapshotDelta::HistogramIntervalMean(const std::string& name,
+                                            const Labels& labels,
+                                            double fallback) const {
+  const MetricSnapshot* c = FindCur(name, labels);
+  if (c == nullptr || c->type != MetricType::kHistogram) return fallback;
+  const MetricSnapshot* p = FindPrev(name, labels);
+  const bool has_prev = p != nullptr && p->type == MetricType::kHistogram;
+  const uint64_t before = has_prev ? p->histogram.count : 0;
+  if (c->histogram.count <= before) return fallback;
+  const double sum_before = has_prev ? p->histogram.sum : 0.0;
+  return (c->histogram.sum - sum_before) /
+         static_cast<double>(c->histogram.count - before);
+}
+
+uint64_t SnapshotDelta::HistogramIntervalCount(const std::string& name,
+                                               const Labels& labels) const {
+  const MetricSnapshot* c = FindCur(name, labels);
+  if (c == nullptr || c->type != MetricType::kHistogram) return 0;
+  const MetricSnapshot* p = FindPrev(name, labels);
+  const uint64_t before =
+      (p != nullptr && p->type == MetricType::kHistogram) ? p->histogram.count
+                                                          : 0;
+  return c->histogram.count >= before ? c->histogram.count - before : 0;
+}
 
 Registry::Registry(RegistryOptions opts)
     : enabled_(opts.enabled),

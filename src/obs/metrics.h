@@ -188,6 +188,51 @@ struct RegistrySnapshot {
   std::vector<MetricSnapshot> metrics;
 };
 
+/// Interval view over two registry snapshots: indexes `prev` and `cur`
+/// by (name, canonicalized labels) and answers what happened BETWEEN
+/// them -- counter deltas, the mean of histogram observations recorded
+/// inside the interval, the latest gauge reading. This is how a control
+/// loop (opt::PlacementTuner) turns the registry's cumulative counters
+/// into observed rates without adding any bookkeeping to the hot paths
+/// that write them.
+class SnapshotDelta {
+ public:
+  /// Both snapshots should come from the same registry, `prev` taken
+  /// first. A metric absent from `prev` (registered mid-interval) diffs
+  /// against zero; one absent from `cur` reports the miss fallback.
+  SnapshotDelta(RegistrySnapshot prev, RegistrySnapshot cur);
+
+  /// cur - prev of a counter; 0 when the metric is unknown, not a
+  /// counter, or went backwards (registry swapped out underneath).
+  uint64_t CounterDelta(const std::string& name, const Labels& labels) const;
+
+  /// The latest (cur) gauge reading; `fallback` when unknown.
+  double GaugeValue(const std::string& name, const Labels& labels,
+                    double fallback = 0.0) const;
+
+  /// Exact mean of the histogram observations recorded inside the
+  /// interval, (cur.sum - prev.sum) / (cur.count - prev.count);
+  /// `fallback` when the metric is unknown or the interval recorded
+  /// nothing.
+  double HistogramIntervalMean(const std::string& name, const Labels& labels,
+                               double fallback = 0.0) const;
+
+  /// Count of histogram observations recorded inside the interval.
+  uint64_t HistogramIntervalCount(const std::string& name,
+                                  const Labels& labels) const;
+
+ private:
+  const MetricSnapshot* FindPrev(const std::string& name,
+                                 const Labels& labels) const;
+  const MetricSnapshot* FindCur(const std::string& name,
+                                const Labels& labels) const;
+
+  RegistrySnapshot prev_;
+  RegistrySnapshot cur_;
+  std::unordered_map<std::string, size_t> prev_index_;
+  std::unordered_map<std::string, size_t> cur_index_;
+};
+
 struct RegistryOptions {
   /// false: every Get* returns a shared no-op instrument and Snapshot()
   /// is empty -- the zero-overhead baseline bench_serving gates against.

@@ -115,6 +115,25 @@ void AdmissionController::ReportBatch(int family, size_t rows,
   }
 }
 
+void AdmissionController::UpdateModelSharing(int family,
+                                             int model_sharing_sockets) {
+  DW_CHECK_GT(model_sharing_sockets, 0);
+  std::lock_guard<std::mutex> lk(mu_);
+  FamilyState& fs = const_cast<FamilyState&>(StateFor(family));
+  if (fs.profile.model_sharing_sockets == model_sharing_sockets) return;
+  fs.profile.model_sharing_sockets = model_sharing_sockets;
+  fs.prior_row_sec = PriorRowSeconds(fs.profile);
+  // Drop the calibration window: it measured the OLD placement. Until
+  // the first post-migration report, the new prior stands alone.
+  fs.ewma_row_sec = 0.0;
+  fs.reports = 0;
+  if (fs.prior_gauge != nullptr) {
+    fs.prior_gauge->Set(fs.prior_row_sec * 1e6);
+    fs.est_gauge->Set(fs.prior_row_sec * 1e6);
+    fs.measured_gauge->Set(0.0);
+  }
+}
+
 double AdmissionController::EstimatedRowSecondsLocked(
     const FamilyState& fs) const {
   if (fs.reports == 0) return fs.prior_row_sec;

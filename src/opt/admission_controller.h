@@ -113,6 +113,15 @@ class AdmissionController {
   /// or a non-positive duration are dropped (clock granularity).
   void ReportBatch(int family, size_t rows, double measured_sec);
 
+  /// Re-prices a family after a replication/placement change (the
+  /// placement tuner calls this when it migrates): updates the profile's
+  /// model_sharing_sockets, recomputes the memory-model prior, and
+  /// RESETS the EWMA calibration window -- batch times measured under
+  /// the old placement calibrate the wrong cost, and letting them linger
+  /// would price admission off stale evidence until the EWMA slowly
+  /// forgot them. No-op when the sharing already matches.
+  void UpdateModelSharing(int family, int model_sharing_sockets);
+
   /// Current calibrated per-row service estimate (always > 0).
   double EstimatedRowSeconds(int family) const;
 

@@ -1,0 +1,389 @@
+#include "opt/placement_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "serve/snapshot_exporter.h"
+#include "util/logging.h"
+#include "util/thread_util.h"
+
+namespace dw::opt {
+
+namespace {
+
+std::string FormatMs(double ms) {
+  std::ostringstream os;
+  os << ms << "ms";
+  return os.str();
+}
+
+std::string FormatRatio(double r) {
+  std::ostringstream os;
+  os.precision(3);
+  os << r;
+  return os.str();
+}
+
+}  // namespace
+
+PlacementTuner::PlacementTuner(const numa::Topology& topo,
+                               obs::Registry* registry, TunerOptions options)
+    : topo_(topo), registry_(registry), options_(options) {
+  DW_CHECK(registry_ != nullptr) << "tuner needs a metric registry";
+  DW_CHECK_GE(options_.scan_period.count(), 0);
+  DW_CHECK_GE(options_.min_advantage, 1.0)
+      << "an advantage gate below 1.0 would migrate on a modeled LOSS";
+  DW_CHECK_GE(options_.confirm_scans, 1);
+  DW_CHECK_GT(options_.staleness_slack, 0.0);
+  DW_CHECK_LT(options_.staleness_slack, 1.0);
+  scans_counter_ = registry_->GetCounter("tuner.scans");
+  model_flips_counter_ =
+      registry_->GetCounter("tuner.flips", {{"kind", "replication"}});
+  store_flips_counter_ =
+      registry_->GetCounter("tuner.flips", {{"kind", "store_placement"}});
+  holds_counter_ = registry_->GetCounter("tuner.holds");
+  period_adjust_counter_ = registry_->GetCounter("tuner.period_adjustments");
+  // Baseline for the first scan's interval: totals accumulated before
+  // the tuner existed are history, not evidence.
+  prev_snapshot_ = registry_->Snapshot();
+}
+
+PlacementTuner::~PlacementTuner() { Stop(); }
+
+void PlacementTuner::AddFamily(serve::ModelFamily* family,
+                               serve::FeatureStore* store,
+                               AdmissionController* admission,
+                               int admission_id,
+                               const ServingTrafficEstimate& traffic) {
+  DW_CHECK(family != nullptr);
+  std::lock_guard<std::mutex> lk(mu_);
+  TunedFamily tf;
+  tf.family = family;
+  tf.store = store;
+  tf.admission = admission;
+  tf.admission_id = admission_id;
+  tf.traffic = traffic;
+  tf.traffic.dim = family->dim();
+  tf.last_model_version = family->current_version();
+  tf.last_store_version = store != nullptr ? store->current_version() : 0;
+  const obs::Labels labels = {{"family", family->name()}};
+  tf.reads_per_publish_gauge =
+      registry_->GetGauge("tuner.observed_reads_per_publish", labels);
+  tf.reads_per_refresh_gauge =
+      registry_->GetGauge("tuner.observed_reads_per_refresh", labels);
+  families_.push_back(std::move(tf));
+}
+
+void PlacementTuner::AttachExporter(const std::string& family,
+                                    serve::SnapshotExporter* exporter) {
+  DW_CHECK(exporter != nullptr);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (TunedFamily& tf : families_) {
+    if (tf.family->name() == family) {
+      tf.exporter = exporter;
+      return;
+    }
+  }
+  DW_CHECK(false) << "attaching exporter for untuned family: " << family;
+}
+
+void PlacementTuner::Start() {
+  {
+    std::lock_guard<std::mutex> lk(loop_mu_);
+    DW_CHECK(!started_) << "tuner started twice";
+    started_ = true;
+  }
+  if (options_.scan_period.count() == 0) return;  // manual mode
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void PlacementTuner::Stop() {
+  std::thread claimed;
+  {
+    std::lock_guard<std::mutex> lk(loop_mu_);
+    stop_ = true;
+    if (thread_.joinable()) claimed = std::move(thread_);
+  }
+  stop_cv_.notify_all();
+  if (claimed.joinable()) claimed.join();
+}
+
+void PlacementTuner::Loop() {
+  SetCurrentThreadName("dw-tuner");
+  std::unique_lock<std::mutex> lk(loop_mu_);
+  while (!stop_) {
+    if (stop_cv_.wait_for(lk, options_.scan_period,
+                          [this] { return stop_; })) {
+      break;
+    }
+    lk.unlock();
+    ScanOnce();
+    lk.lock();
+  }
+}
+
+int PlacementTuner::ScanOnce() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++scan_seq_;
+  scans_counter_->Increment();
+  obs::RegistrySnapshot cur = registry_->Snapshot();
+  const obs::SnapshotDelta delta(prev_snapshot_, cur);
+  prev_snapshot_ = std::move(cur);
+  int migrations = 0;
+  for (TunedFamily& tf : families_) {
+    TuneModel(delta, tf, &migrations);
+    if (tf.store != nullptr) TuneStore(delta, tf, &migrations);
+    TuneExporter(delta, tf);
+  }
+  return migrations;
+}
+
+void PlacementTuner::TuneModel(const obs::SnapshotDelta& delta,
+                               TunedFamily& tf, int* migrations) {
+  const std::string& name = tf.family->name();
+  const obs::Labels labels = {{"family", name}};
+  const uint64_t rows = delta.CounterDelta("serve.rows", labels);
+  const uint64_t version = tf.family->current_version();
+  const uint64_t publishes =
+      version >= tf.last_model_version ? version - tf.last_model_version : 0;
+  tf.last_model_version = version;
+  // Evidence floor: a quiet interval says nothing about the traffic mix,
+  // so it neither votes for a flip nor clears pending votes.
+  if (rows < options_.min_observed_rows) return;
+  // The interval's read/publish asymmetry. An interval with zero
+  // publishes lower-bounds it at `rows` per publish -- conservative, and
+  // exactly the read-heavy signal a frozen republish-era choice needs.
+  const double reads_per_publish =
+      static_cast<double>(rows) /
+      static_cast<double>(std::max<uint64_t>(1, publishes));
+  tf.reads_per_publish_gauge->Set(reads_per_publish);
+
+  ServingTrafficEstimate traffic = tf.traffic;
+  traffic.reads_per_publish = reads_per_publish;
+  const ServingReplicationChoice choice =
+      ChooseServingReplication(topo_, traffic, options_.model_params);
+  const serve::Replication incumbent = tf.family->replication();
+  if (choice.replication == incumbent) {
+    tf.model_votes = 0;  // the observed traffic endorses the incumbent
+    return;
+  }
+  const bool incumbent_per_node = incumbent == serve::Replication::kPerNode;
+  const double incumbent_cost = incumbent_per_node
+                                    ? choice.per_node_cost_sec
+                                    : choice.per_machine_cost_sec;
+  const double challenger_cost = incumbent_per_node
+                                     ? choice.per_machine_cost_sec
+                                     : choice.per_node_cost_sec;
+  const double advantage =
+      challenger_cost > 0.0 ? incumbent_cost / challenger_cost : 0.0;
+
+  TunerDecision d;
+  d.scan = scan_seq_;
+  d.family = name;
+  d.kind = "replication";
+  d.from = ToString(incumbent);
+  d.to = ToString(choice.replication);
+  d.observed_reads_per_period = reads_per_publish;
+  d.observed_rows = rows;
+  d.incumbent_cost_sec = incumbent_cost;
+  d.challenger_cost_sec = challenger_cost;
+  d.advantage = advantage;
+
+  if (advantage < options_.min_advantage) {
+    tf.model_votes = 0;
+    d.rationale = "held: modeled advantage " + FormatRatio(advantage) +
+                  " under gate " + FormatRatio(options_.min_advantage);
+    RecordDecision(std::move(d));
+    return;
+  }
+  if (++tf.model_votes < options_.confirm_scans) {
+    d.rationale = "held: awaiting confirmation (" +
+                  std::to_string(tf.model_votes) + "/" +
+                  std::to_string(options_.confirm_scans) + " scans)";
+    RecordDecision(std::move(d));
+    return;
+  }
+  tf.model_votes = 0;
+  // The migration itself: rebuild the served weights under the winning
+  // strategy (regular hot-swap; in-flight batches keep their snapshot),
+  // advance the watermark past the tuner's own republish, and re-price
+  // admission for the new replica sharing.
+  tf.last_model_version = tf.family->Republish(choice.replication);
+  if (tf.admission != nullptr) {
+    const int sockets = choice.replication == serve::Replication::kPerMachine
+                            ? topo_.num_nodes
+                            : 1;
+    tf.admission->UpdateModelSharing(tf.admission_id, sockets);
+  }
+  ++(*migrations);
+  ++flips_;
+  d.migrated = true;
+  d.rationale = choice.rationale;
+  RecordDecision(std::move(d));
+}
+
+void PlacementTuner::TuneStore(const obs::SnapshotDelta& delta,
+                               TunedFamily& tf, int* migrations) {
+  const std::string& name = tf.family->name();
+  const obs::Labels labels = {{"family", name}};
+  const uint64_t gathers = delta.CounterDelta("store.id_rows", labels);
+  const uint64_t version = tf.store->current_version();
+  const uint64_t refreshes =
+      version >= tf.last_store_version ? version - tf.last_store_version : 0;
+  tf.last_store_version = version;
+  if (gathers < options_.min_observed_rows) return;
+  const double reads_per_refresh =
+      static_cast<double>(gathers) /
+      static_cast<double>(std::max<uint64_t>(1, refreshes));
+  tf.reads_per_refresh_gauge->Set(reads_per_refresh);
+
+  StoreTrafficEstimate traffic;
+  traffic.rows = tf.store->rows();
+  traffic.dim = tf.store->dim();
+  traffic.reads_per_refresh = reads_per_refresh;
+  const StorePlacementChoice choice =
+      ChooseStorePlacement(topo_, traffic, options_.model_params);
+  const serve::StorePlacement incumbent = tf.store->placement();
+  if (choice.placement == incumbent) {
+    tf.store_votes = 0;
+    return;
+  }
+  const bool incumbent_replicated =
+      incumbent == serve::StorePlacement::kReplicated;
+  const double incumbent_cost = incumbent_replicated
+                                    ? choice.replicated_cost_sec
+                                    : choice.sharded_cost_sec;
+  const double challenger_cost = incumbent_replicated
+                                     ? choice.sharded_cost_sec
+                                     : choice.replicated_cost_sec;
+  const double advantage =
+      challenger_cost > 0.0 ? incumbent_cost / challenger_cost : 0.0;
+
+  TunerDecision d;
+  d.scan = scan_seq_;
+  d.family = name;
+  d.kind = "store_placement";
+  d.from = ToString(incumbent);
+  d.to = ToString(choice.placement);
+  d.observed_reads_per_period = reads_per_refresh;
+  d.observed_rows = gathers;
+  d.incumbent_cost_sec = incumbent_cost;
+  d.challenger_cost_sec = challenger_cost;
+  d.advantage = advantage;
+
+  if (advantage < options_.min_advantage) {
+    tf.store_votes = 0;
+    d.rationale = "held: modeled advantage " + FormatRatio(advantage) +
+                  " under gate " + FormatRatio(options_.min_advantage);
+    RecordDecision(std::move(d));
+    return;
+  }
+  if (++tf.store_votes < options_.confirm_scans) {
+    d.rationale = "held: awaiting confirmation (" +
+                  std::to_string(tf.store_votes) + "/" +
+                  std::to_string(options_.confirm_scans) + " scans)";
+    RecordDecision(std::move(d));
+    return;
+  }
+  tf.store_votes = 0;
+  tf.last_store_version = tf.store->Republish(choice.placement);
+  ++(*migrations);
+  ++flips_;
+  d.migrated = true;
+  d.rationale = choice.rationale;
+  RecordDecision(std::move(d));
+}
+
+void PlacementTuner::TuneExporter(const obs::SnapshotDelta& delta,
+                                  TunedFamily& tf) {
+  if (tf.exporter == nullptr || options_.staleness_slo_ms <= 0.0) return;
+  const std::string& name = tf.family->name();
+  const obs::Labels labels = {{"family", name}};
+  const double stale_ms =
+      delta.HistogramIntervalMean("serve.staleness_ms", labels, -1.0);
+  if (stale_ms < 0.0) return;  // nothing scored this interval
+  const double cur_floor = tf.exporter->period_floor_ms();
+  double next_floor = cur_floor;
+  if (stale_ms > options_.staleness_slo_ms) {
+    // Over SLO: tighten the cadence (never under 1ms; the exporter's
+    // publish-latency ceiling still paces on top of this floor).
+    next_floor = std::max(1.0, cur_floor * 0.5);
+  } else if (stale_ms < options_.staleness_slo_ms * options_.staleness_slack) {
+    // Far under SLO: stretch to save publish bandwidth, capped at the
+    // SLO itself (a period past the SLO guarantees a violation).
+    next_floor = std::min(options_.staleness_slo_ms, cur_floor * 2.0);
+  }
+  if (next_floor == cur_floor) return;
+  tf.exporter->SetPeriod(
+      std::chrono::milliseconds(std::llround(next_floor)));
+  ++period_adjustments_;
+  period_adjust_counter_->Increment();
+
+  TunerDecision d;
+  d.scan = scan_seq_;
+  d.family = name;
+  d.kind = "exporter_period";
+  d.from = FormatMs(cur_floor);
+  d.to = FormatMs(next_floor);
+  d.migrated = true;
+  d.observed_staleness_ms = stale_ms;
+  d.rationale = "mean staleness " + FormatMs(stale_ms) + " vs SLO " +
+                FormatMs(options_.staleness_slo_ms);
+  RecordDecision(std::move(d));
+}
+
+void PlacementTuner::RecordDecision(TunerDecision d) {
+  if (d.migrated) {
+    if (d.kind == "replication") {
+      model_flips_counter_->Increment();
+    } else if (d.kind == "store_placement") {
+      store_flips_counter_->Increment();
+    }
+  } else {
+    holds_counter_->Increment();
+  }
+  // The structured decision log: inputs -> chosen placement. Migrations
+  // are operator-visible events; holds are debug chatter.
+  std::ostringstream line;
+  line << "tuner scan=" << d.scan << " family=" << d.family
+       << " kind=" << d.kind << " from=" << d.from << " to=" << d.to
+       << " migrated=" << (d.migrated ? 1 : 0)
+       << " observed_rows=" << d.observed_rows
+       << " reads_per_period=" << d.observed_reads_per_period
+       << " staleness_ms=" << d.observed_staleness_ms
+       << " incumbent_cost_sec=" << d.incumbent_cost_sec
+       << " challenger_cost_sec=" << d.challenger_cost_sec
+       << " advantage=" << d.advantage << " rationale=\"" << d.rationale
+       << '"';
+  if (d.migrated) {
+    DW_LOG(Info) << line.str();
+  } else {
+    DW_LOG(Debug) << line.str();
+  }
+  if (decisions_.size() >= kMaxDecisions) decisions_.pop_front();
+  decisions_.push_back(std::move(d));
+}
+
+std::vector<TunerDecision> PlacementTuner::Decisions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::vector<TunerDecision>(decisions_.begin(), decisions_.end());
+}
+
+uint64_t PlacementTuner::scans() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return scan_seq_;
+}
+
+uint64_t PlacementTuner::flips() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return flips_;
+}
+
+uint64_t PlacementTuner::period_adjustments() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return period_adjustments_;
+}
+
+}  // namespace dw::opt

@@ -1,0 +1,233 @@
+// Live placement tuner: the control loop that keeps the serving stack's
+// cost-model decisions true under the traffic it actually serves.
+//
+// Every placement decision in this repo is chosen by a calibrated
+// memory-model cost comparison -- but before this tuner it was chosen
+// ONCE, from a registration-time traffic ESTIMATE, and then frozen.
+// DimmWitted's core result is that the right replication/access-method
+// choice depends on the workload; a workload that shifts after
+// registration silently invalidates the choice, and the engine keeps
+// paying the wrong placement's bytes forever.
+//
+// The tuner closes the loop. Each scan it diffs the engine's
+// obs::Registry (obs::SnapshotDelta) to derive every family's OBSERVED
+// traffic -- rows scored per model publish, store gathers per table
+// refresh, snapshot staleness -- re-runs the same choosers the
+// registration path used (ChooseServingReplication /
+// ChooseStorePlacement) on the observed numbers, and, when the decision
+// flips with enough modeled advantage for enough consecutive scans
+// (hysteresis against flapping), live-migrates:
+//
+//   model side:  serve::ModelFamily::Republish(new_replication) rebuilds
+//                the current weights under the new strategy through the
+//                regular hot-swap path; in-flight batches keep the
+//                snapshot they hold, so nothing tears.
+//   store side:  serve::FeatureStore::Republish(new_placement), same
+//                discipline.
+//   admission:   opt::AdmissionController::UpdateModelSharing re-prices
+//                the per-row prior and resets the EWMA calibration
+//                window (it measured the old placement).
+//   exporter:    serve::SnapshotExporter::SetPeriod stretches/tightens
+//                the publish cadence against a staleness SLO.
+//
+// Every decision -- migrated or held -- lands in a bounded audit trail
+// (Decisions()) carrying the cost-model inputs that produced it, plus
+// tuner.* registry metrics and a structured DW_LOG line.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "numa/memory_model.h"
+#include "numa/topology.h"
+#include "obs/metrics.h"
+#include "opt/admission_controller.h"
+#include "opt/serving_replication.h"
+#include "opt/store_placement.h"
+#include "serve/feature_store.h"
+#include "serve/model_registry.h"
+
+namespace dw::serve {
+// Forward declared: snapshot_exporter.h includes serving_engine.h, which
+// includes this header -- the exporter hook must not close that cycle.
+class SnapshotExporter;
+}  // namespace dw::serve
+
+namespace dw::opt {
+
+struct TunerOptions {
+  /// Background scan cadence (Start()). Zero means MANUAL: Start()
+  /// spawns no thread and the owner drives ScanOnce() itself -- the
+  /// deterministic mode tests and benches use.
+  std::chrono::milliseconds scan_period{250};
+  /// Serving staleness SLO in ms, judged against the mean staleness
+  /// observed over a scan interval. When an exporter is attached for a
+  /// family, the tuner halves its period floor while staleness
+  /// overshoots the SLO and doubles it (capped at the SLO itself) while
+  /// staleness sits under staleness_slack * SLO, saving publish
+  /// bandwidth. <= 0 disables exporter-period control.
+  double staleness_slo_ms = 0.0;
+  /// Stretch threshold as a fraction of the SLO (see above).
+  double staleness_slack = 0.25;
+  /// Hysteresis gate: the challenger strategy must model at least this
+  /// cost advantage (incumbent cost / challenger cost) for a scan to
+  /// count as a flip vote. 1.0 votes on any modeled win.
+  double min_advantage = 1.05;
+  /// Hysteresis depth: consecutive voting scans required before the
+  /// tuner migrates. Guards a noisy boundary workload from flapping
+  /// (every flip copies a model or a table).
+  int confirm_scans = 2;
+  /// Evidence floor: a scan that observed fewer rows (or gathers) than
+  /// this does not vote -- a quiet interval says nothing about the mix.
+  uint64_t min_observed_rows = 256;
+  /// Memory-model constants for the choosers (match the engine's).
+  numa::MemoryModelParams model_params{};
+};
+
+/// One audit-trail entry: what the tuner saw and what it did about it.
+struct TunerDecision {
+  uint64_t scan = 0;  ///< ScanOnce() sequence number, from 1
+  std::string family;
+  /// "replication" | "store_placement" | "exporter_period"
+  std::string kind;
+  std::string from;      ///< incumbent strategy (or period in ms)
+  std::string to;        ///< chosen strategy (or period in ms)
+  bool migrated = false; ///< false: held by hysteresis
+  // Cost-model inputs the choosers re-ran on.
+  double observed_reads_per_period = 0.0;  ///< rows/publish or gathers/refresh
+  uint64_t observed_rows = 0;        ///< rows (or gathers) this interval
+  double observed_staleness_ms = 0.0;  ///< exporter decisions only
+  double incumbent_cost_sec = 0.0;   ///< modeled period cost, incumbent
+  double challenger_cost_sec = 0.0;  ///< modeled period cost, challenger
+  double advantage = 0.0;            ///< incumbent / challenger cost
+  std::string rationale;  ///< chooser rationale, or why the tuner held
+};
+
+/// The live placement control loop. Register families (AddFamily) and
+/// optionally their exporters (AttachExporter) before Start(); drive
+/// scans from the background thread or manually through ScanOnce().
+/// Thread-safe; typically owned by serve::ServingEngine (EnableTuner).
+class PlacementTuner {
+ public:
+  /// `registry` is the metric source the engine's workers write into
+  /// (and the sink for the tuner's own tuner.* instruments); it must be
+  /// non-null and outlive the tuner. A DISABLED registry leaves the
+  /// tuner blind (every observed rate reads 0), so the owner should
+  /// refuse to enable tuning without telemetry.
+  PlacementTuner(const numa::Topology& topo, obs::Registry* registry,
+                 TunerOptions options);
+  ~PlacementTuner();
+
+  PlacementTuner(const PlacementTuner&) = delete;
+  PlacementTuner& operator=(const PlacementTuner&) = delete;
+
+  /// Registers one family for tuning; call before Start(). `family`
+  /// must be non-null and outlive the tuner; `store` may be null (no
+  /// store side), as may `admission` (no prior re-pricing on
+  /// migration). `traffic` carries the registration-time batch shape
+  /// (expected_batch_rows, model_touch_fraction); its reads_per_publish
+  /// is ignored -- that is exactly the number the tuner observes.
+  void AddFamily(serve::ModelFamily* family, serve::FeatureStore* store,
+                 AdmissionController* admission, int admission_id,
+                 const ServingTrafficEstimate& traffic);
+
+  /// Attaches `family`'s exporter for staleness-SLO period control
+  /// (checked: the family must have been added). Inert unless
+  /// TunerOptions::staleness_slo_ms > 0.
+  void AttachExporter(const std::string& family,
+                      serve::SnapshotExporter* exporter);
+
+  /// Starts the background scan thread (none in manual mode,
+  /// scan_period == 0). Once.
+  void Start();
+
+  /// Stops and joins the scan thread. Idempotent; also run by the
+  /// destructor.
+  void Stop();
+
+  /// One synchronous scan-and-migrate pass over every family; the unit
+  /// the background thread loops. Returns the number of migrations
+  /// performed (model + store flips; exporter adjustments excluded).
+  /// Safe to call concurrently with the background thread and with live
+  /// traffic.
+  int ScanOnce();
+
+  /// The audit trail, oldest first (bounded: the newest kMaxDecisions).
+  std::vector<TunerDecision> Decisions() const;
+
+  uint64_t scans() const;
+  /// Completed migrations: model replication + store placement flips.
+  uint64_t flips() const;
+  uint64_t period_adjustments() const;
+
+  /// Retained audit-trail bound (holds included).
+  static constexpr size_t kMaxDecisions = 512;
+
+ private:
+  struct TunedFamily {
+    serve::ModelFamily* family = nullptr;
+    serve::FeatureStore* store = nullptr;
+    AdmissionController* admission = nullptr;
+    int admission_id = 0;
+    serve::SnapshotExporter* exporter = nullptr;
+    /// Registration-time batch shape; reads_per_publish is overwritten
+    /// with the observed rate every scan.
+    ServingTrafficEstimate traffic;
+    /// Version watermarks from the previous scan: the interval's publish
+    /// / refresh counts diff against these (and migrations advance them,
+    /// so a tuner-caused republish never masquerades as trainer traffic).
+    uint64_t last_model_version = 0;
+    uint64_t last_store_version = 0;
+    /// Consecutive confirming votes toward a pending flip.
+    int model_votes = 0;
+    int store_votes = 0;
+    obs::Gauge* reads_per_publish_gauge = nullptr;
+    obs::Gauge* reads_per_refresh_gauge = nullptr;
+  };
+
+  void Loop();
+  void TuneModel(const obs::SnapshotDelta& delta, TunedFamily& tf,
+                 int* migrations);
+  void TuneStore(const obs::SnapshotDelta& delta, TunedFamily& tf,
+                 int* migrations);
+  void TuneExporter(const obs::SnapshotDelta& delta, TunedFamily& tf);
+  /// Appends to the audit trail, bumps the tuner.* counters, and emits
+  /// the structured log line (mu_ held).
+  void RecordDecision(TunerDecision d);
+
+  const numa::Topology topo_;
+  obs::Registry* registry_;
+  const TunerOptions options_;
+
+  obs::Counter* scans_counter_ = nullptr;
+  obs::Counter* model_flips_counter_ = nullptr;
+  obs::Counter* store_flips_counter_ = nullptr;
+  obs::Counter* holds_counter_ = nullptr;
+  obs::Counter* period_adjust_counter_ = nullptr;
+
+  /// Guards the families, the decision trail, and the scan state (one
+  /// scan at a time; scans are monitoring-rate, contention-free).
+  mutable std::mutex mu_;
+  std::deque<TunedFamily> families_;
+  std::deque<TunerDecision> decisions_;
+  obs::RegistrySnapshot prev_snapshot_;
+  uint64_t scan_seq_ = 0;
+  uint64_t flips_ = 0;
+  uint64_t period_adjustments_ = 0;
+
+  /// Background-thread lifecycle (separate from mu_: Stop() must never
+  /// wait behind a scan to set the flag).
+  std::mutex loop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dw::opt

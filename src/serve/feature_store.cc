@@ -46,6 +46,33 @@ uint64_t FeatureStore::Publish(const std::vector<double>& row_major) {
               static_cast<size_t>(rows_) * static_cast<size_t>(dim_))
       << "feature table shape mismatch for store " << family_;
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  return PublishLocked(row_major);
+}
+
+uint64_t FeatureStore::Republish(StorePlacement placement) {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  const auto snap =
+      std::atomic_load_explicit(&current_, std::memory_order_acquire);
+  DW_CHECK(snap != nullptr)
+      << "republishing store " << family_ << " before any publish";
+  if (placement == placement_.load(std::memory_order_relaxed)) {
+    return snap->version_;
+  }
+  // Materialize the served table row-major from wherever the OLD
+  // placement put the rows (node 0 resolves both layouts), flip the
+  // strategy, and run the regular publish body: the migration IS just
+  // another hot-swap.
+  std::vector<double> row_major(static_cast<size_t>(rows_) *
+                                static_cast<size_t>(dim_));
+  for (matrix::Index r = 0; r < rows_; ++r) {
+    std::memcpy(row_major.data() + static_cast<size_t>(r) * dim_,
+                snap->RowForNode(0, r), dim_ * sizeof(double));
+  }
+  placement_.store(placement, std::memory_order_release);
+  return PublishLocked(row_major);
+}
+
+uint64_t FeatureStore::PublishLocked(const std::vector<double>& row_major) {
   const uint64_t version = next_version_++;
 
   // Build the replacement entirely off to the side; workers keep
@@ -55,11 +82,12 @@ uint64_t FeatureStore::Publish(const std::vector<double>& row_major) {
   snap->family_ = family_;
   snap->rows_ = rows_;
   snap->dim_ = dim_;
-  snap->placement_ = placement_;
+  const StorePlacement placement = placement_.load(std::memory_order_relaxed);
+  snap->placement_ = placement;
   snap->num_nodes_ = allocator_->topology().num_nodes;
   snap->allocator_ = allocator_;
   const int nodes = snap->num_nodes_;
-  if (placement_ == StorePlacement::kReplicated) {
+  if (placement == StorePlacement::kReplicated) {
     snap->shards_.reserve(nodes);
     for (int n = 0; n < nodes; ++n) {
       auto replica = allocator_->AllocateOnNode<double>(n, row_major.size());

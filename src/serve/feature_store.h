@@ -138,9 +138,14 @@ class FeatureStore {
   /// admission hot path (row-id validation).
   matrix::Index rows() const { return rows_; }
   matrix::Index dim() const { return dim_; }
-  StorePlacement placement() const { return placement_; }
-  /// Why the chooser picked the placement ("explicit override" when the
-  /// caller pinned it instead).
+  /// The placement the NEXT publish builds under. Lock-free: chosen at
+  /// construction, thereafter changed only by Republish (the placement
+  /// tuner's live-migration path).
+  StorePlacement placement() const {
+    return placement_.load(std::memory_order_acquire);
+  }
+  /// Why the chooser picked the construction-time placement ("explicit
+  /// override" when the caller pinned it instead).
   const std::string& rationale() const { return rationale_; }
 
   /// Copies the row-major table (`rows() * dim()` doubles, row r at
@@ -149,6 +154,13 @@ class FeatureStore {
   /// match the fixed shape: admission validates row ids against rows()
   /// once, which is only sound if every version agrees.
   uint64_t Publish(const std::vector<double>& row_major);
+
+  /// Live migration: rebuilds the CURRENT table under `placement` and
+  /// installs it as a new version through the regular hot-swap path --
+  /// in-flight batches keep the snapshot they gathered from and no row
+  /// ever tears. No-op (returns the current version) when the placement
+  /// already matches. CHECKs that a version has been published.
+  uint64_t Republish(StorePlacement placement);
 
   /// Acquires the current table (nullptr before the first Publish).
   std::shared_ptr<const FeatureStoreSnapshot> Acquire() const;
@@ -160,11 +172,19 @@ class FeatureStore {
   }
 
  private:
+  /// Publish body with publish_mu_ already held (shared by Publish and
+  /// Republish, which must flip placement_ and rebuild atomically with
+  /// respect to other publishers).
+  uint64_t PublishLocked(const std::vector<double>& row_major);
+
   const std::string family_;
   std::shared_ptr<numa::NumaAllocator> allocator_;
   const matrix::Index rows_;
   const matrix::Index dim_;
-  StorePlacement placement_ = StorePlacement::kReplicated;
+  /// Construction choice, rewritten only by Republish (under
+  /// publish_mu_); atomic so stats paths may read it lock-free
+  /// mid-migration.
+  std::atomic<StorePlacement> placement_{StorePlacement::kReplicated};
   std::string rationale_;
   /// Serializes publishers so installation order matches version order
   /// (same discipline as ModelFamily::publish_mu_).

@@ -37,6 +37,31 @@ uint64_t ModelFamily::Publish(
   DW_CHECK_EQ(static_cast<matrix::Index>(weights.size()), dim_)
       << "model dimension mismatch for family " << name_;
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  return PublishLocked(weights, exported_at);
+}
+
+uint64_t ModelFamily::Republish(Replication replication) {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  const auto snap =
+      std::atomic_load_explicit(&current_, std::memory_order_acquire);
+  DW_CHECK(snap != nullptr)
+      << "republishing family " << name_ << " before any publish";
+  if (replication == replication_.load(std::memory_order_relaxed)) {
+    return snap->version_;
+  }
+  // Copy the served weights out of replica 0 (every replica is
+  // identical), flip the strategy, and run the regular publish body: the
+  // migration IS just another hot-swap, preserving the source snapshot's
+  // export timestamp so staleness does not reset.
+  const std::vector<double> weights(
+      snap->replicas_[0].data(), snap->replicas_[0].data() + snap->dim_);
+  replication_.store(replication, std::memory_order_release);
+  return PublishLocked(weights, snap->exported_at_);
+}
+
+uint64_t ModelFamily::PublishLocked(
+    const std::vector<double>& weights,
+    std::chrono::steady_clock::time_point exported_at) {
   const uint64_t version = next_version_++;
 
   // Build the replacement entirely off to the side; readers keep scoring
@@ -47,9 +72,10 @@ uint64_t ModelFamily::Publish(
   snap->dim_ = dim_;
   snap->exported_at_ = exported_at;
   snap->allocator_ = allocator_;
-  const int copies = replication_ == Replication::kPerNode
-                         ? allocator_->topology().num_nodes
-                         : 1;
+  const int copies =
+      replication_.load(std::memory_order_relaxed) == Replication::kPerNode
+          ? allocator_->topology().num_nodes
+          : 1;
   snap->replicas_.reserve(copies);
   for (int n = 0; n < copies; ++n) {
     auto replica = allocator_->AllocateOnNode<double>(n, weights.size());

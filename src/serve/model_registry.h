@@ -146,9 +146,14 @@ struct FamilyOptions {
 class ModelFamily {
  public:
   const std::string& name() const { return name_; }
-  Replication replication() const { return replication_; }
-  /// Why the chooser picked the strategy ("explicit override" when the
-  /// caller pinned it instead).
+  /// The strategy the NEXT publish builds under. Lock-free: chosen at
+  /// registration, thereafter changed only by Republish (the placement
+  /// tuner's live-migration path).
+  Replication replication() const {
+    return replication_.load(std::memory_order_acquire);
+  }
+  /// Why the chooser picked the registration-time strategy ("explicit
+  /// override" when the caller pinned it instead).
   const std::string& rationale() const { return rationale_; }
   /// Model dimension, fixed at registration. Lock-free; safe on the
   /// request admission hot path.
@@ -167,6 +172,16 @@ class ModelFamily {
                    std::chrono::steady_clock::time_point exported_at =
                        std::chrono::steady_clock::now());
 
+  /// Live migration: rebuilds the CURRENT weights under `replication`
+  /// and installs them as a new version through the regular hot-swap
+  /// path -- concurrent readers keep the snapshot they hold and no batch
+  /// ever tears. The source snapshot's export timestamp carries over: a
+  /// migration moves bytes, it does not refresh the model, so staleness
+  /// accounting must not reset. No-op (returns the current version) when
+  /// the replication already matches. CHECKs that a version has been
+  /// published.
+  uint64_t Republish(Replication replication);
+
   /// Acquires the current snapshot (nullptr before the first Publish).
   std::shared_ptr<const ModelSnapshot> Acquire() const;
 
@@ -183,9 +198,18 @@ class ModelFamily {
               Replication replication, std::string rationale,
               matrix::Index dim, bool quantized);
 
+  /// Publish body with publish_mu_ already held (shared by Publish and
+  /// Republish, which must flip replication_ and rebuild atomically with
+  /// respect to other publishers).
+  uint64_t PublishLocked(const std::vector<double>& weights,
+                         std::chrono::steady_clock::time_point exported_at);
+
   const std::string name_;
   std::shared_ptr<numa::NumaAllocator> allocator_;
-  const Replication replication_;
+  /// Registration choice, rewritten only by Republish (under
+  /// publish_mu_); atomic so admission/stats paths may read it lock-free
+  /// mid-migration.
+  std::atomic<Replication> replication_;
   const std::string rationale_;
   const matrix::Index dim_;
   const bool quantized_;

@@ -85,6 +85,7 @@ RequestBatcher::ClientQueue& RequestBatcher::GetOrAddClient(
   cq.accepted = registry_->GetCounter("queue.client_accepted", labels);
   cq.rejected = registry_->GetCounter("queue.client_rejected", labels);
   cq.served = registry_->GetCounter("queue.client_served", labels);
+  cq.last_active = std::chrono::steady_clock::now();
   q.client_index[client.str()] = q.clients.size();
   q.clients.push_back(std::move(cq));
   q.total_weight += q.clients.back().weight;
@@ -110,6 +111,43 @@ void RequestBatcher::SetClientWeight(FamilyId family, const ClientId& client,
   ClientQueue& cq = GetOrAddClient(q, client);
   q.total_weight += weight - cq.weight;
   cq.weight = weight;
+  // A weight change mid-service must not leave the DRR accounting torn:
+  // deficit earned at the old weight is a burst entitlement the new
+  // weight never granted (a demoted hog would keep draining at its old
+  // rate until its backlog emptied; symmetrically, a stale small deficit
+  // under-serves a promoted client). Resetting makes the next rotation
+  // visit re-earn credit at the new weight -- no stale burst, no
+  // starvation window.
+  cq.deficit = 0;
+  // Operator-declared tenants are pinned: idle aging must not reclaim a
+  // reservation that was explicitly configured.
+  cq.pinned = true;
+  cq.last_active = std::chrono::steady_clock::now();
+}
+
+void RequestBatcher::EvictIdleClientsLocked(
+    FamilyQueue& q, std::chrono::steady_clock::time_point now) {
+  if (q.opts.client_idle_timeout.count() <= 0) return;
+  const auto cutoff = now - q.opts.client_idle_timeout;
+  bool evicted = false;
+  for (size_t i = 0; i < q.clients.size();) {
+    const ClientQueue& cq = q.clients[i];
+    if (!cq.pinned && cq.queue.empty() && cq.last_active < cutoff) {
+      q.total_weight -= cq.weight;
+      q.clients.erase(q.clients.begin() + static_cast<ptrdiff_t>(i));
+      evicted = true;
+    } else {
+      ++i;
+    }
+  }
+  if (!evicted) return;
+  // Positions shifted: rebuild the name index and park the DRR cursor
+  // (one rotation restart is noise next to a roster change).
+  q.client_index.clear();
+  for (size_t i = 0; i < q.clients.size(); ++i) {
+    q.client_index[q.clients[i].id.str()] = i;
+  }
+  q.drr_cursor = 0;
 }
 
 StatusOr<std::future<double>> RequestBatcher::Submit(
@@ -175,6 +213,10 @@ StatusOr<std::future<double>> RequestBatcher::Enqueue(
       return Status::FailedPrecondition("batcher is shut down");
     }
     FamilyQueue& q = queues_[family];
+    // Age out stale one-shot clients first: their reserved share flows
+    // back to live tenants, and their roster slot is available to THIS
+    // arrival if it is a new client.
+    EvictIdleClientsLocked(q, req.enqueued_at);
     // The client roster is bounded BEFORE anything is allocated: each
     // distinct id holds a permanent subqueue and dilutes every tenant's
     // share, so a caller misusing per-request ids as client ids must be
@@ -190,9 +232,9 @@ StatusOr<std::future<double>> RequestBatcher::Enqueue(
     // least once). Known-but-idle clients keep their reservation on
     // purpose: if a flooding client could absorb an idle neighbor's
     // share, the neighbor's next request would find the family-wide cap
-    // already exhausted and fair queuing would protect nobody. The cost
-    // is that a one-shot client dilutes shares until the operator resets
-    // -- acceptable for a bounded roster of long-lived tenants.
+    // already exhausted and fair queuing would protect nobody. One-shot
+    // clients dilute shares only until client_idle_timeout ages them out
+    // of the roster (pinned tenants keep theirs indefinitely).
     const bool split_shares = q.opts.fair_queuing && q.clients.size() > 1;
     const double share =
         split_shares ? cq.weight / q.total_weight : 1.0;
@@ -244,6 +286,7 @@ StatusOr<std::future<double>> RequestBatcher::Enqueue(
     }
     q.accepted->Increment();
     cq.accepted->Increment();
+    cq.last_active = req.enqueued_at;
     cq.queue.push_back(std::move(req));
     ++q.rows;
     q.depth->Set(static_cast<double>(q.rows));

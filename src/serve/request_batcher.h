@@ -204,6 +204,16 @@ class RequestBatcher {
     /// from a never-seen client beyond this cap are rejected
     /// (ResourceExhausted) without registering the client.
     size_t max_clients = 64;
+    /// Idle-client aging: a client whose subqueue has been EMPTY for at
+    /// least this long since its last accepted submission is evicted
+    /// from the roster, returning its reserved fair-queuing share (and
+    /// its max_clients slot) to the remaining tenants -- the fix for
+    /// one-shot clients permanently diluting long-lived tenants'
+    /// weight-split budgets. Clients configured through SetClientWeight
+    /// are PINNED: an operator-declared tenant keeps its reservation
+    /// while idle. Zero disables aging (known clients keep their
+    /// reservation forever, the pre-aging behavior).
+    std::chrono::milliseconds client_idle_timeout{0};
     /// Lifecycle tracing: mark every Nth accepted request traced (the
     /// first accepted request is always the cycle's start, so short
     /// tests see a span). 0 disables sampling entirely.
@@ -317,8 +327,16 @@ class RequestBatcher {
     ClientId id;
     double weight = 1.0;
     std::deque<ScoreRequest> queue;
-    /// DRR deficit in rows, reset when the subqueue empties.
+    /// DRR deficit in rows, reset when the subqueue empties (and on
+    /// SetClientWeight: credit earned at the old weight must not carry
+    /// into the new one).
     size_t deficit = 0;
+    /// Last accepted submission (or weight configuration); drives idle
+    /// aging. Initialized at roster entry.
+    std::chrono::steady_clock::time_point last_active{};
+    /// SetClientWeight pins the client against idle eviction: an
+    /// operator-declared tenant keeps its reservation while idle.
+    bool pinned = false;
     /// Registry-backed counters (labels family=..., client=...); the
     /// ClientStats view reads these, so the registry is the single
     /// source of truth.
@@ -364,6 +382,16 @@ class RequestBatcher {
 
   /// The client's subqueue, created on first use with weight 1 (mu_ held).
   ClientQueue& GetOrAddClient(FamilyQueue& q, const ClientId& client);
+
+  /// Evicts unpinned clients whose subqueue has been empty past
+  /// client_idle_timeout (mu_ held; no-op when aging is disabled). Runs
+  /// at admission, BEFORE the roster-cap check, so a stale one-shot
+  /// client's slot is reclaimable by a new arrival. Rebuilds the name
+  /// index and parks the DRR cursor when anything moves; the evicted
+  /// client's registry counters are interned, so its totals survive a
+  /// later re-arrival.
+  void EvictIdleClientsLocked(FamilyQueue& q,
+                              std::chrono::steady_clock::time_point now);
 
   /// Enqueue time of the family's oldest queued request; false when the
   /// family is empty (mu_ held).

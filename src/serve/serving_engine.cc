@@ -144,6 +144,7 @@ Status ServingEngine::RegisterFamily(const std::string& family,
   fs.family = registry_.RegisterFamily(family, reg_opts);
   fs.spec = spec;
   fs.quantized = fopts.quantized;
+  fs.traffic = fopts.traffic;
   RequestBatcher::Options bopts = fopts.batch.value_or(options_.batch);
   // Engine-level trace sampling flows into the queue unless the family
   // set its own; a disabled registry keeps the spans ring empty anyway
@@ -335,8 +336,32 @@ Status ServingEngine::Start() {
   return Status::OK();
 }
 
+opt::PlacementTuner* ServingEngine::EnableTuner(
+    const opt::TunerOptions& topts) {
+  std::lock_guard<std::mutex> lk(register_mu_);
+  // The tuner diffs live registry counters; before Start() there is no
+  // traffic to observe, and after Stop() there is nothing to migrate.
+  DW_CHECK(running_.load(std::memory_order_acquire))
+      << "EnableTuner: start the engine first";
+  DW_CHECK(tuner_ == nullptr) << "tuner already enabled";
+  DW_CHECK(options_.telemetry)
+      << "the tuner is blind without telemetry: every observed rate on a "
+         "disabled registry reads 0";
+  tuner_ = std::make_unique<opt::PlacementTuner>(options_.topology, &obs_,
+                                                 topts);
+  // The family set froze at Start(), so this walk sees every family.
+  for (const FamilyState& fs : Table()->families) {
+    tuner_->AddFamily(fs.family, fs.store, &admission_, fs.queue,
+                      fs.traffic);
+  }
+  tuner_->Start();
+  return tuner_.get();
+}
+
 void ServingEngine::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
+  // Tuner first: no migration may land while the drain runs down.
+  if (tuner_ != nullptr) tuner_->Stop();
   batcher_.Shutdown();
   for (auto& t : workers_) t.join();
   workers_.clear();

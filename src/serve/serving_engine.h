@@ -61,6 +61,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "opt/admission_controller.h"
+#include "opt/placement_tuner.h"
 #include "serve/feature_store.h"
 #include "serve/model_registry.h"
 #include "serve/request_batcher.h"
@@ -276,9 +277,24 @@ class ServingEngine {
   Status Start();
 
   /// Drains the queues (every accepted request is still scored), then
-  /// stops and joins the workers. Idempotent and final: a stopped engine
+  /// stops and joins the workers (the tuner's scan thread first, so no
+  /// migration races the drain). Idempotent and final: a stopped engine
   /// cannot be Start()ed again.
   void Stop();
+
+  /// Enables the live placement tuner over every registered family: a
+  /// control loop that re-runs the registration-time choosers on the
+  /// traffic the registry actually observed and live-migrates
+  /// replication / store placement when the decision flips (see
+  /// opt::PlacementTuner). Call AFTER Start() -- the tuner reads live
+  /// traffic -- and at most once; requires telemetry (a disabled
+  /// registry leaves the tuner blind, checked). Returns the tuner
+  /// (engine-owned; also reachable through tuner()) so callers can
+  /// AttachExporter() or drive ScanOnce() manually in tests/benches.
+  opt::PlacementTuner* EnableTuner(const opt::TunerOptions& topts);
+
+  /// The live placement tuner; nullptr until EnableTuner().
+  opt::PlacementTuner* tuner() { return tuner_.get(); }
 
   /// Enqueues one sparse row for scoring against `family`, attributed to
   /// the trailing `client` for fair queuing and per-client admission
@@ -391,6 +407,10 @@ class ServingEngine {
     FamilyId queue = 0;
     /// Score from the snapshot's int8 replicas (batched mode only).
     bool quantized = false;
+    /// The registration-time traffic estimate, kept so EnableTuner can
+    /// seed the tuner's choosers with the family's batch shape (the
+    /// observed read rate then replaces the estimated one every scan).
+    opt::ServingTrafficEstimate traffic;
     FamilyInstruments inst;
   };
 
@@ -442,6 +462,10 @@ class ServingEngine {
   /// Owns the feature stores; append-only under register_mu_, so the raw
   /// pointers in FamilyState stay stable.
   std::vector<std::unique_ptr<FeatureStore>> stores_;
+  /// Live placement tuner (EnableTuner); declared after everything it
+  /// scans (obs_, registry_, admission_, stores_) so it is torn down
+  /// first.
+  std::unique_ptr<opt::PlacementTuner> tuner_;
 
   /// Serializes RegisterFamily (copy + swap of table_) and Start().
   std::mutex register_mu_;

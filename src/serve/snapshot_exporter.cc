@@ -99,16 +99,41 @@ SnapshotExporter::Stats SnapshotExporter::stats() const {
   return stats_;
 }
 
+void SnapshotExporter::SetPeriod(std::chrono::milliseconds period) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    period_override_ms_ =
+        period.count() > 0
+            ? std::chrono::duration<double, std::milli>(period).count()
+            : 0.0;
+    period_dirty_ = true;
+  }
+  // Wake an armed sleep so a long OLD period does not delay the new
+  // cadence (tightening 5s -> 50ms must not wait out the 5s first).
+  stop_cv_.notify_all();
+}
+
+double SnapshotExporter::period_floor_ms() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return period_override_ms_ > 0.0
+             ? period_override_ms_
+             : std::chrono::duration<double, std::milli>(options_.period)
+                   .count();
+}
+
 void SnapshotExporter::Loop() {
   SetCurrentThreadName("dw-exporter");
-  const double floor_ms =
+  const double configured_ms =
       std::chrono::duration<double, std::milli>(options_.period).count();
   std::unique_lock<std::mutex> lk(mu_);
   while (!stop_) {
     // Latency-derived pacing: never spend more than max_publish_fraction
-    // of wall time inside Export()+Publish(). `period` stays the floor,
-    // so cheap publishes keep the configured cadence and only expensive
-    // ones stretch it (stats_ is guarded by the lk we hold).
+    // of wall time inside Export()+Publish(). The floor -- the runtime
+    // override when set, `period` otherwise -- keeps the configured
+    // cadence for cheap publishes; only expensive ones stretch it
+    // (stats_ is guarded by the lk we hold).
+    const double floor_ms =
+        period_override_ms_ > 0.0 ? period_override_ms_ : configured_ms;
     const double paced_ms =
         stats_.ewma_publish_ms / options_.max_publish_fraction;
     const double effective_ms = std::max(floor_ms, paced_ms);
@@ -118,9 +143,12 @@ void SnapshotExporter::Loop() {
       ++stats_.paced_periods;
       paced_counter_->Increment();
     }
+    period_dirty_ = false;
     const auto wait = std::chrono::duration<double, std::milli>(effective_ms);
-    if (stop_cv_.wait_for(lk, wait, [this] { return stop_; })) {
-      break;
+    if (stop_cv_.wait_for(lk, wait,
+                          [this] { return stop_ || period_dirty_; })) {
+      if (stop_) break;
+      continue;  // re-derive the period without publishing early
     }
     lk.unlock();
     PublishOnce();

@@ -91,6 +91,18 @@ class SnapshotExporter {
 
   Stats stats() const;
 
+  /// Overrides the pacing FLOOR at runtime (the placement tuner's
+  /// staleness-SLO control): the loop re-derives its effective period
+  /// from this value on its next wake, so a long armed sleep does not
+  /// delay the new cadence. The publish-latency ceiling
+  /// (max_publish_fraction) still applies on top. Values <= 0 restore
+  /// Options::period.
+  void SetPeriod(std::chrono::milliseconds period);
+
+  /// The pacing floor currently in force, in ms: the SetPeriod override
+  /// when set, Options::period otherwise.
+  double period_floor_ms() const;
+
  private:
   void Loop();
   void PublishOnce();
@@ -115,6 +127,10 @@ class SnapshotExporter {
   std::condition_variable stop_cv_;
   bool stop_ = false;
   bool started_ = false;
+  /// Runtime pacing-floor override in ms (0: none); guarded by mu_.
+  /// period_dirty_ wakes an armed sleep so the change applies now.
+  double period_override_ms_ = 0.0;
+  bool period_dirty_ = false;
   Stats stats_;
 };
 

@@ -123,6 +123,33 @@ TEST(AdmissionControllerTest, BudgetConvertsRowBoundUnlessExplicit) {
   EXPECT_DOUBLE_EQ(ctl.BudgetSeconds(f, 1024, 0.25), 0.25);
 }
 
+TEST(AdmissionControllerTest, UpdateModelSharingRepricesPriorAndResetsEwma) {
+  // The placement tuner's re-pricing hook: after a replication
+  // migration, the family's prior must reflect the NEW placement and the
+  // EWMA window must restart -- every batch time in it measured the old
+  // byte path.
+  opt::AdmissionController ctl(numa::Local2());
+  const int f = ctl.AddFamily(Profile(128, /*sharing_sockets=*/2));
+  for (int i = 0; i < 4; ++i) ctl.ReportBatch(f, 64, 64 * 3e-6);
+  const opt::AdmissionEstimate before = ctl.Estimate(f);
+  EXPECT_EQ(before.reported_batches, 4u);
+
+  // kPerMachine -> kPerNode: model reads go local, the prior can only
+  // get cheaper; calibration restarts from the fresh prior.
+  ctl.UpdateModelSharing(f, 1);
+  const opt::AdmissionEstimate after = ctl.Estimate(f);
+  EXPECT_LT(after.prior_row_sec, before.prior_row_sec);
+  EXPECT_EQ(after.reported_batches, 0u);
+  EXPECT_DOUBLE_EQ(after.est_row_sec, after.prior_row_sec);
+  EXPECT_DOUBLE_EQ(after.measured_row_sec_ewma, 0.0);
+
+  // Same-value update is a no-op: an unflipped scan must not keep
+  // throwing away calibration.
+  ctl.ReportBatch(f, 64, 64 * 3e-6);
+  ctl.UpdateModelSharing(f, 1);
+  EXPECT_EQ(ctl.Estimate(f).reported_batches, 1u);
+}
+
 TEST(AdmissionControllerDeathTest, RejectsInvalidProfiles) {
   testing::FLAGS_gtest_death_test_style = "threadsafe";
   opt::AdmissionController ctl(numa::Local2());
@@ -400,6 +427,147 @@ TEST(FairQueuingTest, SeededOverloadBoundsMiceRejections) {
   // hog's: their reserved share keeps their queue near-empty.
   EXPECT_LT(mice_ratio, 0.05);
   EXPECT_LT(mice_ratio, hog_ratio / 4.0);
+  b.Shutdown();
+  while (b.NextBatch(&batch)) {
+  }
+  EXPECT_EQ(b.pending(), 0u);
+}
+
+TEST(FairQueuingTest, IdleClientsAgeOutAndTheirShareReturns) {
+  // One-shot clients dilute every tenant's admission share for as long
+  // as they sit in the roster. With aging enabled, a departed hog must
+  // fall out after client_idle_timeout and its share must flow back --
+  // while a pinned operator tenant survives any amount of idleness.
+  RequestBatcher b;
+  RequestBatcher::Options o =
+      FairOpts(/*max_batch=*/4, /*quantum=*/4, /*max_rows=*/12);
+  o.client_idle_timeout = std::chrono::milliseconds(50);
+  const FamilyId f = b.AddQueue(o);
+  const ClientId hog("hog");
+  const ClientId mouse("mouse");
+  const ClientId vip("vip");
+  b.SetClientWeight(f, vip, 1.0);    // pinned, never submits
+  b.SetClientWeight(f, mouse, 1.0);  // pinned resident tenant
+
+  // Three clients, equal weights: cap 12 splits to 4 queued rows each.
+  for (int i = 0; i < 4; ++i) MustSubmitAs(b, f, hog, i);
+  EXPECT_EQ(b.Submit(f, {0}, {9.0}, hog).status().code(),
+            Status::Code::kResourceExhausted);
+  for (int i = 0; i < 4; ++i) MustSubmitAs(b, f, mouse, i);
+
+  Batch batch;
+  ASSERT_TRUE(b.NextBatch(&batch));
+  ASSERT_TRUE(b.NextBatch(&batch));  // both queues drained
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  // The next submit ages the hog out of the roster (idle, empty,
+  // unpinned); the mouse's share grows from a third to a half, so it can
+  // now hold 6 rows where 4 was its former ceiling.
+  for (int i = 0; i < 6; ++i) MustSubmitAs(b, f, mouse, i);
+  EXPECT_EQ(b.Submit(f, {0}, {9.0}, mouse).status().code(),
+            Status::Code::kResourceExhausted);
+
+  const RequestBatcher::QueueStats qs = b.queue_stats(f);
+  bool saw_hog = false;
+  bool saw_vip = false;
+  for (const RequestBatcher::ClientStats& cs : qs.clients) {
+    if (cs.client == hog) saw_hog = true;
+    if (cs.client == vip) saw_vip = true;
+  }
+  EXPECT_FALSE(saw_hog) << "idle hog still holds a roster slot";
+  EXPECT_TRUE(saw_vip) << "pinned tenant was aged out";
+}
+
+TEST(FairQueuingTest, ReweightResetsEarnedDeficit) {
+  // Deficit earned at an old weight must not carry into the new one: a
+  // demoted client would otherwise keep draining at its former share
+  // for a full earned-credit's worth of rows.
+  RequestBatcher b;
+  const FamilyId f = b.AddQueue(FairOpts(/*max_batch=*/32, /*quantum=*/16));
+  const ClientId big("big");
+  const ClientId small("small");
+  b.SetClientWeight(f, big, 4.0);
+  b.SetClientWeight(f, small, 1.0);
+  for (int i = 0; i < 64; ++i) MustSubmitAs(b, f, big, i);
+  for (int i = 0; i < 64; ++i) MustSubmitAs(b, f, small, i);
+
+  // weight 4 x quantum 16 = 64 rows of credit: the first batch is all
+  // big's, with 32 rows of credit left unspent.
+  Batch batch;
+  ASSERT_TRUE(b.NextBatch(&batch));
+  ASSERT_EQ(batch.rows(), 32u);
+  size_t big_rows = 0;
+  for (const ScoreRequest& r : batch.requests) {
+    if (r.client == big) ++big_rows;
+  }
+  EXPECT_EQ(big_rows, 32u);
+
+  // Demotion forfeits the unspent credit: the next batch serves big at
+  // the NEW weight (quantum*0.25 = 4 rows per visit), not out of the 32
+  // banked rows.
+  b.SetClientWeight(f, big, 0.25);
+  ASSERT_TRUE(b.NextBatch(&batch));
+  ASSERT_EQ(batch.rows(), 32u);
+  big_rows = 0;
+  size_t small_rows = 0;
+  for (const ScoreRequest& r : batch.requests) {
+    (r.client == big ? big_rows : small_rows) += 1;
+  }
+  EXPECT_LE(big_rows, 12u) << "stale deficit survived the reweight";
+  EXPECT_GE(small_rows, 20u);
+}
+
+TEST(FairQueuingTest, ReweightRacesSubmittersWithoutCorruption) {
+  // TSan leg: SetClientWeight is an operator hot-reconfig that runs
+  // against live Submit/NextBatch traffic. The weight flip, the deficit
+  // reset, and the share-cap reads must all agree under the queue lock;
+  // the observable contract here is simply that every accepted row is
+  // served exactly once while the weights thrash.
+  RequestBatcher b;
+  RequestBatcher::Options o =
+      FairOpts(/*max_batch=*/16, /*quantum=*/4, /*max_rows=*/256);
+  o.max_delay = std::chrono::milliseconds(1);
+  const FamilyId f = b.AddQueue(o);
+  const ClientId a("a");
+  const ClientId c("c");
+  b.SetClientWeight(f, a, 1.0);
+  b.SetClientWeight(f, c, 1.0);
+
+  constexpr int kPerClient = 400;
+  std::atomic<bool> done{false};
+  std::thread reweigher([&] {
+    double w = 1.0;
+    while (!done.load(std::memory_order_acquire)) {
+      b.SetClientWeight(f, a, w);
+      w = (w == 1.0) ? 4.0 : 1.0;
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (const ClientId* id : {&a, &c}) {
+    producers.emplace_back([&b, f, id] {
+      for (int i = 0; i < kPerClient;) {
+        auto fut = b.Submit(f, {0}, {1.0}, *id);
+        if (fut.ok()) {
+          ++i;
+          continue;
+        }
+        ASSERT_EQ(fut.status().code(), Status::Code::kResourceExhausted)
+            << fut.status().ToString();
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+
+  size_t served = 0;
+  Batch batch;
+  while (served < 2 * kPerClient) {
+    if (b.NextBatch(&batch)) served += batch.rows();
+  }
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  reweigher.join();
+  EXPECT_EQ(served, 2u * kPerClient);
   b.Shutdown();
   while (b.NextBatch(&batch)) {
   }

@@ -242,6 +242,73 @@ TEST(RegistryTest, SnapshotPreservesRegistrationOrder) {
   EXPECT_EQ(snap.metrics[2].type, MetricType::kHistogram);
 }
 
+// --- snapshot deltas --------------------------------------------------------
+
+TEST(SnapshotDeltaTest, CounterDeltaMeasuresTheInterval) {
+  Registry reg;
+  Counter* rows = reg.GetCounter("serve.rows", {{"family", "m"}});
+  rows->Add(7);
+  const RegistrySnapshot prev = reg.Snapshot();
+  rows->Add(5);
+  const SnapshotDelta delta(prev, reg.Snapshot());
+  EXPECT_EQ(delta.CounterDelta("serve.rows", {{"family", "m"}}), 5u);
+  // Unknown metric: zero, not a miss.
+  EXPECT_EQ(delta.CounterDelta("serve.rows", {{"family", "ghost"}}), 0u);
+}
+
+TEST(SnapshotDeltaTest, LookupCanonicalizesLabelOrder) {
+  Registry reg;
+  Counter* c = reg.GetCounter("x.count", {{"b", "2"}, {"a", "1"}});
+  const RegistrySnapshot prev = reg.Snapshot();
+  c->Add(3);
+  const SnapshotDelta delta(prev, reg.Snapshot());
+  // The query's label order must not matter, as for registry interning.
+  EXPECT_EQ(delta.CounterDelta("x.count", {{"a", "1"}, {"b", "2"}}), 3u);
+}
+
+TEST(SnapshotDeltaTest, MidIntervalRegistrationDiffsAgainstZero) {
+  Registry reg;
+  const RegistrySnapshot prev = reg.Snapshot();  // metric not born yet
+  reg.GetCounter("late.count")->Add(9);
+  const SnapshotDelta delta(prev, reg.Snapshot());
+  EXPECT_EQ(delta.CounterDelta("late.count", {}), 9u);
+}
+
+TEST(SnapshotDeltaTest, GaugeReadsLatestWithFallback) {
+  Registry reg;
+  Gauge* g = reg.GetGauge("x.level");
+  g->Set(2.0);
+  const RegistrySnapshot prev = reg.Snapshot();
+  g->Set(8.0);
+  const SnapshotDelta delta(prev, reg.Snapshot());
+  EXPECT_DOUBLE_EQ(delta.GaugeValue("x.level", {}), 8.0);
+  EXPECT_DOUBLE_EQ(delta.GaugeValue("no.such", {}, -1.0), -1.0);
+}
+
+TEST(SnapshotDeltaTest, HistogramIntervalMeanIsExactOverTheInterval) {
+  Registry reg;
+  Histogram* h = reg.GetHistogram("x.lat");
+  h->Record(1000.0);  // pre-interval noise the delta must exclude
+  const RegistrySnapshot prev = reg.Snapshot();
+  h->Record(10.0);
+  h->Record(20.0);
+  const SnapshotDelta delta(prev, reg.Snapshot());
+  // (sum 30) / (count 2): exact from the snapshot sums, not bucketed.
+  EXPECT_DOUBLE_EQ(delta.HistogramIntervalMean("x.lat", {}), 15.0);
+  EXPECT_EQ(delta.HistogramIntervalCount("x.lat", {}), 2u);
+}
+
+TEST(SnapshotDeltaTest, EmptyIntervalReportsTheFallback) {
+  Registry reg;
+  Histogram* h = reg.GetHistogram("x.lat");
+  h->Record(42.0);
+  const RegistrySnapshot prev = reg.Snapshot();
+  const SnapshotDelta delta(prev, reg.Snapshot());  // nothing recorded
+  EXPECT_EQ(delta.HistogramIntervalCount("x.lat", {}), 0u);
+  EXPECT_DOUBLE_EQ(delta.HistogramIntervalMean("x.lat", {}, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(delta.HistogramIntervalMean("no.such", {}, -2.0), -2.0);
+}
+
 // --- prometheus rendering --------------------------------------------------
 
 std::string Le(double v) {

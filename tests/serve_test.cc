@@ -1430,6 +1430,53 @@ TEST(SnapshotExporterTest, PacingDerivesPeriodFromPublishLatency) {
   EXPECT_GT(exporter2.stats().publishes, 10u);
 }
 
+TEST(SnapshotExporterTest, SetPeriodOverridesAndRestoresTheFloor) {
+  // The placement tuner's control surface: SetPeriod overrides the
+  // configured pacing floor at runtime (the staleness-SLO controller
+  // tightens/stretches through it) and a non-positive period hands the
+  // floor back to the configuration.
+  const data::Dataset d = ServeDataset(60, 8, 58);
+  models::LeastSquaresSpec ls;
+  engine::EngineOptions topts;
+  topts.topology = numa::Local2();
+  engine::Engine trainer(&d, &ls, topts);
+  ASSERT_TRUE(trainer.Init().ok());
+  ServingOptions opts;
+  opts.topology = numa::Local2();
+  opts.num_threads = 1;
+  ServingEngine server(opts);
+  ASSERT_TRUE(
+      server.RegisterFamily("ls", &ls, ServePinned(8, Replication::kPerNode))
+          .ok());
+  SnapshotExporter::Options eopts;
+  eopts.period = std::chrono::milliseconds(50);
+  SnapshotExporter exporter(&trainer, &server, "ls", eopts);
+
+  EXPECT_DOUBLE_EQ(exporter.period_floor_ms(), 50.0);
+  exporter.SetPeriod(std::chrono::milliseconds(5));
+  EXPECT_DOUBLE_EQ(exporter.period_floor_ms(), 5.0);
+  exporter.SetPeriod(std::chrono::milliseconds(0));  // restore configured
+  EXPECT_DOUBLE_EQ(exporter.period_floor_ms(), 50.0);
+
+  // The override steers a RUNNING exporter too: a 1ms override against a
+  // 10s configured period turns near-zero publishes into many.
+  SnapshotExporter::Options slow;
+  slow.period = std::chrono::seconds(10);
+  engine::Engine trainer2(&d, &ls, topts);
+  ASSERT_TRUE(trainer2.Init().ok());
+  ServingEngine server2(opts);
+  ASSERT_TRUE(
+      server2
+          .RegisterFamily("ls", &ls, ServePinned(8, Replication::kPerNode))
+          .ok());
+  SnapshotExporter exporter2(&trainer2, &server2, "ls", slow);
+  exporter2.Start();
+  exporter2.SetPeriod(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  exporter2.Stop();
+  EXPECT_GT(exporter2.stats().publishes, 5u);
+}
+
 // --- latency recorder ------------------------------------------------------
 
 TEST(LatencyRecorderTest, PercentilesAndMerge) {
