@@ -293,6 +293,54 @@ TUNER_DECISION = {
 
 TUNER_DECISION_KINDS = ("replication", "store_placement", "exporter_period")
 
+# Schema v8: the KV feature-store delta experiment (copy-on-write page
+# deltas vs full rewrites across a churn sweep, plus the by-key request
+# path against the by-id baseline), nested under feature_store.delta.
+# v8 also reworks the telemetry gate onto a best-of-k pair-ratio
+# estimator, recording every interleaved pair ratio, their median, the
+# best ratio the gate ran on, and the tuner decisions' observed churn.
+DELTA = {
+    "store_rows": NUM,
+    "dim": NUM,
+    "page_rows": NUM,
+    "churn_sweep": list,
+    "ratio_at_1pct_churn": NUM,
+    "max_ratio_gate": NUM,
+    "ratio_ok": bool,
+    "key_path": dict,
+    "delta_ok": bool,
+}
+
+DELTA_CHURN_POINT = {
+    "churn": NUM,
+    "keys": NUM,
+    "delta_bytes": NUM,
+    "full_bytes": NUM,
+    "ratio": NUM,
+    "publish_ms": NUM,
+}
+
+DELTA_KEY_PATH = {
+    "pairs": NUM,
+    "requests": NUM,
+    "id_rows_per_sec": NUM,
+    "id_p50_ms": NUM,
+    "id_p99_ms": NUM,
+    "key_rows_per_sec": NUM,
+    "key_p50_ms": NUM,
+    "key_p99_ms": NUM,
+    "key_over_id_p99": NUM,
+    "p99_tolerance_gate": NUM,
+    "key_p99_ok": bool,
+}
+
+TELEMETRY_V8_EXTRA = {
+    "estimator": str,
+    "pair_ratios": list,
+    "median_pair_ratio": NUM,
+    "best_pair_ratio": NUM,
+}
+
 
 def check_all(obj, spec, where):
     for key, typ in spec.items():
@@ -389,7 +437,19 @@ def main():
     telemetry_trials = 0
     if doc["schema_version"] >= 5:
         tel = require(doc, "telemetry", dict, "top level")
-        check_all(tel, TELEMETRY, "telemetry")
+        telemetry_spec = dict(TELEMETRY)
+        if doc["schema_version"] >= 8:
+            telemetry_spec.update(TELEMETRY_V8_EXTRA)
+        check_all(tel, telemetry_spec, "telemetry")
+        if doc["schema_version"] >= 8:
+            if not tel["pair_ratios"]:
+                fail("telemetry.pair_ratios is empty")
+            for i, v in enumerate(tel["pair_ratios"]):
+                if not isinstance(v, numbers.Number) or isinstance(v, bool):
+                    fail(f"telemetry.pair_ratios[{i}] is not a number")
+            if len(tel["pair_ratios"]) != len(tel["on_trial_rows_per_sec"]):
+                fail("telemetry.pair_ratios length does not match the "
+                     "trial count (one ratio per interleaved pair)")
         for side in ("off_trial_rows_per_sec", "on_trial_rows_per_sec"):
             if not tel[side]:
                 fail(f"telemetry.{side} is empty")
@@ -433,8 +493,11 @@ def main():
     if doc["schema_version"] >= 7:
         tun = require(doc, "tuner", dict, "top level")
         check_all(tun, TUNER, "tuner")
+        decision_spec = dict(TUNER_DECISION)
+        if doc["schema_version"] >= 8:
+            decision_spec["observed_churn"] = NUM
         for i, dec in enumerate(tun["decisions"]):
-            check_all(dec, TUNER_DECISION, f"tuner.decisions[{i}]")
+            check_all(dec, decision_spec, f"tuner.decisions[{i}]")
             if dec["kind"] not in TUNER_DECISION_KINDS:
                 fail(f"tuner.decisions[{i}].kind '{dec['kind']}' is not a "
                      f"known decision kind {TUNER_DECISION_KINDS}")
@@ -450,6 +513,25 @@ def main():
                  "(the audit trail must record every migration)")
         tuner_decisions = len(tun["decisions"])
 
+    # Schema v8: the KV feature-store delta experiment.
+    delta_points = 0
+    if doc["schema_version"] >= 8:
+        fs = require(doc, "feature_store", dict, "top level")
+        delta = require(fs, "delta", dict, "feature_store")
+        check_all(delta, DELTA, "feature_store.delta")
+        if not delta["churn_sweep"]:
+            fail("feature_store.delta.churn_sweep is empty")
+        for i, pt in enumerate(delta["churn_sweep"]):
+            check_all(pt, DELTA_CHURN_POINT,
+                      f"feature_store.delta.churn_sweep[{i}]")
+        churns = {pt["churn"] for pt in delta["churn_sweep"]}
+        if 0.01 not in churns:
+            fail("feature_store.delta.churn_sweep has no 1% churn point "
+                 "(the gated ratio is measured there)")
+        check_all(delta["key_path"], DELTA_KEY_PATH,
+                  "feature_store.delta.key_path")
+        delta_points = len(delta["churn_sweep"])
+
     print(f"schema OK: {sys.argv[1]} "
           f"({len(doc['replication_runs'])} replication runs, "
           f"{len(doc['families'])} families, "
@@ -457,7 +539,8 @@ def main():
           f"{admission_runs} admission runs, "
           f"{telemetry_trials} telemetry trial pairs, "
           f"{kernel_levels} kernel levels, "
-          f"{tuner_decisions} tuner decisions)")
+          f"{tuner_decisions} tuner decisions, "
+          f"{delta_points} delta churn points)")
 
 
 if __name__ == "__main__":

@@ -229,6 +229,8 @@ void PlacementTuner::TuneStore(const obs::SnapshotDelta& delta,
   const std::string& name = tf.family->name();
   const obs::Labels labels = {{"family", name}};
   const uint64_t gathers = delta.CounterDelta("store.id_rows", labels);
+  const uint64_t delta_bytes = delta.CounterDelta("store.delta_bytes", labels);
+  const uint64_t full_bytes = delta.CounterDelta("store.full_bytes", labels);
   const uint64_t version = tf.store->current_version();
   const uint64_t refreshes =
       version >= tf.last_store_version ? version - tf.last_store_version : 0;
@@ -239,10 +241,21 @@ void PlacementTuner::TuneStore(const obs::SnapshotDelta& delta,
       static_cast<double>(std::max<uint64_t>(1, refreshes));
   tf.reads_per_refresh_gauge->Set(reads_per_refresh);
 
+  // Observed churn: what the interval's publishes actually wrote vs what
+  // full rewrites would have (the store's own odometers, so tuner-driven
+  // republishes count too). An interval with no refresh bytes says
+  // nothing about churn, so the conservative full-rewrite default holds.
+  const double observed_churn =
+      full_bytes > 0 ? std::clamp(static_cast<double>(delta_bytes) /
+                                      static_cast<double>(full_bytes),
+                                  1e-6, 1.0)
+                     : 1.0;
+
   StoreTrafficEstimate traffic;
   traffic.rows = tf.store->rows();
   traffic.dim = tf.store->dim();
   traffic.reads_per_refresh = reads_per_refresh;
+  traffic.churn_fraction = observed_churn;
   const StorePlacementChoice choice =
       ChooseStorePlacement(topo_, traffic, options_.model_params);
   const serve::StorePlacement incumbent = tf.store->placement();
@@ -269,6 +282,7 @@ void PlacementTuner::TuneStore(const obs::SnapshotDelta& delta,
   d.to = ToString(choice.placement);
   d.observed_reads_per_period = reads_per_refresh;
   d.observed_rows = gathers;
+  d.observed_churn = observed_churn;
   d.incumbent_cost_sec = incumbent_cost;
   d.challenger_cost_sec = challenger_cost;
   d.advantage = advantage;
@@ -352,6 +366,7 @@ void PlacementTuner::RecordDecision(TunerDecision d) {
        << " migrated=" << (d.migrated ? 1 : 0)
        << " observed_rows=" << d.observed_rows
        << " reads_per_period=" << d.observed_reads_per_period
+       << " churn=" << d.observed_churn
        << " staleness_ms=" << d.observed_staleness_ms
        << " incumbent_cost_sec=" << d.incumbent_cost_sec
        << " challenger_cost_sec=" << d.challenger_cost_sec

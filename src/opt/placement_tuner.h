@@ -103,6 +103,13 @@ struct TunerDecision {
   double observed_reads_per_period = 0.0;  ///< rows/publish or gathers/refresh
   uint64_t observed_rows = 0;        ///< rows (or gathers) this interval
   double observed_staleness_ms = 0.0;  ///< exporter decisions only
+  /// Store decisions only: the interval's store.delta_bytes /
+  /// store.full_bytes ratio -- what publishes actually wrote vs what
+  /// full rewrites would have. 1.0 (full rewrite) when the interval saw
+  /// no refresh bytes; fed into StoreTrafficEstimate::churn_fraction so
+  /// the chooser prices replication's refresh penalty at the churn the
+  /// store really sees.
+  double observed_churn = 1.0;
   double incumbent_cost_sec = 0.0;   ///< modeled period cost, incumbent
   double challenger_cost_sec = 0.0;  ///< modeled period cost, challenger
   double advantage = 0.0;            ///< incumbent / challenger cost

@@ -29,6 +29,10 @@ numa::SimulationInput PeriodInput(const numa::Topology& topo,
   const double gather_bytes_per_node =
       std::max(0.0, t.reads_per_refresh) * row_bytes /
       static_cast<double>(nodes);
+  // Delta publishes clone only the churned pages: the refresh writes
+  // (the term that penalizes replication) shrink by the churn fraction
+  // while the gather side is untouched.
+  const double churn = std::clamp(t.churn_fraction, 1e-6, 1.0);
 
   numa::SimulationInput in(nodes);
   for (int n = 0; n < nodes; ++n) {
@@ -42,7 +46,7 @@ numa::SimulationInput PeriodInput(const numa::Topology& topo,
       c.local_read_bytes = static_cast<uint64_t>(gather_bytes_per_node);
       if (n == 0) {
         c.local_write_bytes = static_cast<uint64_t>(
-            table_bytes * static_cast<double>(nodes));
+            table_bytes * churn * static_cast<double>(nodes));
       }
     } else {
       // Interleaved shards: 1/nodes of a node's gathers hit its own
@@ -54,7 +58,7 @@ numa::SimulationInput PeriodInput(const numa::Topology& topo,
           gather_bytes_per_node * static_cast<double>(nodes - 1) /
           static_cast<double>(nodes));
       if (n == 0) {
-        c.local_write_bytes = static_cast<uint64_t>(table_bytes);
+        c.local_write_bytes = static_cast<uint64_t>(table_bytes * churn);
       }
     }
     in.traffic.per_node[n] = c;
@@ -89,15 +93,17 @@ StorePlacementChoice ChooseStorePlacement(
           .total_sec;
 
   std::ostringstream why;
-  // Hot swap double-buffers: while a Publish is in flight both the old
-  // and the new snapshot are live, so kReplicated needs 2 full tables of
-  // headroom on EVERY node (the Sec. 3.4 "if there is available memory"
-  // rule, applied to the data side). Sharding caps the per-node footprint
-  // at ~2/nodes of a table, so it is the forced choice for tables too big
-  // to double-buffer whole.
+  // Hot swap double-buffers: while a publish is in flight both the old
+  // and the new snapshot are live, so kReplicated needs 1 + churn tables
+  // of headroom on EVERY node (the Sec. 3.4 "if there is available
+  // memory" rule, applied to the data side; a delta publish only clones
+  // the churned pages, so the overlap shrinks with churn). Sharding caps
+  // the per-node footprint at ~(1 + churn)/nodes of a table, so it is
+  // the forced choice for tables too big to double-buffer whole.
+  const double churn = std::clamp(traffic.churn_fraction, 1e-6, 1.0);
   const double node_ram_bytes =
       topo.ram_per_node_gb * 1024.0 * 1024.0 * 1024.0;
-  if (2.0 * out.table_bytes > node_ram_bytes) {
+  if ((1.0 + churn) * out.table_bytes > node_ram_bytes) {
     out.placement = StorePlacement::kSharded;
     why << "table (" << out.table_bytes * 1e-9
         << " GB) cannot double-buffer in per-node RAM; sharding caps the "
@@ -121,7 +127,8 @@ StorePlacementChoice ChooseStorePlacement(
   why << "period cost Replicated " << out.replicated_cost_sec
       << "s vs Sharded " << out.sharded_cost_sec << "s at "
       << traffic.reads_per_refresh << " gathers/refresh of "
-      << traffic.dim << "-wide rows on " << topo.num_nodes << " sockets";
+      << traffic.dim << "-wide rows, churn " << churn << ", on "
+      << topo.num_nodes << " sockets";
   out.rationale = why.str();
   return out;
 }

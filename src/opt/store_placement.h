@@ -47,6 +47,14 @@ struct StoreTrafficEstimate {
   /// Serving stores are read-mostly, so the default is high; a table
   /// rebuilt every few seconds against light traffic can be far lower.
   double reads_per_refresh = 65536.0;
+  /// Fraction of the table one refresh actually rewrites (1.0 = full
+  /// rewrite, the pre-delta behavior). Delta publishes clone only the
+  /// churned pages, so their refresh bytes -- the term that penalizes
+  /// kReplicated -- scale by this factor, moving the placement
+  /// crossover. The tuner feeds the OBSERVED store.delta_bytes /
+  /// store.full_bytes ratio here; registration time uses
+  /// StoreOptions::churn_per_refresh. Clamped to (0, 1].
+  double churn_fraction = 1.0;
 };
 
 /// The chooser's decision plus its reasoning (mirrors

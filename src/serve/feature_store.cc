@@ -1,7 +1,10 @@
 #include "serve/feature_store.h"
 
 #include <cstring>
+#include <unordered_set>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace dw::serve {
 
@@ -15,6 +18,22 @@ const char* ToString(StorePlacement p) {
   return "?";
 }
 
+std::vector<StoreIndexShardStats> FeatureStoreSnapshot::IndexStats() const {
+  std::vector<StoreIndexShardStats> out;
+  out.reserve(index_shards_.size());
+  for (size_t s = 0; s < index_shards_.size(); ++s) {
+    StoreIndexShardStats st;
+    st.node = static_cast<numa::NodeId>(s);
+    if (const StoreIndexShard* shard = index_shards_[s].get()) {
+      st.capacity = shard->capacity;
+      st.live = shard->live;
+      st.tombstones = shard->tombstones;
+    }
+    out.push_back(st);
+  }
+  return out;
+}
+
 FeatureStore::FeatureStore(std::string family,
                            std::shared_ptr<numa::NumaAllocator> allocator,
                            matrix::Index rows, matrix::Index dim,
@@ -26,6 +45,20 @@ FeatureStore::FeatureStore(std::string family,
   DW_CHECK(allocator_ != nullptr) << "store needs an allocator";
   DW_CHECK_GT(rows_, 0u) << "store " << family_ << " needs rows";
   DW_CHECK_GT(dim_, 0u) << "store " << family_ << " needs dim";
+  index_allocator_ =
+      std::make_shared<numa::NumaAllocator>(allocator_->topology());
+  const matrix::Index nodes =
+      static_cast<matrix::Index>(allocator_->topology().num_nodes);
+  // Pages start on round-robin boundaries so a page's slots split across
+  // the node fragments without per-page phase arithmetic.
+  matrix::Index pr = std::max<matrix::Index>(options.page_rows, 1);
+  pr = ((pr + nodes - 1) / nodes) * nodes;
+  page_rows_ = pr;
+  num_pages_ = (static_cast<size_t>(rows_) + page_rows_ - 1) / page_rows_;
+  ref_bits_ =
+      std::make_shared<std::vector<std::atomic<uint8_t>>>(num_pages_);
+  slot_to_key_.assign(rows_, 0);
+  slot_live_.assign(rows_, 0);
   if (options.placement_override.has_value()) {
     placement_ = *options.placement_override;
     rationale_ = "explicit override";
@@ -34,6 +67,7 @@ FeatureStore::FeatureStore(std::string family,
     traffic.rows = rows_;
     traffic.dim = dim_;
     traffic.reads_per_refresh = options.reads_per_refresh;
+    traffic.churn_fraction = options.churn_per_refresh;
     const opt::StorePlacementChoice choice =
         opt::ChooseStorePlacement(allocator_->topology(), traffic);
     placement_ = choice.placement;
@@ -41,86 +75,509 @@ FeatureStore::FeatureStore(std::string family,
   }
 }
 
+uint64_t FeatureStore::HashKey(std::string_view key) {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+void FeatureStore::AttachInstruments(obs::Counter* delta_bytes,
+                                     obs::Counter* full_bytes,
+                                     obs::Counter* evictions) {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  delta_bytes_counter_ = delta_bytes;
+  full_bytes_counter_ = full_bytes;
+  evictions_counter_ = evictions;
+}
+
+std::shared_ptr<FeatureStoreSnapshot> FeatureStore::MakeShell(
+    StorePlacement placement) const {
+  auto snap =
+      std::shared_ptr<FeatureStoreSnapshot>(new FeatureStoreSnapshot());
+  snap->family_ = family_;
+  snap->rows_ = rows_;
+  snap->dim_ = dim_;
+  snap->placement_ = placement;
+  snap->num_nodes_ = allocator_->topology().num_nodes;
+  snap->page_rows_ = page_rows_;
+  snap->allocator_ = allocator_;
+  snap->index_allocator_ = index_allocator_;
+  snap->ref_bits_ = ref_bits_;
+  return snap;
+}
+
+uint64_t FeatureStore::FullRewriteBytes(StorePlacement placement) const {
+  const uint64_t table =
+      static_cast<uint64_t>(rows_) * dim_ * sizeof(double);
+  return placement == StorePlacement::kReplicated
+             ? table * allocator_->topology().num_nodes
+             : table;
+}
+
+std::shared_ptr<StorePage> FeatureStore::AllocatePage(
+    size_t page, StorePlacement placement, uint64_t* delta_bytes) {
+  const int nodes = allocator_->topology().num_nodes;
+  const matrix::Index span = PageSpan(page);
+  auto p = std::make_shared<StorePage>();
+  p->fragments.reserve(nodes);
+  for (int n = 0; n < nodes; ++n) {
+    // Exact spans, no rounding slack: the byte ledger is part of the
+    // placement contract tests assert against.
+    const size_t frag_rows =
+        placement == StorePlacement::kReplicated
+            ? static_cast<size_t>(span)
+            : (static_cast<size_t>(span) + nodes - 1 - n) / nodes;
+    p->fragments.push_back(allocator_->AllocateOnNode<double>(
+        n, frag_rows * static_cast<size_t>(dim_)));
+    *delta_bytes += frag_rows * static_cast<size_t>(dim_) * sizeof(double);
+  }
+  return p;
+}
+
+void FeatureStore::WriteSlot(StorePage* page, StorePlacement placement,
+                             matrix::Index slot, const double* row) {
+  const matrix::Index in_page = slot % page_rows_;
+  if (placement == StorePlacement::kReplicated) {
+    for (numa::NodeArray<double>& frag : page->fragments) {
+      std::memcpy(frag.data() + static_cast<size_t>(in_page) * dim_, row,
+                  static_cast<size_t>(dim_) * sizeof(double));
+    }
+    return;
+  }
+  const matrix::Index nodes =
+      static_cast<matrix::Index>(page->fragments.size());
+  std::memcpy(page->fragments[slot % nodes].data() +
+                  static_cast<size_t>(in_page / nodes) * dim_,
+              row, static_cast<size_t>(dim_) * sizeof(double));
+}
+
+std::shared_ptr<const StoreIndexShard> FeatureStore::RebuildShard(
+    const StoreIndexShard* base, int shard_id,
+    const std::vector<std::pair<uint64_t, matrix::Index>>& upserts,
+    const std::vector<uint64_t>& removals, uint64_t* delta_bytes) {
+  const uint64_t base_live = base != nullptr ? base->live : 0;
+  const uint64_t base_tomb = base != nullptr ? base->tombstones : 0;
+  uint64_t cap = base != nullptr ? base->capacity : 0;
+  // Grow (rehash, dropping tombstones) when the projected occupancy
+  // passes the probe-length knee; otherwise clone bytes and upsert in
+  // place, reusing tombstones -- the O(shard bytes) fast path.
+  const uint64_t projected = base_live + base_tomb + upserts.size();
+  const bool grow = cap == 0 || projected * 10 > cap * 7;
+  if (grow) {
+    const uint64_t want =
+        std::max<uint64_t>(16, (base_live + upserts.size()) * 2);
+    cap = 16;
+    while (cap < want) cap <<= 1;
+  }
+  auto shard = std::make_shared<StoreIndexShard>();
+  shard->capacity = cap;
+  shard->entries = index_allocator_->AllocateOnNode<StoreIndexShard::Entry>(
+      shard_id, cap);
+  *delta_bytes += cap * sizeof(StoreIndexShard::Entry);
+  const uint64_t mask = cap - 1;
+  const auto place_fresh = [&](uint64_t key, uint64_t marker) {
+    uint64_t i = (MixKey(key) >> 17) & mask;
+    while (shard->entries[i].marker != StoreIndexShard::kEmpty) {
+      i = (i + 1) & mask;
+    }
+    shard->entries[i].key = key;
+    shard->entries[i].marker = marker;
+  };
+  if (grow) {
+    if (base != nullptr) {
+      for (uint64_t i = 0; i < base->capacity; ++i) {
+        const StoreIndexShard::Entry& e = base->entries[i];
+        if (e.marker != StoreIndexShard::kEmpty &&
+            e.marker != StoreIndexShard::kTombstone) {
+          place_fresh(e.key, e.marker);
+        }
+      }
+    }
+    shard->live = base_live;
+    shard->tombstones = 0;
+  } else {
+    std::memcpy(shard->entries.data(), base->entries.data(),
+                cap * sizeof(StoreIndexShard::Entry));
+    shard->live = base_live;
+    shard->tombstones = base_tomb;
+  }
+  for (const uint64_t key : removals) {
+    uint64_t i = (MixKey(key) >> 17) & mask;
+    for (uint64_t probes = 0; probes <= mask; ++probes) {
+      StoreIndexShard::Entry& e = shard->entries[i];
+      DW_CHECK(e.marker != StoreIndexShard::kEmpty)
+          << "evicted key " << key << " missing from index of store "
+          << family_;
+      if (e.marker != StoreIndexShard::kTombstone && e.key == key) {
+        e.marker = StoreIndexShard::kTombstone;
+        --shard->live;
+        ++shard->tombstones;
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+  for (const auto& [key, slot] : upserts) {
+    uint64_t i = (MixKey(key) >> 17) & mask;
+    uint64_t tombstone = cap;  // first reusable grave on the probe path
+    for (;;) {
+      StoreIndexShard::Entry& e = shard->entries[i];
+      if (e.marker == StoreIndexShard::kEmpty) break;
+      if (e.marker == StoreIndexShard::kTombstone) {
+        if (tombstone == cap) tombstone = i;
+      } else if (e.key == key) {
+        // Re-inserted within the window that evicted it, or an update
+        // racing the same slot: overwrite in place.
+        e.marker = static_cast<uint64_t>(slot) + 1;
+        i = cap;
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+    if (i == cap) continue;  // updated in place above
+    const uint64_t target = tombstone != cap ? tombstone : i;
+    if (tombstone != cap) --shard->tombstones;
+    shard->entries[target].key = key;
+    shard->entries[target].marker = static_cast<uint64_t>(slot) + 1;
+    ++shard->live;
+  }
+  return shard;
+}
+
+size_t FeatureStore::EvictOnePage(const std::vector<uint8_t>& pinned_pages,
+                                  std::vector<uint64_t>* removed_keys,
+                                  uint64_t* evicted_keys) {
+  std::vector<std::atomic<uint8_t>>& refs = *ref_bits_;
+  const auto resident = [&](size_t p) {
+    if (pinned_pages[p] != 0) return false;
+    const matrix::Index start =
+        static_cast<matrix::Index>(p) * page_rows_;
+    const matrix::Index span = PageSpan(p);
+    for (matrix::Index i = 0; i < span; ++i) {
+      if (slot_live_[start + i] != 0) return true;
+    }
+    return false;
+  };
+  size_t victim = num_pages_;
+  // Clock with second chance: a referenced page survives one sweep (its
+  // bit clears); an unreferenced one is the victim. 2N steps guarantee
+  // every page gets its chance spent before the forced pass below.
+  for (size_t step = 0; step < 2 * num_pages_ && victim == num_pages_;
+       ++step) {
+    const size_t p = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % num_pages_;
+    if (!resident(p)) continue;
+    if (refs[p].exchange(0, std::memory_order_relaxed) != 0) continue;
+    victim = p;
+  }
+  if (victim == num_pages_) {
+    // Gathers kept re-touching everything mid-sweep; take the first
+    // evictable page regardless of reference.
+    for (size_t p = 0; p < num_pages_ && victim == num_pages_; ++p) {
+      if (resident(p)) victim = p;
+    }
+  }
+  DW_CHECK_LT(victim, num_pages_)
+      << "store " << family_
+      << " cannot evict: every page is pinned by the in-flight delta";
+  const matrix::Index start =
+      static_cast<matrix::Index>(victim) * page_rows_;
+  const matrix::Index span = PageSpan(victim);
+  for (matrix::Index i = 0; i < span; ++i) {
+    const matrix::Index slot = start + i;
+    if (slot_live_[slot] == 0) continue;
+    const uint64_t key = slot_to_key_[slot];
+    key_to_slot_.erase(key);
+    removed_keys->push_back(key);
+    slot_live_[slot] = 0;
+    free_slots_.push_back(slot);
+    ++*evicted_keys;
+  }
+  refs[victim].store(0, std::memory_order_relaxed);
+  return victim;
+}
+
 uint64_t FeatureStore::Publish(const std::vector<double>& row_major) {
   DW_CHECK_EQ(row_major.size(),
               static_cast<size_t>(rows_) * static_cast<size_t>(dim_))
       << "feature table shape mismatch for store " << family_;
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
-  return PublishLocked(row_major);
+  const StorePlacement placement =
+      placement_.load(std::memory_order_relaxed);
+  const int nodes = allocator_->topology().num_nodes;
+
+  // A full rewrite resets the key space to the identity map (key r ->
+  // slot r, all slots live) -- the legacy dense-row-id contract.
+  key_to_slot_.clear();
+  key_to_slot_.reserve(rows_);
+  free_slots_.clear();
+  next_slot_ = rows_;
+  for (matrix::Index r = 0; r < rows_; ++r) {
+    key_to_slot_.emplace(r, r);
+    slot_to_key_[r] = r;
+    slot_live_[r] = 1;
+  }
+
+  StorePublishReport report;
+  report.full_bytes = FullRewriteBytes(placement);
+  report.live_rows = rows_;
+
+  auto snap = MakeShell(placement);
+  snap->pages_.resize(num_pages_);
+  for (size_t p = 0; p < num_pages_; ++p) {
+    auto page = AllocatePage(p, placement, &report.delta_bytes);
+    const matrix::Index start = static_cast<matrix::Index>(p) * page_rows_;
+    const matrix::Index span = PageSpan(p);
+    for (matrix::Index i = 0; i < span; ++i) {
+      WriteSlot(page.get(), placement, start + i,
+                row_major.data() + static_cast<size_t>(start + i) * dim_);
+    }
+    snap->pages_[p] = std::move(page);
+    ++report.touched_pages;
+  }
+
+  std::vector<std::vector<std::pair<uint64_t, matrix::Index>>> upserts(
+      nodes);
+  for (matrix::Index r = 0; r < rows_; ++r) {
+    const uint64_t key = r;
+    upserts[MixKey(key) % static_cast<uint64_t>(nodes)].emplace_back(key,
+                                                                     r);
+  }
+  snap->index_shards_.resize(nodes);
+  for (int s = 0; s < nodes; ++s) {
+    snap->index_shards_[s] =
+        RebuildShard(nullptr, s, upserts[s], {}, &report.delta_bytes);
+  }
+
+  auto occ = std::make_shared<std::vector<uint64_t>>(
+      (static_cast<size_t>(rows_) + 63) / 64, 0);
+  for (matrix::Index r = 0; r < rows_; ++r) {
+    (*occ)[r >> 6] |= uint64_t{1} << (r & 63);
+  }
+  report.delta_bytes += occ->size() * sizeof(uint64_t);
+  snap->occupancy_ = std::move(occ);
+  snap->live_rows_ = rows_;
+
+  InstallLocked(std::move(snap), &report);
+  return report.version;
+}
+
+StorePublishReport FeatureStore::PublishDelta(
+    const std::vector<uint64_t>& keys,
+    const std::vector<double>& row_major) {
+  DW_CHECK(!keys.empty()) << "empty delta publish for store " << family_;
+  DW_CHECK_EQ(row_major.size(), keys.size() * static_cast<size_t>(dim_))
+      << "feature table shape mismatch for store " << family_ << " (delta of "
+      << keys.size() << " keys x dim " << dim_ << ")";
+  DW_CHECK_LE(keys.size(), static_cast<size_t>(rows_))
+      << "delta exceeds the capacity of store " << family_;
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  const StorePlacement placement =
+      placement_.load(std::memory_order_relaxed);
+  const int nodes = allocator_->topology().num_nodes;
+  const auto prev =
+      std::atomic_load_explicit(&current_, std::memory_order_acquire);
+
+  StorePublishReport report;
+  report.full_bytes = FullRewriteBytes(placement);
+
+  // 1. Slot assignment. Existing keys overwrite their slot in place (the
+  //    index does not change for them); new keys pull from the free
+  //    list, then the never-used tail, then a clock eviction. Pages this
+  //    delta writes are pinned against eviction.
+  std::vector<DeltaRow> delta_rows;
+  delta_rows.reserve(keys.size());
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(keys.size());
+  std::vector<uint8_t> pinned(num_pages_, 0);
+  std::vector<std::vector<std::pair<uint64_t, matrix::Index>>> upserts(
+      nodes);
+  std::vector<uint64_t> removed_keys;
+  std::vector<size_t> evicted_pages;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const uint64_t key = keys[i];
+    DW_CHECK(seen.insert(key).second)
+        << "duplicate key " << key << " in one delta publish for store "
+        << family_;
+    matrix::Index slot;
+    const auto it = key_to_slot_.find(key);
+    if (it != key_to_slot_.end()) {
+      slot = it->second;
+    } else {
+      if (free_slots_.empty() && next_slot_ < rows_) {
+        slot = next_slot_++;
+      } else {
+        if (free_slots_.empty()) {
+          evicted_pages.push_back(
+              EvictOnePage(pinned, &removed_keys, &report.evicted_keys));
+        }
+        DW_CHECK(!free_slots_.empty())
+            << "store " << family_ << " has no evictable slots";
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+      }
+      key_to_slot_.emplace(key, slot);
+      upserts[MixKey(key) % static_cast<uint64_t>(nodes)].emplace_back(
+          key, slot);
+    }
+    slot_to_key_[slot] = key;
+    slot_live_[slot] = 1;
+    pinned[slot / page_rows_] = 1;
+    delta_rows.push_back(DeltaRow{key, slot, i});
+  }
+  std::vector<std::vector<uint64_t>> removals(nodes);
+  for (const uint64_t key : removed_keys) {
+    removals[MixKey(key) % static_cast<uint64_t>(nodes)].push_back(key);
+  }
+
+  // 2. Page chain: clone the touched pages (copying their previous
+  //    contents), drop the evicted ones, SHARE everything else.
+  auto snap = MakeShell(placement);
+  if (prev != nullptr) {
+    snap->pages_ = prev->pages_;
+  } else {
+    snap->pages_.assign(num_pages_, nullptr);
+  }
+  std::vector<std::shared_ptr<StorePage>> writable(num_pages_);
+  for (size_t p = 0; p < num_pages_; ++p) {
+    if (pinned[p] == 0) continue;
+    auto page = AllocatePage(p, placement, &report.delta_bytes);
+    if (const StorePage* old = snap->pages_[p].get()) {
+      for (size_t n = 0; n < page->fragments.size(); ++n) {
+        if (old->fragments[n].size() > 0) {
+          std::memcpy(page->fragments[n].data(), old->fragments[n].data(),
+                      old->fragments[n].size() * sizeof(double));
+        }
+      }
+    }
+    writable[p] = page;
+    snap->pages_[p] = std::move(page);
+    ++report.touched_pages;
+  }
+  for (const size_t p : evicted_pages) {
+    // A page evicted mid-delta can have its freed slots reused by LATER
+    // keys of the same delta; it is then pinned + cloned above and must
+    // stay linked (occupancy already screens its dead slots).
+    if (pinned[p] == 0) snap->pages_[p] = nullptr;
+  }
+  for (const DeltaRow& dr : delta_rows) {
+    WriteSlot(writable[dr.slot / page_rows_].get(), placement, dr.slot,
+              row_major.data() + dr.src * static_cast<size_t>(dim_));
+  }
+
+  // 3. Key index: only shards whose key SET changed rebuild (pure
+  //    overwrites ride the shared shard).
+  snap->index_shards_.resize(nodes);
+  for (int s = 0; s < nodes; ++s) {
+    const StoreIndexShard* base =
+        prev != nullptr ? prev->index_shards_[s].get() : nullptr;
+    if (upserts[s].empty() && removals[s].empty() && base != nullptr) {
+      snap->index_shards_[s] = prev->index_shards_[s];
+    } else {
+      snap->index_shards_[s] = RebuildShard(base, s, upserts[s],
+                                            removals[s],
+                                            &report.delta_bytes);
+    }
+  }
+
+  // 4. Occupancy, rebuilt from the master liveness bytes (O(capacity)
+  //    bits -- noise next to one cloned page).
+  auto occ = std::make_shared<std::vector<uint64_t>>(
+      (static_cast<size_t>(rows_) + 63) / 64, 0);
+  uint64_t live = 0;
+  for (matrix::Index r = 0; r < rows_; ++r) {
+    if (slot_live_[r] != 0) {
+      (*occ)[r >> 6] |= uint64_t{1} << (r & 63);
+      ++live;
+    }
+  }
+  report.delta_bytes += occ->size() * sizeof(uint64_t);
+  report.live_rows = live;
+  snap->occupancy_ = std::move(occ);
+  snap->live_rows_ = live;
+
+  InstallLocked(std::move(snap), &report);
+  return report;
 }
 
 uint64_t FeatureStore::Republish(StorePlacement placement) {
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
-  const auto snap =
+  const auto prev =
       std::atomic_load_explicit(&current_, std::memory_order_acquire);
-  DW_CHECK(snap != nullptr)
+  DW_CHECK(prev != nullptr)
       << "republishing store " << family_ << " before any publish";
   if (placement == placement_.load(std::memory_order_relaxed)) {
-    return snap->version_;
+    return prev->version_;
   }
-  // Materialize the served table row-major from wherever the OLD
-  // placement put the rows (node 0 resolves both layouts), flip the
-  // strategy, and run the regular publish body: the migration IS just
-  // another hot-swap.
-  std::vector<double> row_major(static_cast<size_t>(rows_) *
-                                static_cast<size_t>(dim_));
-  for (matrix::Index r = 0; r < rows_; ++r) {
-    std::memcpy(row_major.data() + static_cast<size_t>(r) * dim_,
-                snap->RowForNode(0, r), dim_ * sizeof(double));
-  }
+  // Delta-aware migration: re-lay ONLY the resident pages under the new
+  // placement, fragment to fragment -- no dense materialization, no
+  // index rehash (slots do not move, so the key index and occupancy are
+  // shared with the previous version).
   placement_.store(placement, std::memory_order_release);
-  return PublishLocked(row_major);
+  StorePublishReport report;
+  report.full_bytes = FullRewriteBytes(placement);
+  const StorePlacement old_placement = prev->placement_;
+  const matrix::Index old_nodes =
+      static_cast<matrix::Index>(prev->num_nodes_);
+  auto snap = MakeShell(placement);
+  snap->pages_.resize(num_pages_);
+  for (size_t p = 0; p < num_pages_; ++p) {
+    const StorePage* old = prev->pages_[p].get();
+    if (old == nullptr) continue;
+    auto page = AllocatePage(p, placement, &report.delta_bytes);
+    const matrix::Index start = static_cast<matrix::Index>(p) * page_rows_;
+    const matrix::Index span = PageSpan(p);
+    for (matrix::Index i = 0; i < span; ++i) {
+      const matrix::Index slot = start + i;
+      const double* src =
+          old_placement == StorePlacement::kReplicated
+              ? old->fragments[0].data() + static_cast<size_t>(i) * dim_
+              : old->fragments[slot % old_nodes].data() +
+                    static_cast<size_t>(i / old_nodes) * dim_;
+      WriteSlot(page.get(), placement, slot, src);
+    }
+    snap->pages_[p] = std::move(page);
+    ++report.touched_pages;
+  }
+  snap->index_shards_ = prev->index_shards_;
+  snap->occupancy_ = prev->occupancy_;
+  snap->live_rows_ = prev->live_rows_;
+  report.live_rows = prev->live_rows_;
+  InstallLocked(std::move(snap), &report);
+  return report.version;
 }
 
-uint64_t FeatureStore::PublishLocked(const std::vector<double>& row_major) {
+void FeatureStore::InstallLocked(std::shared_ptr<FeatureStoreSnapshot> snap,
+                                 StorePublishReport* report) {
   const uint64_t version = next_version_++;
-
-  // Build the replacement entirely off to the side; workers keep
-  // gathering from the old snapshot until the single pointer store below.
-  auto snap = std::shared_ptr<FeatureStoreSnapshot>(new FeatureStoreSnapshot());
   snap->version_ = version;
-  snap->family_ = family_;
-  snap->rows_ = rows_;
-  snap->dim_ = dim_;
-  const StorePlacement placement = placement_.load(std::memory_order_relaxed);
-  snap->placement_ = placement;
-  snap->num_nodes_ = allocator_->topology().num_nodes;
-  snap->allocator_ = allocator_;
-  const int nodes = snap->num_nodes_;
-  if (placement == StorePlacement::kReplicated) {
-    snap->shards_.reserve(nodes);
-    for (int n = 0; n < nodes; ++n) {
-      auto replica = allocator_->AllocateOnNode<double>(n, row_major.size());
-      std::memcpy(replica.data(), row_major.data(),
-                  row_major.size() * sizeof(double));
-      snap->shards_.push_back(std::move(replica));
-    }
-  } else {
-    // Round-robin interleave: shard n compacts rows n, n+nodes, ... so a
-    // spray of row ids balances gather load across sockets.
-    snap->shards_.reserve(nodes);
-    for (int n = 0; n < nodes; ++n) {
-      const size_t shard_rows =
-          (static_cast<size_t>(rows_) + nodes - 1 - n) / nodes;
-      auto shard = allocator_->AllocateOnNode<double>(
-          n, shard_rows * static_cast<size_t>(dim_));
-      for (size_t slot = 0; slot < shard_rows; ++slot) {
-        const size_t row = slot * nodes + n;
-        std::memcpy(shard.data() + slot * dim_,
-                    row_major.data() + row * dim_, dim_ * sizeof(double));
-      }
-      snap->shards_.push_back(std::move(shard));
-    }
+  report->version = version;
+  delta_bytes_total_.fetch_add(report->delta_bytes,
+                               std::memory_order_relaxed);
+  full_bytes_total_.fetch_add(report->full_bytes,
+                              std::memory_order_relaxed);
+  evictions_total_.fetch_add(report->evicted_keys,
+                             std::memory_order_relaxed);
+  if (delta_bytes_counter_ != nullptr) {
+    delta_bytes_counter_->Add(report->delta_bytes);
   }
-
+  if (full_bytes_counter_ != nullptr) {
+    full_bytes_counter_->Add(report->full_bytes);
+  }
+  if (evictions_counter_ != nullptr && report->evicted_keys > 0) {
+    evictions_counter_->Add(report->evicted_keys);
+  }
   // Counter first, pointer second, mirroring ModelFamily::Publish: a
   // worker that acquires the NEW snapshot must never see a
   // current_version() older than it.
   current_version_.store(version, std::memory_order_release);
   std::atomic_store_explicit(
-      &current_, std::shared_ptr<const FeatureStoreSnapshot>(std::move(snap)),
+      &current_,
+      std::shared_ptr<const FeatureStoreSnapshot>(std::move(snap)),
       std::memory_order_release);
-  return version;
 }
 
 std::shared_ptr<const FeatureStoreSnapshot> FeatureStore::Acquire() const {

@@ -1,4 +1,4 @@
-// NUMA-placed, versioned, read-only feature tables for id-keyed serving.
+// NUMA-placed, versioned, KV-grade feature tables for keyed serving.
 //
 // Carried-feature requests make the CLIENT the feature source: every
 // Score(family, indices, values) ships the row over the wire and the
@@ -8,17 +8,43 @@
 // collocation that governs main-memory throughput. A FeatureStore flips
 // the source: the table of feature rows is registered per model family,
 // placed across sockets through the same numa::NumaAllocator machinery
-// the trainer uses, and a request names only a row id; the scoring
-// worker gathers the features from its node's placement at scoring time.
+// the trainer uses, and a request names only a row id or an entity key;
+// the scoring worker gathers the features from its node's placement at
+// scoring time.
+//
+// The table is organized as fixed-size PAGES of rows, each page holding
+// one NUMA fragment per node (a full copy of the page's span under
+// kReplicated; the slots with slot % nodes == n, compacted, under
+// kSharded -- so sharding stays row-granular round-robin exactly as
+// before, pages only change the ALLOCATION granularity). Three things
+// ride on that:
+//
+//   Keys.   A per-node open-addressing key -> slot index (hash-sharded
+//           across nodes like the data pages) lets requests ship a
+//           uint64 entity key -- or a string, hashed through HashKey()
+//           -- instead of a dense row id. Lookups are lock-free reads
+//           against the published snapshot.
+//   Deltas. PublishDelta(keys, rows) clones ONLY the pages and index
+//           shards the delta touches, shares every untouched page with
+//           the previous version, and hot-swaps exactly like a full
+//           Publish. Refresh bandwidth is O(churned pages), not
+//           O(table) -- the bytes-moved win the PIM literature chases,
+//           applied to the refresh path.
+//   Eviction. When every slot is live and a delta brings new keys, a
+//           clock sweep over pages (reference bits set by scoring-time
+//           gathers) evicts a cold page: its keys tombstone out of the
+//           index and later lookups miss (surfaced by the engine as a
+//           per-family kNotFound + store.key_misses). Capacity is
+//           bounded by the construction-time shape; churning entity
+//           sets recycle slots instead of growing.
 //
 // Placement is not passed in by the caller: it is chosen at construction
 // by opt::ChooseStorePlacement() from the calibrated memory model, the
 // topology, and the store's traffic estimate (table shape, gathers per
-// refresh) -- mirroring how opt::ChooseServingReplication picks the model
-// side. Benches that need a fixed strategy set
+// refresh, expected churn). Benches that need a fixed strategy set
 // StoreOptions::placement_override.
 //
-// Hot-swap: Publish() builds the new table version entirely off to the
+// Hot-swap: every publish builds the new version entirely off to the
 // side and installs it with one atomic pointer store, exactly like
 // ModelFamily. Workers Acquire() one immutable FeatureStoreSnapshot per
 // batch, so a refresh never tears the rows of an in-flight batch across
@@ -27,12 +53,16 @@
 // version eventually serves the batch.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "matrix/sparse_vector.h"
@@ -41,7 +71,67 @@
 #include "serve/replication.h"
 #include "util/logging.h"
 
+namespace dw::obs {
+class Counter;
+}  // namespace dw::obs
+
 namespace dw::serve {
+
+/// One page's NUMA fragments. Immutable once linked into a snapshot;
+/// untouched pages are SHARED between consecutive versions (that sharing
+/// is what makes a delta publish O(churn)).
+struct StorePage {
+  /// fragments[n] lives on node n. kReplicated: the full page span.
+  /// kSharded: the page's slots with slot % nodes == n, compacted.
+  std::vector<numa::NodeArray<double>> fragments;
+};
+
+/// One open-addressing key->slot shard (linear probing). Shard i is
+/// allocated on node i through the store's index allocator; snapshots
+/// share unchanged shards exactly like data pages.
+struct StoreIndexShard {
+  /// marker: 0 empty, UINT64_MAX tombstone, else slot + 1. The zeroed
+  /// NodeArray allocation IS the empty table.
+  struct Entry {
+    uint64_t key;
+    uint64_t marker;
+  };
+  static constexpr uint64_t kEmpty = 0;
+  static constexpr uint64_t kTombstone = ~uint64_t{0};
+
+  numa::NodeArray<Entry> entries;
+  uint64_t capacity = 0;  ///< power of two (0 = never populated)
+  uint64_t live = 0;
+  uint64_t tombstones = 0;
+};
+
+/// Per-shard index occupancy, for load-factor/balance tests and stats.
+struct StoreIndexShardStats {
+  numa::NodeId node = 0;
+  uint64_t capacity = 0;
+  uint64_t live = 0;
+  uint64_t tombstones = 0;
+};
+
+/// What one publish moved. delta_bytes / full_bytes is the observed
+/// churn fraction the placement tuner re-costs on.
+struct StorePublishReport {
+  uint64_t version = 0;
+  uint64_t delta_bytes = 0;    ///< bytes actually written (pages + index)
+  uint64_t full_bytes = 0;     ///< bytes a full rewrite would have written
+  uint64_t touched_pages = 0;  ///< pages cloned (evicted pages excluded)
+  uint64_t evicted_keys = 0;   ///< keys tombstoned to make room
+  uint64_t live_rows = 0;      ///< live slots after the publish
+};
+
+/// Avalanching mix for u64 entity keys (splitmix64 finalizer): the shard
+/// choice and probe sequence both need high bits that move.
+inline uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
 /// One immutable, versioned feature table. Readers hold it via
 /// shared_ptr, so a snapshot stays valid for as long as any in-flight
@@ -51,10 +141,17 @@ class FeatureStoreSnapshot {
   uint64_t version() const { return version_; }
   /// Family this table serves.
   const std::string& family() const { return family_; }
+  /// Slot capacity (fixed shape), NOT the live-key count.
   matrix::Index rows() const { return rows_; }
   matrix::Index dim() const { return dim_; }
   StorePlacement placement() const { return placement_; }
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_shards() const { return num_nodes_; }
+  /// Rows per page (a multiple of num_shards, so every page starts on
+  /// the round-robin boundary).
+  matrix::Index page_rows() const { return page_rows_; }
+  size_t num_pages() const { return pages_.size(); }
+  /// Live (key-addressable) slots in this version.
+  uint64_t live_rows() const { return live_rows_; }
 
   /// Node owning row `row`'s bytes for a reader on `node`: the reader's
   /// own node under kReplicated (its local copy), the interleaved shard
@@ -70,17 +167,65 @@ class FeatureStoreSnapshot {
   }
 
   /// Feature row `row` (dim() doubles) for a reader on `node`: the
-  /// node-local copy under kReplicated, the owner shard (possibly
-  /// remote) under kSharded. Same index validation as OwnerNodeFor.
+  /// node-local page fragment under kReplicated, the owner fragment
+  /// (possibly remote) under kSharded. Same index validation as
+  /// OwnerNodeFor. The slot's page must be resident (live slot, or any
+  /// slot of a full Publish); gathering an evicted slot is a bug the
+  /// caller screens with SlotLive().
   const double* RowForNode(numa::NodeId node, matrix::Index row) const {
     CheckIndices(node, row);
+    const StorePage* page = pages_[row / page_rows_].get();
+    DW_CHECK(page != nullptr)
+        << "row " << row << " gathered from an evicted page of store "
+        << family_;
+    const matrix::Index in_page = row % page_rows_;
     if (placement_ == StorePlacement::kReplicated) {
-      return shards_[node].data() + static_cast<size_t>(row) * dim_;
+      return page->fragments[node].data() +
+             static_cast<size_t>(in_page) * dim_;
     }
     const matrix::Index nodes = static_cast<matrix::Index>(num_nodes_);
-    return shards_[row % nodes].data() +
-           static_cast<size_t>(row / nodes) * dim_;
+    return page->fragments[row % nodes].data() +
+           static_cast<size_t>(in_page / nodes) * dim_;
   }
+
+  /// Lock-free key lookup against this version's index: the slot holding
+  /// `key`'s feature row, or nullopt (never published, or evicted).
+  std::optional<matrix::Index> LookupSlot(uint64_t key) const {
+    const uint64_t h = MixKey(key);
+    const StoreIndexShard* shard =
+        index_shards_[h % static_cast<uint64_t>(num_nodes_)].get();
+    if (shard == nullptr || shard->capacity == 0) return std::nullopt;
+    const uint64_t mask = shard->capacity - 1;
+    uint64_t i = (h >> 17) & mask;
+    for (uint64_t probes = 0; probes <= mask; ++probes) {
+      const StoreIndexShard::Entry& e = shard->entries[i];
+      if (e.marker == StoreIndexShard::kEmpty) return std::nullopt;
+      if (e.marker != StoreIndexShard::kTombstone && e.key == key) {
+        return static_cast<matrix::Index>(e.marker - 1);
+      }
+      i = (i + 1) & mask;
+    }
+    return std::nullopt;
+  }
+
+  /// Whether slot `row` holds a live feature row in this version. Id-
+  /// keyed gathers screen with this so a row id whose entity was evicted
+  /// misses (kNotFound) instead of reading a dropped page.
+  bool SlotLive(matrix::Index row) const {
+    CheckIndices(0, row);
+    return ((*occupancy_)[row >> 6] >> (row & 63)) & 1u;
+  }
+
+  /// Marks row `row`'s page referenced for the store's clock eviction.
+  /// Called by scoring workers on every gather; relaxed store, no
+  /// ordering needed (a lost touch just ages the page faster).
+  void TouchRow(matrix::Index row) const {
+    (*ref_bits_)[row / page_rows_].store(1, std::memory_order_relaxed);
+  }
+
+  /// Per-shard index stats (capacity/live/tombstones), for balance and
+  /// load-factor tests.
+  std::vector<StoreIndexShardStats> IndexStats() const;
 
  private:
   friend class FeatureStore;
@@ -99,43 +244,63 @@ class FeatureStoreSnapshot {
   matrix::Index dim_ = 0;
   StorePlacement placement_ = StorePlacement::kReplicated;
   int num_nodes_ = 1;
-  /// Keeps the ledger the shards report into alive even if a reader
-  /// outlives the store. Declared before shards_ so it is destroyed
-  /// after them (their destructors post to the ledger).
+  matrix::Index page_rows_ = 64;
+  uint64_t live_rows_ = 0;
+  /// Keep the ledgers the pages/index report into alive even if a reader
+  /// outlives the store. Declared before the owning members so they are
+  /// destroyed after them (their destructors post to the ledgers).
   std::shared_ptr<numa::NumaAllocator> allocator_;
-  /// kReplicated: one full table per node. kSharded: shard n holds rows
-  /// r with r % num_nodes == n, compacted at slot r / num_nodes.
-  std::vector<numa::NodeArray<double>> shards_;
+  std::shared_ptr<numa::NumaAllocator> index_allocator_;
+  /// Page chain; nullptr = evicted (or never-populated) page. Untouched
+  /// entries are shared with the previous version.
+  std::vector<std::shared_ptr<const StorePage>> pages_;
+  /// Key index, one shard per node; unchanged shards shared like pages.
+  std::vector<std::shared_ptr<const StoreIndexShard>> index_shards_;
+  /// Bitmap of live slots (one bit per slot), cloned per publish.
+  std::shared_ptr<const std::vector<uint64_t>> occupancy_;
+  /// Per-page reference bits for clock eviction. Shared with the store
+  /// and ALL versions (capacity is fixed, so the page count is too).
+  std::shared_ptr<std::vector<std::atomic<uint8_t>>> ref_bits_;
 };
 
 /// Construction-time description of a store. The traffic estimate feeds
 /// the placement chooser (its rows/dim are filled in from the
-/// constructor arguments, so only the read/refresh asymmetry needs
-/// stating).
+/// constructor arguments, so only the read/refresh asymmetry and the
+/// expected churn need stating).
 struct StoreOptions {
   /// Expected row gathers per table refresh.
   double reads_per_refresh = 65536.0;
+  /// Expected fraction of the table each refresh rewrites (1.0 = full
+  /// rewrite, the pre-delta behavior). Scales the refresh cost in the
+  /// placement chooser; the tuner later replaces it with the OBSERVED
+  /// delta_bytes / full_bytes ratio.
+  double churn_per_refresh = 1.0;
+  /// Allocation granularity of the copy-on-write page chain, in rows.
+  /// Rounded up to a multiple of the node count. Smaller pages shrink
+  /// delta bytes; larger pages shrink per-page overhead.
+  matrix::Index page_rows = 64;
   /// Explicit placement for benches/ablations; leave unset in production
   /// so the cost model decides.
   std::optional<StorePlacement> placement_override;
 };
 
-/// One family's feature store: a versioned immutable table chain plus the
-/// placement strategy fixed at construction. Obtained from
-/// ServingEngine::RegisterStore (or constructed directly for tests).
+/// One family's feature store: a versioned immutable page chain, a
+/// hash-sharded key index, and the placement strategy chosen at
+/// construction. Obtained from ServingEngine::RegisterStore (or
+/// constructed directly for tests).
 class FeatureStore {
  public:
   /// Chooses the placement through opt::ChooseStorePlacement unless
-  /// options.placement_override pins it. `rows`/`dim` fix the table
-  /// shape for every future version.
+  /// options.placement_override pins it. `rows`/`dim` fix the slot
+  /// capacity and row width for every future version.
   FeatureStore(std::string family,
                std::shared_ptr<numa::NumaAllocator> allocator,
                matrix::Index rows, matrix::Index dim,
                const StoreOptions& options);
 
   const std::string& family() const { return family_; }
-  /// Table shape, fixed at construction. Lock-free; safe on the request
-  /// admission hot path (row-id validation).
+  /// Slot capacity, fixed at construction. Lock-free; safe on the
+  /// request admission hot path (row-id validation).
   matrix::Index rows() const { return rows_; }
   matrix::Index dim() const { return dim_; }
   /// The placement the NEXT publish builds under. Lock-free: chosen at
@@ -148,39 +313,136 @@ class FeatureStore {
   /// override" when the caller pinned it instead).
   const std::string& rationale() const { return rationale_; }
 
-  /// Copies the row-major table (`rows() * dim()` doubles, row r at
-  /// offset r * dim()) into fresh per-node placements and installs them
-  /// as the store's current version (monotonic from 1). The size must
-  /// match the fixed shape: admission validates row ids against rows()
-  /// once, which is only sound if every version agrees.
+  /// Stable hash for string entity keys; callers that key by string pass
+  /// HashKey(name) everywhere a u64 key is taken (FNV-1a, then mixed at
+  /// lookup -- collisions are a caller-namespace concern, as in any
+  /// hashed KV front door).
+  static uint64_t HashKey(std::string_view key);
+
+  /// Full rewrite: copies the row-major table (`rows() * dim()` doubles,
+  /// row r at offset r * dim()) into a fresh page chain under identity
+  /// keys (key r -> slot r, all slots live) and installs it as the
+  /// store's current version (monotonic from 1). The size must match
+  /// the fixed shape: admission validates row ids against rows() once,
+  /// which is only sound if every version agrees. Resets any prior
+  /// key->slot state.
   uint64_t Publish(const std::vector<double>& row_major);
 
-  /// Live migration: rebuilds the CURRENT table under `placement` and
-  /// installs it as a new version through the regular hot-swap path --
-  /// in-flight batches keep the snapshot they gathered from and no row
-  /// ever tears. No-op (returns the current version) when the placement
-  /// already matches. CHECKs that a version has been published.
+  /// Delta publish: upserts `keys[i] -> row_major[i*dim .. )`, cloning
+  /// only the touched pages and index shards; every untouched page is
+  /// shared with the previous version. New keys take free slots; when
+  /// none remain, a clock sweep evicts a cold page (its keys then miss).
+  /// Dies on shape mismatch or a duplicate key within one delta.
+  StorePublishReport PublishDelta(const std::vector<uint64_t>& keys,
+                                  const std::vector<double>& row_major);
+
+  /// Live migration: re-lays the CURRENT version's resident pages under
+  /// `placement` and installs the result as a new version through the
+  /// regular hot-swap path -- in-flight batches keep the snapshot they
+  /// gathered from and no row ever tears. Delta-aware: only resident
+  /// pages are copied (evicted pages stay evicted) and the key index and
+  /// occupancy are SHARED with the previous version, so a tuner-driven
+  /// flip pays O(live pages), never a full-table rebuild plus rehash.
+  /// No-op (returns the current version) when the placement already
+  /// matches. CHECKs that a version has been published.
   uint64_t Republish(StorePlacement placement);
 
-  /// Acquires the current table (nullptr before the first Publish).
+  /// Acquires the current table (nullptr before the first publish).
   std::shared_ptr<const FeatureStoreSnapshot> Acquire() const;
 
-  /// Version of the current table (0 before the first Publish).
+  /// Version of the current table (0 before the first publish).
   /// Lock-free: admission gates id-keyed requests on it.
   uint64_t current_version() const {
     return current_version_.load(std::memory_order_acquire);
   }
 
+  /// Whether `key` resolves in the CURRENT version (admission screen for
+  /// key-keyed requests; the serving batch re-resolves against its own
+  /// pinned snapshot).
+  bool ContainsKey(uint64_t key) const {
+    const auto snap = Acquire();
+    return snap != nullptr && snap->LookupSlot(key).has_value();
+  }
+
+  /// Publish-bandwidth odometers (monotonic since construction); the
+  /// placement tuner's observed-churn inputs mirror these through the
+  /// attached registry counters.
+  uint64_t delta_bytes_total() const {
+    return delta_bytes_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t full_bytes_total() const {
+    return full_bytes_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t evictions_total() const {
+    return evictions_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Wires the store's publish-side accounting into the family's
+  /// registry instruments (store.delta_bytes / store.full_bytes /
+  /// store.evictions). Any pointer may be null (telemetry disabled).
+  /// Publishes from ANY path -- engine PublishStore, tuner Republish,
+  /// direct PublishDelta -- account through these, which is why the
+  /// counters live here and not in the engine wrappers.
+  void AttachInstruments(obs::Counter* delta_bytes, obs::Counter* full_bytes,
+                         obs::Counter* evictions);
+
  private:
-  /// Publish body with publish_mu_ already held (shared by Publish and
-  /// Republish, which must flip placement_ and rebuild atomically with
-  /// respect to other publishers).
-  uint64_t PublishLocked(const std::vector<double>& row_major);
+  struct DeltaRow {
+    uint64_t key;
+    matrix::Index slot;
+    size_t src;  ///< row index into the delta's row_major block
+  };
+
+  /// Fresh snapshot shell carrying the fixed shape, the allocators, and
+  /// the shared ref bits (pages/index/occupancy filled by the caller).
+  std::shared_ptr<FeatureStoreSnapshot> MakeShell(
+      StorePlacement placement) const;
+  /// Shared publish tail: stamps the next version into `snap` and
+  /// `report`, bumps the odometers/counters, and installs (version
+  /// counter first, then the pointer). publish_mu_ held.
+  void InstallLocked(std::shared_ptr<FeatureStoreSnapshot> snap,
+                     StorePublishReport* report);
+  /// Clones (or grows) shard `s` of `base` and applies the upserts and
+  /// tombstones recorded for it. Returns the new shard and adds the
+  /// bytes it allocated to *delta_bytes. publish_mu_ held.
+  std::shared_ptr<const StoreIndexShard> RebuildShard(
+      const StoreIndexShard* base, int shard_id,
+      const std::vector<std::pair<uint64_t, matrix::Index>>& upserts,
+      const std::vector<uint64_t>& removals, uint64_t* delta_bytes);
+  /// Evicts one cold page via the clock sweep (never one in
+  /// `pinned_pages`), tombstoning its keys and freeing its slots.
+  /// Returns the evicted page id. Dies if every page is pinned.
+  /// publish_mu_ held.
+  size_t EvictOnePage(const std::vector<uint8_t>& pinned_pages,
+                      std::vector<uint64_t>* removed_keys,
+                      uint64_t* evicted_keys);
+  /// Bytes one full rewrite moves under `placement`.
+  uint64_t FullRewriteBytes(StorePlacement placement) const;
+  matrix::Index PageSpan(size_t page) const {
+    const matrix::Index start =
+        static_cast<matrix::Index>(page) * page_rows_;
+    return std::min(page_rows_, rows_ - start);
+  }
+  /// Allocates `page`'s fragments under `placement` (exact span -- the
+  /// ledger must stay byte-exact) and adds their bytes to *delta_bytes.
+  std::shared_ptr<StorePage> AllocatePage(size_t page,
+                                          StorePlacement placement,
+                                          uint64_t* delta_bytes);
+  /// Writes `row` (dim_ doubles) into `slot`'s position in `page` under
+  /// `placement` (all fragments when replicated, the owner when sharded).
+  void WriteSlot(StorePage* page, StorePlacement placement,
+                 matrix::Index slot, const double* row);
 
   const std::string family_;
   std::shared_ptr<numa::NumaAllocator> allocator_;
+  /// Key-index allocations go through a PRIVATE allocator over the same
+  /// topology: index shards are NUMA-placed like data pages, but their
+  /// bytes must not pollute the data ledger callers assert against.
+  std::shared_ptr<numa::NumaAllocator> index_allocator_;
   const matrix::Index rows_;
   const matrix::Index dim_;
+  matrix::Index page_rows_ = 64;
+  size_t num_pages_ = 0;
   /// Construction choice, rewritten only by Republish (under
   /// publish_mu_); atomic so stats paths may read it lock-free
   /// mid-migration.
@@ -193,6 +455,24 @@ class FeatureStore {
   std::atomic<uint64_t> current_version_{0};
   /// Accessed only through std::atomic_load/atomic_store.
   std::shared_ptr<const FeatureStoreSnapshot> current_;
+
+  // --- publisher master state (publish_mu_ held) -------------------------
+  std::unordered_map<uint64_t, matrix::Index> key_to_slot_;
+  std::vector<uint64_t> slot_to_key_;
+  std::vector<uint8_t> slot_live_;
+  std::vector<matrix::Index> free_slots_;
+  matrix::Index next_slot_ = 0;
+  size_t clock_hand_ = 0;
+  /// Shared with every snapshot (see FeatureStoreSnapshot::ref_bits_).
+  std::shared_ptr<std::vector<std::atomic<uint8_t>>> ref_bits_;
+
+  // --- publish-bandwidth accounting --------------------------------------
+  std::atomic<uint64_t> delta_bytes_total_{0};
+  std::atomic<uint64_t> full_bytes_total_{0};
+  std::atomic<uint64_t> evictions_total_{0};
+  obs::Counter* delta_bytes_counter_ = nullptr;
+  obs::Counter* full_bytes_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
 };
 
 }  // namespace dw::serve

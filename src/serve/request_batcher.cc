@@ -185,6 +185,20 @@ StatusOr<std::future<double>> RequestBatcher::SubmitId(FamilyId family,
   return SubmitId(family, row_id, kDefaultClient);
 }
 
+StatusOr<std::future<double>> RequestBatcher::SubmitKey(
+    FamilyId family, uint64_t key, ClientId client,
+    std::chrono::steady_clock::time_point admitted_at) {
+  ScoreRequest req;
+  req.by_key = true;
+  req.key = key;
+  return Enqueue(family, std::move(client), std::move(req), admitted_at);
+}
+
+StatusOr<std::future<double>> RequestBatcher::SubmitKey(FamilyId family,
+                                                        uint64_t key) {
+  return SubmitKey(family, key, kDefaultClient);
+}
+
 StatusOr<std::future<double>> RequestBatcher::Enqueue(
     FamilyId family, ClientId client, ScoreRequest req,
     std::chrono::steady_clock::time_point admitted_at) {

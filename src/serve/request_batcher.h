@@ -131,6 +131,12 @@ struct ScoreRequest {
   /// store snapshot it acquired for the batch.
   bool by_id = false;
   matrix::Index row_id = 0;
+  /// Key-keyed form (ScoreKey(family, key)): like by_id, but `key` is an
+  /// entity key the worker resolves through the batch's pinned store
+  /// snapshot index -- a key evicted between admission and scoring
+  /// misses (kNotFound) instead of serving stale bytes.
+  bool by_key = false;
+  uint64_t key = 0;
   /// Submitting client (fair-queuing key; kDefaultClient when the caller
   /// used the client-less Submit form).
   ClientId client;
@@ -304,6 +310,17 @@ class RequestBatcher {
   /// Single-tenant convenience: SubmitId on kDefaultClient.
   StatusOr<std::future<double>> SubmitId(FamilyId family,
                                          matrix::Index row_id);
+
+  /// Enqueues one key-keyed request on `family`'s queue for `client`.
+  /// Shares the admission tail with Submit/SubmitId (identical Status
+  /// codes); the caller screens the key against the family's store index
+  /// the way SubmitId callers screen row ids against its bounds.
+  StatusOr<std::future<double>> SubmitKey(
+      FamilyId family, uint64_t key, ClientId client,
+      std::chrono::steady_clock::time_point admitted_at = {});
+
+  /// Single-tenant convenience: SubmitKey on kDefaultClient.
+  StatusOr<std::future<double>> SubmitKey(FamilyId family, uint64_t key);
 
   /// Blocks until some family has a batch ready under the flush policy;
   /// returns false only once the batcher is shut down AND every queue is

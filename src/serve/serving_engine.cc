@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "kernels/dispatch.h"
@@ -175,6 +177,11 @@ Status ServingEngine::RegisterFamily(const std::string& family,
         obs_.GetCounter("store.local_gather_bytes", labels);
     fs.inst.store_remote_bytes =
         obs_.GetCounter("store.remote_gather_bytes", labels);
+    fs.inst.key_rows = obs_.GetCounter("store.key_rows", labels);
+    fs.inst.key_misses = obs_.GetCounter("store.key_misses", labels);
+    fs.inst.store_delta_bytes = obs_.GetCounter("store.delta_bytes", labels);
+    fs.inst.store_full_bytes = obs_.GetCounter("store.full_bytes", labels);
+    fs.inst.store_evictions = obs_.GetCounter("store.evictions", labels);
     // The dispatch level is resolved once per process, so the label is
     // fixed here; `weights` says which replica the batched kernel reads.
     obs::Labels kernel_labels = labels;
@@ -252,6 +259,13 @@ Status ServingEngine::RegisterStore(const std::string& family,
   }
   stores_.push_back(std::make_unique<FeatureStore>(family, store_allocator_,
                                                    rows, dim, sopts));
+  // The store writes its own publish odometers onto the family's
+  // counters, so tuner-driven Republish flips (which bypass the engine's
+  // PublishStore wrapper) are accounted exactly like caller publishes.
+  const FamilyInstruments& inst = fs.inst;
+  stores_.back()->AttachInstruments(inst.store_delta_bytes,
+                                    inst.store_full_bytes,
+                                    inst.store_evictions);
   auto next = std::make_shared<FamilyTable>(*current);
   next->families[it->second].store = stores_.back().get();
   std::atomic_store_explicit(
@@ -270,6 +284,19 @@ uint64_t ServingEngine::PublishStore(const std::string& family,
   DW_CHECK(store != nullptr)
       << "no feature store registered for family " << family;
   return store->Publish(row_major);
+}
+
+StorePublishReport ServingEngine::PublishStoreDelta(
+    const std::string& family, const std::vector<uint64_t>& keys,
+    const std::vector<double>& row_major) {
+  const auto table = Table();
+  const auto it = table->ids.find(family);
+  DW_CHECK(it != table->ids.end())
+      << "delta publish to unregistered family " << family;
+  FeatureStore* store = table->families[it->second].store;
+  DW_CHECK(store != nullptr)
+      << "no feature store registered for family " << family;
+  return store->PublishDelta(keys, row_major);
 }
 
 const FeatureStore* ServingEngine::FindStore(const std::string& family) const {
@@ -489,6 +516,62 @@ StatusOr<std::future<double>> ServingEngine::Score(const std::string& family,
   return batcher_.SubmitId(fs.queue, row_id, std::move(client), admitted_at);
 }
 
+StatusOr<std::future<double>> ServingEngine::ScoreKey(
+    const std::string& family, uint64_t key, ClientId client) {
+  const auto admitted_at = options_.telemetry
+                               ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
+  std::shared_ptr<const FamilyTable> keepalive;
+  const FamilyState* fsp = FindFamilyState(family, &keepalive);
+  if (fsp == nullptr) {
+    return Status::NotFound("unknown family: " + family);
+  }
+  const FamilyState& fs = *fsp;
+  if (fs.store == nullptr) {
+    return Status::FailedPrecondition(
+        "no feature store registered for family " + family);
+  }
+  if (fs.family->current_version() == 0) {
+    return Status::FailedPrecondition("no model published for family " +
+                                      family);
+  }
+  if (fs.store->current_version() == 0) {
+    return Status::FailedPrecondition(
+        "no feature table published for family " + family);
+  }
+  // The admission-time analogue of the id form's range check, probed
+  // lock-free against the current index. Unlike the shape check this one
+  // is best-effort -- a delta landing after admission can still evict
+  // the key, which the worker surfaces as a StoreKeyMiss -- but it turns
+  // the common case (a key that was never published, or evicted long
+  // ago) into a cheap synchronous NotFound instead of a queued failure.
+  if (!fs.store->ContainsKey(key)) {
+    fs.inst.key_misses->Add(1);
+    return Status::NotFound("key " + std::to_string(key) +
+                            " not present in the feature store for family " +
+                            family);
+  }
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine not started");
+  }
+  return batcher_.SubmitKey(fs.queue, key, std::move(client), admitted_at);
+}
+
+StatusOr<std::future<double>> ServingEngine::ScoreKey(
+    const std::string& family, uint64_t key) {
+  return ScoreKey(family, key, kDefaultClient);
+}
+
+StatusOr<std::future<double>> ServingEngine::ScoreKey(
+    const std::string& family, std::string_view key, ClientId client) {
+  return ScoreKey(family, FeatureStore::HashKey(key), std::move(client));
+}
+
+StatusOr<std::future<double>> ServingEngine::ScoreKey(
+    const std::string& family, std::string_view key) {
+  return ScoreKey(family, FeatureStore::HashKey(key), kDefaultClient);
+}
+
 StatusOr<double> ServingEngine::ScoreSync(const std::string& family,
                                           std::vector<Index> indices,
                                           std::vector<double> values,
@@ -510,12 +593,47 @@ StatusOr<double> ServingEngine::ScoreSync(const std::string& family,
                                           Index row_id, ClientId client) {
   auto fut = Score(family, row_id, std::move(client));
   if (!fut.ok()) return fut.status();
-  return std::move(fut).value().get();
+  try {
+    return std::move(fut).value().get();
+  } catch (const StoreKeyMiss& miss) {
+    // A delta evicted the slot between admission and the gather; only
+    // reachable on stores mixing id traffic with delta publishes.
+    return Status::NotFound(miss.what());
+  }
 }
 
 StatusOr<double> ServingEngine::ScoreSync(const std::string& family,
                                           Index row_id) {
   return ScoreSync(family, row_id, kDefaultClient);
+}
+
+StatusOr<double> ServingEngine::ScoreKeySync(const std::string& family,
+                                             uint64_t key, ClientId client) {
+  auto fut = ScoreKey(family, key, std::move(client));
+  if (!fut.ok()) return fut.status();
+  try {
+    return std::move(fut).value().get();
+  } catch (const StoreKeyMiss& miss) {
+    // Evicted between admission and the gather: same Status the
+    // admission-time miss returns, so callers see one code either way.
+    return Status::NotFound(miss.what());
+  }
+}
+
+StatusOr<double> ServingEngine::ScoreKeySync(const std::string& family,
+                                             uint64_t key) {
+  return ScoreKeySync(family, key, kDefaultClient);
+}
+
+StatusOr<double> ServingEngine::ScoreKeySync(const std::string& family,
+                                             std::string_view key,
+                                             ClientId client) {
+  return ScoreKeySync(family, FeatureStore::HashKey(key), std::move(client));
+}
+
+StatusOr<double> ServingEngine::ScoreKeySync(const std::string& family,
+                                             std::string_view key) {
+  return ScoreKeySync(family, FeatureStore::HashKey(key), kDefaultClient);
 }
 
 void ServingEngine::WorkerLoop(int worker_id) {
@@ -537,6 +655,7 @@ void ServingEngine::WorkerLoop(int worker_id) {
   // Per-batch scratch, reused across batches (no per-batch allocation
   // once warm).
   std::vector<matrix::SparseVectorView> views;
+  std::vector<size_t> view_req;
   std::vector<double> scores;
   std::vector<size_t> traced_rows;
   while (batcher_.NextBatch(&batch)) {
@@ -559,13 +678,14 @@ void ServingEngine::WorkerLoop(int worker_id) {
       std::this_thread::yield();
       snap = fs.family->Acquire();
     }
-    // One STORE acquire per batch, same discipline: every id-keyed row in
-    // the batch gathers from a single table version, so a concurrent
-    // PublishStore can refresh the store mid-flight without ever tearing
-    // a batch across feature versions.
+    // One STORE acquire per batch, same discipline: every id- or
+    // key-keyed row in the batch gathers from a single table version, so
+    // a concurrent PublishStore/PublishStoreDelta can refresh the store
+    // mid-flight without ever tearing a batch across feature versions
+    // (keys resolve through the SNAPSHOT's index, not the live one).
     std::shared_ptr<const FeatureStoreSnapshot> store_snap;
     for (const ScoreRequest& req : batch.requests) {
-      if (req.by_id) {
+      if (req.by_id || req.by_key) {
         store_snap = fs.store->Acquire();
         while (store_snap == nullptr) {
           std::this_thread::yield();
@@ -595,28 +715,60 @@ void ServingEngine::WorkerLoop(int worker_id) {
     const uint64_t versions_behind =
         cur_version > snap->version() ? cur_version - snap->version() : 0;
 
-    // Views for every row: carried rows view their own payload; id-keyed
-    // rows view the store snapshot directly in the explicit dense form --
-    // zero copies, and the feature bytes come from wherever the store's
-    // placement put the row (the quantity the Fig. 9-style bench varies).
-    const size_t rows = batch.rows();
+    // Views for every row: carried rows view their own payload; id- and
+    // key-keyed rows view the store snapshot directly in the explicit
+    // dense form -- zero copies, and the feature bytes come from
+    // wherever the store's placement put the row (the quantity the
+    // Fig. 9-style bench varies). A key the snapshot's index no longer
+    // holds (evicted since admission) resolves its promise with
+    // StoreKeyMiss here and drops out of the batch, so the kernel below
+    // scores a compacted view array; view_req maps each view back to its
+    // request.
+    const size_t submitted_rows = batch.rows();
     views.clear();
-    views.reserve(rows);
+    views.reserve(submitted_rows);
+    view_req.clear();
+    view_req.reserve(submitted_rows);
     traced_rows.clear();
     numa::AccessCounters delta;
     uint64_t id_rows = 0;
+    uint64_t key_rows = 0;
+    uint64_t key_misses = 0;
     uint64_t local_store_rows = 0;
     uint64_t remote_store_rows = 0;
     uint64_t store_local_bytes = 0;
     uint64_t store_remote_bytes = 0;
-    for (const ScoreRequest& req : batch.requests) {
-      if (req.by_id) {
+    for (size_t ri = 0; ri < batch.requests.size(); ++ri) {
+      ScoreRequest& req = batch.requests[ri];
+      if (req.by_id || req.by_key) {
+        Index slot = req.row_id;
+        if (req.by_key) {
+          const std::optional<Index> found = store_snap->LookupSlot(req.key);
+          if (!found.has_value()) {
+            ++key_misses;
+            req.result.set_exception(std::make_exception_ptr(
+                StoreKeyMiss(fs.name, req.key)));
+            continue;
+          }
+          slot = *found;
+          ++key_rows;
+        } else if (!store_snap->SlotLive(slot)) {
+          // The row id named a slot a delta has since evicted; same
+          // surfacing as a key miss (the id form predates eviction, so
+          // this only fires on stores mixing deltas with id traffic).
+          ++key_misses;
+          req.result.set_exception(std::make_exception_ptr(
+              StoreKeyMiss(fs.name, static_cast<uint64_t>(slot))));
+          continue;
+        }
+        // Feed the eviction clock: a gathered page is a hot page.
+        store_snap->TouchRow(slot);
         const size_t fdim = store_snap->dim();
-        views.push_back(
-            {nullptr, store_snap->RowForNode(node, req.row_id), fdim});
+        views.push_back({nullptr, store_snap->RowForNode(node, slot), fdim});
+        view_req.push_back(ri);
         ++id_rows;
         const uint64_t feature_bytes = fdim * sizeof(double);
-        if (store_snap->OwnerNodeFor(node, req.row_id) == node) {
+        if (store_snap->OwnerNodeFor(node, slot) == node) {
           ++local_store_rows;
           store_local_bytes += feature_bytes;
           delta.local_read_bytes += feature_bytes;
@@ -627,12 +779,14 @@ void ServingEngine::WorkerLoop(int worker_id) {
         }
       } else {
         views.push_back(req.View());
+        view_req.push_back(ri);
         // Carried payload arrives node-local (the batch was just
         // written). Dense requests carry no index array.
         delta.local_read_bytes += req.values.size() * sizeof(double) +
                                   req.indices.size() * sizeof(Index);
       }
     }
+    const size_t rows = views.size();
     // Stage boundary: picked_at -> gathered_at is the gather stage
     // (snapshot acquires + view build + store row gathers).
     const auto gathered_at = std::chrono::steady_clock::now();
@@ -658,7 +812,7 @@ void ServingEngine::WorkerLoop(int worker_id) {
 
     uint64_t batch_nnz = 0;
     for (size_t r = 0; r < rows; ++r) {
-      ScoreRequest& req = batch.requests[r];
+      ScoreRequest& req = batch.requests[view_req[r]];
       req.result.set_value(scores[r]);
       // Stamped after set_value so the recorded latency covers the full
       // submit-to-resolution interval, including this batch's scoring.
@@ -690,18 +844,18 @@ void ServingEngine::WorkerLoop(int worker_id) {
           std::chrono::duration<double, std::micro>(batch.formed_at -
                                                     req.enqueued_at)
               .count());
-      if (req.traced) traced_rows.push_back(r);
+      if (req.traced) traced_rows.push_back(view_req[r]);
     }
     const auto completed_at = std::chrono::steady_clock::now();
-    if (batched) {
+    if (batched && rows > 0) {
       // The spec reports what its batched kernel actually streams: the
       // blocked GLM kernels read each model tile once per row chunk; the
       // reference default re-gathers per row like scalar mode.
       const uint64_t model_bytes =
           use_int8 ? fs.spec->PredictBatchQuantizedModelBytes(
-                         snap->dim(), batch_nnz, batch.rows())
+                         snap->dim(), batch_nnz, rows)
                    : fs.spec->PredictBatchModelBytes(snap->dim(), batch_nnz,
-                                                     batch.rows());
+                                                     rows);
       if (replica_local) {
         delta.model_read_bytes += model_bytes;
       } else {
@@ -747,6 +901,8 @@ void ServingEngine::WorkerLoop(int worker_id) {
       inst.store_local_bytes->Add(store_local_bytes);
       inst.store_remote_bytes->Add(store_remote_bytes);
     }
+    if (key_rows > 0) inst.key_rows->Add(key_rows);
+    if (key_misses > 0) inst.key_misses->Add(key_misses);
     // Per-node logical traffic for telemetry scrapes; the exact merge
     // below stays authoritative for SimInput()/Stats().traffic.
     const NodeTraffic& nt = node_traffic_[node];
@@ -820,6 +976,18 @@ ServingStats ServingEngine::Stats() const {
     out.remote_store_rows = inst.remote_store_rows->Value();
     out.store_local_bytes = inst.store_local_bytes->Value();
     out.store_remote_bytes = inst.store_remote_bytes->Value();
+    out.key_rows = inst.key_rows->Value();
+    out.key_misses = inst.key_misses->Value();
+    out.store_delta_bytes = inst.store_delta_bytes->Value();
+    out.store_full_bytes = inst.store_full_bytes->Value();
+    out.store_evictions = inst.store_evictions->Value();
+    if (fs.store != nullptr) {
+      // Live even on a disabled registry: read off the current snapshot,
+      // not an instrument.
+      const auto store_snap = fs.store->Acquire();
+      out.store_live_rows = store_snap != nullptr ? store_snap->live_rows()
+                                                  : 0;
+    }
     const obs::HistogramSnapshot lat = inst.latency_ms->Snapshot();
     out.p50_latency_ms = lat.Percentile(50.0);
     out.p99_latency_ms = lat.Percentile(99.0);

@@ -47,7 +47,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -84,6 +86,25 @@ enum class ScoringMode {
 };
 
 const char* ToString(ScoringMode m);
+
+/// Thrown through a KEY-KEYED request's future when the key vanished
+/// between admission and the gather: the worker resolves keys against the
+/// batch's pinned store snapshot, and a key the admission check saw can
+/// be evicted by a delta publish that lands in between. Callers holding
+/// the raw future see this from .get(); ScoreKeySync translates it to
+/// Status::NotFound. Counted per family as store.key_misses.
+class StoreKeyMiss : public std::runtime_error {
+ public:
+  StoreKeyMiss(const std::string& family, uint64_t key)
+      : std::runtime_error("key " + std::to_string(key) +
+                           " not present in the feature store for family " +
+                           family),
+        key_(key) {}
+  uint64_t key() const { return key_; }
+
+ private:
+  uint64_t key_;
+};
 
 struct ServingOptions {
   numa::Topology topology = numa::HostTopology();
@@ -201,6 +222,14 @@ struct FamilyServingStats {
   uint64_t store_version = 0;     ///< current table version at Stats() time
   uint64_t store_local_bytes = 0;   ///< feature bytes gathered node-locally
   uint64_t store_remote_bytes = 0;  ///< feature bytes gathered remotely
+  // KV-keyed serving (ScoreKey) and delta-refresh accounting; all zero
+  // for a family scored purely by row id or carried payloads.
+  uint64_t key_rows = 0;    ///< rows scored via ScoreKey (subset of id_rows)
+  uint64_t key_misses = 0;  ///< key lookups that missed the pinned snapshot
+  uint64_t store_delta_bytes = 0;  ///< bytes actually written by publishes
+  uint64_t store_full_bytes = 0;   ///< what full rewrites would have written
+  uint64_t store_evictions = 0;    ///< keys evicted by the page clock
+  uint64_t store_live_rows = 0;    ///< resident keys at Stats() time
   /// Mean per-row time in each lifecycle stage (obs::Stage order:
   /// admit, queue, batch-form, gather, score, complete), microseconds.
   /// Batch-level stages are row-weighted means.
@@ -260,6 +289,21 @@ class ServingEngine {
   /// Returns the new table version.
   uint64_t PublishStore(const std::string& family,
                         const std::vector<double>& row_major);
+
+  /// Publishes a DELTA into `family`'s store: upserts `keys[i]` with row
+  /// `row_major[i*dim .. (i+1)*dim)`, cloning only the touched pages into
+  /// a new snapshot (copy-on-write; untouched pages are shared with the
+  /// previous version) and hot-swapping it exactly like PublishStore.
+  /// Refresh cost therefore scales with churn, not table size. When the
+  /// store is at capacity, cold pages are evicted (clock over pages) to
+  /// make room; evicted keys miss until re-published. The store must be
+  /// registered (checked); a delta may also BOOTSTRAP a store that has
+  /// never seen a full PublishStore (never-touched pages simply stay
+  /// unallocated). Returns the publish report (new version + byte
+  /// accounting).
+  StorePublishReport PublishStoreDelta(const std::string& family,
+                                       const std::vector<uint64_t>& keys,
+                                       const std::vector<double>& row_major);
 
   /// Publishes a model version into `family` (atomic hot-swap; callable
   /// any time, also while serving). The family must be registered
@@ -327,6 +371,32 @@ class ServingEngine {
   StatusOr<std::future<double>> Score(const std::string& family,
                                       matrix::Index row_id);
 
+  /// Enqueues one KEY-KEYED request for `client`: the request ships a
+  /// 64-bit key instead of a dense row id, and the scoring worker
+  /// resolves it through the store's sharded key index against the
+  /// batch's pinned snapshot (lock-free probe, no master lock on the hot
+  /// path). Admission mirrors the id form's Status codes, plus NotFound
+  /// for a key absent from the current index (also counted as a
+  /// store.key_misses hit -- the caller-visible symptom of eviction). A
+  /// key evicted between admission and the gather resolves the future
+  /// with a StoreKeyMiss exception instead.
+  StatusOr<std::future<double>> ScoreKey(const std::string& family,
+                                         uint64_t key, ClientId client);
+
+  /// Single-tenant convenience: key-keyed ScoreKey() as kDefaultClient.
+  StatusOr<std::future<double>> ScoreKey(const std::string& family,
+                                         uint64_t key);
+
+  /// String-keyed convenience: hashes `key` through FeatureStore::HashKey
+  /// (FNV-1a). The caller owns collision avoidance at publish time --
+  /// the store keys rows by the 64-bit hash.
+  StatusOr<std::future<double>> ScoreKey(const std::string& family,
+                                         std::string_view key,
+                                         ClientId client);
+
+  StatusOr<std::future<double>> ScoreKey(const std::string& family,
+                                         std::string_view key);
+
   /// Convenience: Score() and wait for the result.
   StatusOr<double> ScoreSync(const std::string& family,
                              std::vector<matrix::Index> indices,
@@ -342,6 +412,20 @@ class ServingEngine {
 
   StatusOr<double> ScoreSync(const std::string& family,
                              matrix::Index row_id);
+
+  /// Convenience: key-keyed ScoreKey() and wait. A key that vanished
+  /// between admission and the gather (StoreKeyMiss through the future)
+  /// comes back as Status::NotFound, same as an admission-time miss.
+  StatusOr<double> ScoreKeySync(const std::string& family, uint64_t key,
+                                ClientId client);
+
+  StatusOr<double> ScoreKeySync(const std::string& family, uint64_t key);
+
+  StatusOr<double> ScoreKeySync(const std::string& family,
+                                std::string_view key, ClientId client);
+
+  StatusOr<double> ScoreKeySync(const std::string& family,
+                                std::string_view key);
 
   /// Looks up a family's registered feature store; nullptr when the
   /// family is unknown or has no store. Valid for the engine's lifetime.
@@ -386,6 +470,18 @@ class ServingEngine {
     obs::Counter* remote_store_rows = nullptr;
     obs::Counter* store_local_bytes = nullptr;
     obs::Counter* store_remote_bytes = nullptr;
+    /// store.key_rows / store.key_misses: KV-keyed requests resolved
+    /// through the sharded key index, and the lookups that missed it
+    /// (the caller-visible symptom of eviction).
+    obs::Counter* key_rows = nullptr;
+    obs::Counter* key_misses = nullptr;
+    /// store.delta_bytes / store.full_bytes / store.evictions: publish
+    /// byte odometers and clock evictions, written by the store itself
+    /// on every Publish/PublishDelta/Republish (AttachInstruments), so
+    /// tuner-driven flips are accounted too.
+    obs::Counter* store_delta_bytes = nullptr;
+    obs::Counter* store_full_bytes = nullptr;
+    obs::Counter* store_evictions = nullptr;
     /// serve.kernel_rows{family=...,kernel=<level>,weights=f64|int8}:
     /// rows scored through the batched dispatch kernels.
     obs::Counter* kernel_rows = nullptr;
